@@ -1,0 +1,67 @@
+"""Extension bench: elastic job-level OEF vs rigid tenant-level OEF (§8)."""
+
+from repro.cluster import (
+    ClusterSimulator,
+    ElasticOEFScheduler,
+    OEFScheduler,
+    SimulationConfig,
+    Tenant,
+    make_job,
+    paper_cluster,
+)
+from repro.workloads import TenantGenerator
+
+
+def _tenants(elastic: bool):
+    generator = TenantGenerator(seed=77)
+    tenants = []
+    for index, model in enumerate(["vgg16", "resnet50", "lstm", "transformer"]):
+        tenant = Tenant(name=f"team{index + 1}")
+        for job_number in range(3):
+            throughput = generator._job_throughput(model)
+            tenant.add_job(
+                make_job(
+                    job_id=index * 10 + job_number,
+                    tenant=tenant.name,
+                    model_name=model,
+                    throughput=throughput,
+                    num_workers=8,
+                    elastic=elastic,
+                    total_iterations=float(throughput[0]) * 2 * 3600.0,
+                )
+            )
+        tenants.append(tenant)
+    return tenants
+
+
+def _run(elastic: bool):
+    scheduler = (
+        ElasticOEFScheduler("noncooperative")
+        if elastic
+        else OEFScheduler("noncooperative")
+    )
+    simulator = ClusterSimulator(
+        paper_cluster(),
+        _tenants(elastic),
+        scheduler,
+        config=SimulationConfig(num_rounds=64, stop_when_idle=True),
+    )
+    return simulator.run()
+
+
+def test_bench_rigid_tenant_level(run_once, benchmark):
+    metrics = run_once(_run, False)
+    benchmark.extra_info["mean_throughput"] = round(metrics.mean_total_actual(), 2)
+    benchmark.extra_info["starvation_rounds"] = metrics.total_starvation_rounds()
+
+
+def test_bench_elastic_job_level(run_once, benchmark):
+    metrics = run_once(_run, True)
+    rigid = _run(False)
+    benchmark.extra_info["mean_throughput"] = round(metrics.mean_total_actual(), 2)
+    benchmark.extra_info["throughput_gain_pct"] = round(
+        (metrics.mean_total_actual() / rigid.mean_total_actual() - 1) * 100, 1
+    )
+    # elastic scheduling strictly reduces starvation and raises throughput
+    assert metrics.mean_total_actual() >= rigid.mean_total_actual()
+    assert metrics.total_starvation_rounds() <= rigid.total_starvation_rounds()

@@ -1,0 +1,41 @@
+"""Benches for Fig. 10: solver overhead and profiling-error sensitivity."""
+
+import time
+
+from repro.core import CooperativeOEF, NonCooperativeOEF
+from repro.experiments import fig10_overhead
+from repro.workloads.generator import random_instance
+
+
+def test_bench_fig10a_noncoop_300_users(benchmark):
+    instance = random_instance(300, 10, seed=23, devices_per_type=300.0)
+    allocator = NonCooperativeOEF()
+    benchmark.pedantic(
+        allocator.allocate, args=(instance,), rounds=3, iterations=1
+    )
+
+
+def test_bench_fig10a_coop_100_users(benchmark):
+    instance = random_instance(100, 10, seed=23, devices_per_type=100.0)
+    allocator = CooperativeOEF()
+    benchmark.pedantic(
+        allocator.allocate, args=(instance,), rounds=1, iterations=1
+    )
+
+
+def test_bench_fig10a_coop_300_users(benchmark):
+    instance = random_instance(300, 10, seed=23, devices_per_type=300.0)
+    allocator = CooperativeOEF()
+    benchmark.pedantic(
+        allocator.allocate, args=(instance,), rounds=1, iterations=1
+    )
+
+
+def test_bench_fig10b_sensitivity(run_once, benchmark):
+    result = run_once(
+        fig10_overhead.run_sensitivity, biases=(-0.2, -0.1, 0.0, 0.1, 0.2)
+    )
+    deviations = [row["throughput deviation"] for row in result.rows]
+    benchmark.extra_info["max_deviation_pct"] = round(max(deviations) * 100, 2)
+    # paper: <= 3% deviation at +/-20% profiling error
+    assert max(deviations) <= 0.03

@@ -1,0 +1,22 @@
+"""Benches for Fig. 1 (motivation) and Table 1 (property matrix)."""
+
+from repro.experiments import fig1_motivation, table1_properties
+
+
+def test_bench_fig1(run_once, benchmark):
+    result = run_once(fig1_motivation.run)
+    user2 = next(
+        row for row in result.rows if row.get("panel") == "(b)" and row["user"] == "user-2"
+    )
+    benchmark.extra_info["oef_user2"] = round(user2["OEF"], 3)
+    benchmark.extra_info["maxmin_user2"] = round(user2["Max-Min"], 3)
+    assert user2["OEF"] > user2["Max-Min"]
+
+
+def test_bench_table1(run_once, benchmark):
+    result = run_once(table1_properties.run, num_random=1, sp_trials=1)
+    rows = {row["scheduler"]: row for row in result.rows}
+    benchmark.extra_info["oef_sp"] = rows["oef-noncoop"]["SP"]
+    benchmark.extra_info["oef_ef"] = rows["oef-coop"]["EF"]
+    benchmark.extra_info["gavel_sp"] = rows["gavel"]["SP"]
+    assert rows["OEF (per environment)"]["optimal efficiency"] == "yes"

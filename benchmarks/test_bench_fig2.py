@@ -1,0 +1,11 @@
+"""Bench for Fig. 2 / §3.1 conflict examples."""
+
+from repro.experiments import fig2_conflict
+
+
+def test_bench_fig2(run_once, benchmark):
+    result = run_once(fig2_conflict.run)
+    honest = result.rows[0]["u1 true throughput"]
+    lied = result.rows[1]["u1 true throughput"]
+    benchmark.extra_info["u1_gain_by_lying_pct"] = round((lied / honest - 1) * 100, 1)
+    assert lied > honest

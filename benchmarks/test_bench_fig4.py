@@ -1,0 +1,17 @@
+"""Bench for Fig. 4: strategy-proofness over time (cluster simulation)."""
+
+from repro.experiments import fig4_strategyproofness
+
+
+def test_bench_fig4(run_once, benchmark):
+    result = run_once(
+        fig4_strategyproofness.run,
+        num_rounds=10,
+        departure_round=5,
+        jobs_per_tenant=10,
+    )
+    rows = {row["tenant"]: row for row in result.rows}
+    honest = rows["user1"]["mean throughput (no one cheats)"]
+    cheating = rows["user1"]["mean throughput (user1 cheats)"]
+    benchmark.extra_info["cheater_delta_pct"] = round((cheating / honest - 1) * 100, 1)
+    assert cheating < honest  # the liar is strictly penalised

@@ -1,0 +1,20 @@
+"""Bench for Fig. 5: sharing incentive and multi-job-type support."""
+
+from repro.experiments import fig5_sharing_incentive
+
+
+def test_bench_fig5a(run_once, benchmark):
+    result = run_once(fig5_sharing_incentive.run_panel_a, num_rounds=8)
+    ratios = [row["estimated / Max-Min"] for row in result.rows]
+    benchmark.extra_info["max_si_ratio"] = round(max(ratios), 3)
+    assert min(ratios) >= 0.99  # sharing incentive for everyone
+
+
+def test_bench_fig5b(run_once, benchmark):
+    result = run_once(
+        fig5_sharing_incentive.run_panel_b, num_rounds=10, switch_round=5
+    )
+    after = result.rows[1]
+    benchmark.extra_info["job1_after"] = round(after["user1 job1"], 2)
+    benchmark.extra_info["job2_after"] = round(after["user1 job2"], 2)
+    assert after["user1 job2"] > 0

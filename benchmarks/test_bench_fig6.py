@@ -1,0 +1,15 @@
+"""Bench for Fig. 6: envy-freeness cross matrix."""
+
+from repro.experiments import fig6_envy_freeness
+
+
+def test_bench_fig6(run_once, benchmark):
+    result = run_once(fig6_envy_freeness.run)
+    worst = min(
+        value
+        for row in result.rows
+        for key, value in row.items()
+        if key.startswith("vs ")
+    )
+    benchmark.extra_info["min_cross_ratio"] = round(worst, 3)
+    assert worst >= 1.0 - 1e-6  # nobody prefers another's share

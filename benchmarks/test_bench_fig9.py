@@ -1,0 +1,23 @@
+"""Bench for Fig. 9: long-run JCT on a Philly-like trace."""
+
+from repro.experiments import fig9_jct
+
+
+def test_bench_fig9_jct(run_once, benchmark):
+    result = run_once(
+        fig9_jct.run,
+        num_tenants=12,
+        jobs_per_tenant_mean=6.0,
+        window_seconds=8 * 3600.0,
+        contention=0.7,
+    )
+    rows = {row["scheduler"]: row for row in result.rows}
+    benchmark.extra_info["gandiva_jct_ratio"] = round(
+        rows["Gandiva"]["JCT ratio vs OEF"], 3
+    )
+    benchmark.extra_info["gavel_jct_ratio"] = round(
+        rows["Gavel"]["JCT ratio vs OEF"], 3
+    )
+    # paper: 1.17x / 1.19x; assert OEF is no worse than the baselines
+    assert rows["Gandiva"]["JCT ratio vs OEF"] >= 0.97
+    assert rows["Gavel"]["JCT ratio vs OEF"] >= 0.97

@@ -1,0 +1,13 @@
+"""Bench for §6.3.3: straggler-effect alleviation ablation."""
+
+from repro.experiments import straggler_ablation
+
+
+def test_bench_straggler_ablation(run_once, benchmark):
+    result = run_once(straggler_ablation.run, num_tenants=8, num_rounds=8)
+    rows = {row["scheduler"]: row for row in result.rows}
+    benchmark.extra_info["oef_stragglers"] = rows["OEF"]["straggler_workers"]
+    benchmark.extra_info["gandiva_stragglers"] = rows["Gandiva"]["straggler_workers"]
+    benchmark.extra_info["gavel_stragglers"] = rows["Gavel"]["straggler_workers"]
+    # the paper: OEF reduces straggler-affected workers vs both baselines
+    assert rows["OEF"]["straggler_workers"] <= rows["Gavel"]["straggler_workers"]

@@ -1,0 +1,59 @@
+"""Replay a Philly-like trace and compare long-run JCT across schedulers.
+
+Generates a synthetic multi-tenant trace with Philly-shaped statistics
+(heavy-tailed durations, mostly single-GPU jobs, Poisson arrivals) and
+replays it under OEF and both heterogeneity-aware baselines — a compact
+version of the paper's Fig. 9 experiment.
+
+Run:  python examples/philly_trace_replay.py
+"""
+
+from repro.cluster import ClusterSimulator, SimulationConfig, paper_cluster
+from repro.experiments.common import baseline_stack, oef_stack
+from repro.workloads import PhillyTraceConfig, PhillyTraceGenerator
+
+TRACE = PhillyTraceConfig(
+    num_tenants=10,
+    jobs_per_tenant_mean=5.0,
+    window_seconds=6 * 3600.0,
+    contention=0.6,
+    seed=9,
+)
+
+
+def replay(label: str, scheduler, placer, use_min_demand: bool) -> None:
+    topology = paper_cluster()
+    tenants = PhillyTraceGenerator(
+        config=TRACE, cluster_devices=topology.num_devices
+    ).generate()
+    simulator = ClusterSimulator(
+        topology,
+        tenants,
+        scheduler,
+        placer=placer,
+        config=SimulationConfig(
+            num_rounds=int(TRACE.window_seconds / 300 * 3),
+            stop_when_idle=True,
+            use_min_demand_rule=use_min_demand,
+        ),
+    )
+    metrics = simulator.run()
+    print(
+        f"{label:<14} mean JCT {metrics.mean_jct() / 3600.0:6.2f} h   "
+        f"jobs finished {len(metrics.completions):4d}   "
+        f"starvation-rounds {metrics.total_starvation_rounds():4d}"
+    )
+
+
+def main() -> None:
+    topology = paper_cluster()
+    print(f"cluster: {topology.summary()}")
+    scheduler, placer = oef_stack(topology, "cooperative")
+    replay("OEF", scheduler, placer, use_min_demand=True)
+    for name in ("gandiva", "gavel"):
+        scheduler, placer = baseline_stack(paper_cluster(), name)
+        replay(name.capitalize(), scheduler, placer, use_min_demand=False)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs on environments without
+the `wheel` package (PEP 660 editable wheels require it)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""OEF: Optimal Resource Efficiency with Fairness in Heterogeneous GPU Clusters.
+
+A full reproduction of the Middleware '24 paper by Mo, Xu, and Lau.  The
+public API re-exports the pieces a downstream user needs:
+
+* data model -- :class:`SpeedupMatrix`, :class:`ProblemInstance`,
+  :class:`Allocation`;
+* allocators -- :class:`NonCooperativeOEF`, :class:`CooperativeOEF`,
+  :class:`WeightedOEF` and the baselines (:class:`MaxMinFairness`,
+  :class:`GandivaFair`, :class:`Gavel`);
+* fairness auditors -- :func:`audit_allocator` and the individual property
+  checkers;
+* the cluster runtime lives in :mod:`repro.cluster`, workload generators in
+  :mod:`repro.workloads`, and paper experiments in :mod:`repro.experiments`.
+"""
+
+from repro.baselines import EfficiencyMaxAllocator, GandivaFair, Gavel, MaxMinFairness
+from repro.core import (
+    Allocation,
+    Allocator,
+    CooperativeOEF,
+    JobTypeSpec,
+    NonCooperativeOEF,
+    ProblemInstance,
+    PropertyReport,
+    SpeedupMatrix,
+    TenantSpec,
+    VirtualUserExpansion,
+    WeightedOEF,
+    audit_allocator,
+    check_envy_freeness,
+    check_pareto_efficiency,
+    check_sharing_incentive,
+    check_strategy_proofness,
+    optimal_efficiency_upper_bound,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "Allocator",
+    "CooperativeOEF",
+    "EfficiencyMaxAllocator",
+    "GandivaFair",
+    "Gavel",
+    "JobTypeSpec",
+    "MaxMinFairness",
+    "NonCooperativeOEF",
+    "ProblemInstance",
+    "PropertyReport",
+    "SpeedupMatrix",
+    "TenantSpec",
+    "VirtualUserExpansion",
+    "WeightedOEF",
+    "audit_allocator",
+    "check_envy_freeness",
+    "check_pareto_efficiency",
+    "check_sharing_incentive",
+    "check_strategy_proofness",
+    "optimal_efficiency_upper_bound",
+]

@@ -1,0 +1,18 @@
+"""Baseline schedulers the paper compares OEF against (§2.4, §6.1.3)."""
+
+from repro.baselines.drf import DominantResourceFairness
+from repro.baselines.gandiva_fair import GandivaFair, Trade
+from repro.baselines.gavel import Gavel
+from repro.baselines.maxmin import MaxMinFairness
+from repro.baselines.nash import NashWelfare
+from repro.core.cooperative import EfficiencyMaxAllocator
+
+__all__ = [
+    "DominantResourceFairness",
+    "EfficiencyMaxAllocator",
+    "GandivaFair",
+    "Gavel",
+    "MaxMinFairness",
+    "NashWelfare",
+    "Trade",
+]

@@ -1,0 +1,60 @@
+"""Dominant Resource Fairness applied to GPU types (§2.3.3 strawman).
+
+The paper argues DRF and its variants are *unfit* for heterogeneous GPU
+scheduling: DRF treats resource types as complementary (a job needing
+network cannot run without network), but GPU types are *interchangeable* —
+any job can run on any type, just at different speed.  This module
+implements classic progressive-filling DRF over GPU types anyway, so the
+claim can be audited quantitatively.
+
+Each tenant's demand vector is derived from its speedup vector: the tenant
+"wants" GPU types in proportion to the throughput they deliver (a natural
+— and still wrong — encoding).  DRF then equalises dominant shares.  The
+result is audited in ``tests/baselines/test_drf.py``: DRF wastes the
+interchangeability (it pins fixed type *proportions* per tenant) and loses
+efficiency against even Max-Min with trading.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.base import Allocator
+from repro.core.instance import ProblemInstance
+
+
+class DominantResourceFairness(Allocator):
+    """Progressive-filling DRF with speedup-proportional demand vectors."""
+
+    name = "drf"
+
+    def __init__(self, step: float = 1e-3, max_steps: int = 1_000_000):
+        self.step = step
+        self.max_steps = max_steps
+
+    def allocate(self, instance: ProblemInstance) -> Allocation:
+        speedups = instance.speedups.values
+        capacities = instance.capacities.astype(float)
+        num_users, num_types = speedups.shape
+
+        # demand vector per tenant: proportional to per-type throughput,
+        # normalised so the dominant entry is 1 when divided by capacity
+        demands = speedups / speedups.sum(axis=1, keepdims=True)
+        with np.errstate(divide="ignore"):
+            demand_shares = np.where(capacities > 0, demands / capacities, np.inf)
+        dominant = demand_shares.max(axis=1)
+
+        # progressive filling: every tenant's dominant share grows at the
+        # same rate until some GPU type saturates.  With linear demands
+        # this reduces to a single water-level computation per type.
+        # level t means tenant l holds t * demands[l] / dominant[l].
+        per_level_usage = (demands / dominant[:, None]).sum(axis=0)
+        with np.errstate(divide="ignore"):
+            level_limits = np.where(
+                per_level_usage > 0, capacities / per_level_usage, np.inf
+            )
+        level = float(level_limits.min())
+        matrix = level * demands / dominant[:, None]
+        matrix = np.minimum(matrix, capacities)  # numerical guard
+        return Allocation(matrix, instance, allocator_name=self.name)

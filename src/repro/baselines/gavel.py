@@ -1,0 +1,122 @@
+"""Gavel's heterogeneity-aware max-min policy (§2.4).
+
+Gavel (Narayanan et al., OSDI '20) maximises the minimum *normalised*
+throughput ratio across tenants, where each tenant's reference point is
+its throughput under a 1/n equal partition:
+
+    ratio_l = (W_l . x_l) / (W_l . m / n)
+
+Phase 1 maximises ``min_l ratio_l`` as an LP.  The policy equalises the
+ratio across tenants (the paper's Eq. (3) example: ratios 1.09/1.08/1.08),
+so phase 2 pins every tenant's ratio to the phase-1 optimum ``c*`` and,
+among those allocations, maximises total GPU usage (work conservation).
+Pinning to the common ratio is what makes Gavel sharing-incentive
+(``c* >= 1`` always, since the equal split itself achieves ratio 1) but —
+as §2.4 shows — pareto-inefficient and manipulable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.base import Allocator
+from repro.core.instance import ProblemInstance
+from repro.solver import LinearProgram, dot, lin_sum
+
+
+class Gavel(Allocator):
+    """Two-phase max-min-ratio LP baseline.
+
+    ``dense=True`` (default) emulates the interior-point solutions of the
+    paper's artifact (cvxpy + ECOS): ratios are allowed to sit a small
+    ``slack`` below the exact max-min optimum (the paper's Eq. (3) solution
+    has ratios ~1.08 against an optimum of ~1.10 and leaves 1% of GPU2
+    unused), and among those near-optimal points the allocation is spread
+    across GPU types (each tenant holding up to its proportional
+    ``m_j / n`` of a type earns a bonus).  This density is what causes
+    Gavel's cross-type placements and its pareto-inefficiency in §2.4.
+    ``dense=False`` returns a work-conserving simplex vertex instead —
+    exactly ratio-pinned, and typically pareto-efficient.
+    """
+
+    name = "gavel"
+
+    def __init__(self, backend: str = "auto", dense: bool = True, slack: float = 0.02):
+        self.backend = backend
+        self.dense = dense
+        self.slack = slack
+
+    def allocate(self, instance: ProblemInstance) -> Allocation:
+        speedups = instance.speedups.values
+        num_users, num_types = speedups.shape
+        fair_share = instance.equal_split_throughput()
+
+        if num_users == 1:
+            matrix = instance.capacities.reshape(1, num_types).copy()
+            return Allocation(matrix, instance, allocator_name=self.name)
+
+        ratio = self._max_min_ratio(instance, fair_share)
+        matrix = self._work_conserving_at_ratio(instance, fair_share, ratio)
+        return Allocation(matrix, instance, allocator_name=self.name)
+
+    # -- phase 1 ---------------------------------------------------------------
+    def _max_min_ratio(self, instance: ProblemInstance, fair_share: np.ndarray) -> float:
+        speedups = instance.speedups.values
+        num_users, num_types = speedups.shape
+        lp = LinearProgram("gavel-phase1")
+        shares = lp.new_variable_array("x", (num_users, num_types), lower=0.0)
+        ratio = lp.new_variable("c", lower=0.0)
+        for type_index in range(num_types):
+            lp.add_constraint(
+                lin_sum(shares[:, type_index]) <= float(instance.capacities[type_index])
+            )
+        for user in range(num_users):
+            lp.add_constraint(
+                dot(speedups[user], shares[user]) - ratio * float(fair_share[user]) >= 0.0
+            )
+        lp.set_objective(ratio.to_expr(), sense="max")
+        solution = lp.solve(backend=self.backend)
+        return float(solution.value(ratio))
+
+    # -- phase 2 ---------------------------------------------------------------
+    def _work_conserving_at_ratio(
+        self, instance: ProblemInstance, fair_share: np.ndarray, ratio: float
+    ) -> np.ndarray:
+        speedups = instance.speedups.values
+        num_users, num_types = speedups.shape
+        lp = LinearProgram("gavel-phase2")
+        shares = lp.new_variable_array("x", (num_users, num_types), lower=0.0)
+        for type_index in range(num_types):
+            lp.add_constraint(
+                lin_sum(shares[:, type_index]) <= float(instance.capacities[type_index])
+            )
+        # every tenant sits within a band of the common max-min ratio; the
+        # dense variant may dip `slack` below the optimum (interior-point
+        # behaviour), the vertex variant is pinned tight
+        lower_band = self.slack if self.dense else 1e-6
+        for user in range(num_users):
+            target = ratio * float(fair_share[user])
+            lp.add_constraint(
+                dot(speedups[user], shares[user]) >= target * (1 - lower_band)
+            )
+            lp.add_constraint(dot(speedups[user], shares[user]) <= target * (1 + 1e-6))
+        if self.dense:
+            # spread bonus: y_lj <= min(x_lj, m_j / n) and maximise sum(y),
+            # which emulates the dense mixes interior-point solvers return
+            spread = lp.new_variable_array("y", (num_users, num_types), lower=0.0)
+            for user in range(num_users):
+                for type_index in range(num_types):
+                    cap = float(instance.capacities[type_index]) / num_users
+                    lp.add_constraint(
+                        spread[user, type_index].to_expr()
+                        - shares[user, type_index].to_expr()
+                        <= 0.0
+                    )
+                    lp.add_constraint(spread[user, type_index] <= cap)
+            objective = lin_sum(spread.ravel()) + 1e-3 * lin_sum(shares.ravel())
+            lp.set_objective(objective, sense="max")
+        else:
+            lp.set_objective(lin_sum(shares.ravel()), sense="max")
+        solution = lp.solve(backend=self.backend)
+        return np.clip(solution.value(shares), 0.0, None)

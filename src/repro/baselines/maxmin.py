@@ -1,0 +1,32 @@
+"""Max-Min fairness for interchangeable GPUs: the 1/n equal partition.
+
+With a single interchangeable resource class (§2.3.3), classic max-min
+fairness degenerates to handing every tenant an equal share of *every* GPU
+type — this is the allocation the paper's Fig. 1(b) and §3.1.1 examples use
+(e.g. ``X_f = [[0.5, 0.5], [0.5, 0.5]]``), and the baseline that
+Gandiva_fair starts its trading from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.base import Allocator
+from repro.core.instance import ProblemInstance
+
+
+class MaxMinFairness(Allocator):
+    """Equal 1/n split of every GPU type.
+
+    Trivially SI (with equality), EF, and SP (the allocation ignores
+    reported speedups entirely), but generally far from optimal efficiency
+    — exactly the gap OEF closes.
+    """
+
+    name = "max-min"
+
+    def allocate(self, instance: ProblemInstance) -> Allocation:
+        num_users = instance.num_users
+        matrix = np.tile(instance.capacities / num_users, (num_users, 1))
+        return Allocation(matrix, instance, allocator_name=self.name)

@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``allocate``   solve a JSON instance with a chosen scheduler
+``audit``      run the Table-1 property audit on a JSON instance
+``compare``    efficiency/fairness summary of all schedulers on an instance
+``frontier``   print the efficiency-fairness frontier of an instance
+``experiments``run the paper experiments (all or a subset)
+``demo``       write a demo instance JSON to get started
+
+Instances use the ``repro/instance-v1`` JSON schema (see
+:mod:`repro.core.serialization`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.baselines import (
+    DominantResourceFairness,
+    NashWelfare,
+    EfficiencyMaxAllocator,
+    GandivaFair,
+    Gavel,
+    MaxMinFairness,
+)
+from repro.core import (
+    CooperativeOEF,
+    NonCooperativeOEF,
+    allocation_to_dict,
+    audit_allocator,
+    compare_allocators,
+    efficiency_fairness_frontier,
+    instance_to_dict,
+    load_instance,
+)
+from repro.core.base import Allocator
+
+_SCHEDULERS: Dict[str, type] = {
+    "oef-noncoop": NonCooperativeOEF,
+    "oef-coop": CooperativeOEF,
+    "max-min": MaxMinFairness,
+    "gandiva-fair": GandivaFair,
+    "gavel": Gavel,
+    "drf": DominantResourceFairness,
+    "nash-welfare": NashWelfare,
+    "efficiency-max": EfficiencyMaxAllocator,
+}
+
+
+def _make_scheduler(name: str) -> Allocator:
+    try:
+        return _SCHEDULERS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown scheduler {name!r}; choose from {sorted(_SCHEDULERS)}"
+        ) from None
+
+
+def _print_table(rows: List[dict], stream=None) -> None:
+    stream = stream or sys.stdout
+    if not rows:
+        return
+    headers: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+
+    def fmt(value):
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    widths = {
+        header: max(len(header), *(len(fmt(row.get(header, ""))) for row in rows))
+        for header in headers
+    }
+    print("  ".join(h.ljust(widths[h]) for h in headers), file=stream)
+    for row in rows:
+        print(
+            "  ".join(fmt(row.get(h, "")).ljust(widths[h]) for h in headers),
+            file=stream,
+        )
+
+
+# -- commands ---------------------------------------------------------------
+def cmd_allocate(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    allocation = _make_scheduler(args.scheduler).allocate(instance)
+    payload = allocation_to_dict(allocation)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote allocation to {args.output}")
+    else:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    scheduler = _make_scheduler(args.scheduler)
+    pe_within: Optional[str] = None
+    efficiency_constraint = "envy_free"
+    if args.scheduler == "oef-coop":
+        pe_within = "envy_free"
+    elif args.scheduler == "oef-noncoop":
+        pe_within = "equal_throughput"
+        efficiency_constraint = "equal_throughput"
+    report = audit_allocator(
+        scheduler,
+        instance,
+        efficiency_constraint=efficiency_constraint,
+        sp_trials=args.sp_trials,
+        pe_within=pe_within,
+    )
+    _print_table([report.as_row()])
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    rows = compare_allocators(
+        [_make_scheduler(name) for name in sorted(_SCHEDULERS)], instance
+    )
+    _print_table(rows)
+    return 0
+
+
+def cmd_frontier(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    alphas = [float(a) for a in args.alphas.split(",")]
+    points = efficiency_fairness_frontier(instance, alphas=alphas)
+    _print_table(
+        [
+            {
+                "alpha": point.alpha,
+                "total efficiency": point.total_efficiency,
+                "min throughput": point.min_throughput,
+                "jain index": point.jain,
+            }
+            for point in points
+        ]
+    )
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.__main__ import main as run_experiments
+
+    run_experiments(args.ids)
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.workloads.generator import zoo_instance
+
+    instance = zoo_instance(["vgg16", "resnet50", "transformer", "lstm"])
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(instance_to_dict(instance), handle, indent=2)
+    print(f"wrote demo instance (4 tenants, paper cluster) to {args.output}")
+    return 0
+
+
+# -- parser -------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OEF: fair + efficient scheduling for heterogeneous GPU clusters",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    allocate = sub.add_parser("allocate", help="solve a JSON instance")
+    allocate.add_argument("instance", help="path to an instance JSON file")
+    allocate.add_argument(
+        "--scheduler", default="oef-coop", choices=sorted(_SCHEDULERS)
+    )
+    allocate.add_argument("--output", help="write the allocation JSON here")
+    allocate.set_defaults(func=cmd_allocate)
+
+    audit = sub.add_parser("audit", help="Table-1 property audit")
+    audit.add_argument("instance")
+    audit.add_argument("--scheduler", default="oef-coop", choices=sorted(_SCHEDULERS))
+    audit.add_argument("--sp-trials", type=int, default=4)
+    audit.set_defaults(func=cmd_audit)
+
+    compare = sub.add_parser("compare", help="compare all schedulers")
+    compare.add_argument("instance")
+    compare.set_defaults(func=cmd_compare)
+
+    frontier = sub.add_parser("frontier", help="efficiency-fairness frontier")
+    frontier.add_argument("instance")
+    frontier.add_argument("--alphas", default="0,0.25,0.5,0.75,0.9,1.0")
+    frontier.set_defaults(func=cmd_frontier)
+
+    experiments = sub.add_parser("experiments", help="run paper experiments")
+    experiments.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    experiments.set_defaults(func=cmd_experiments)
+
+    demo = sub.add_parser("demo", help="write a demo instance JSON")
+    demo.add_argument("--output", default="instance.json")
+    demo.set_defaults(func=cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

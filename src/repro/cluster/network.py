@@ -1,0 +1,57 @@
+"""Network contention model for cross-host distributed training (§4.3).
+
+Collective communication (all-reduce) crosses the host network only when a
+job's workers live on more than one host; its cost grows with the number
+of hosts spanned and with how many *other* cross-host jobs share the
+fabric.  OEF's placer packs large jobs onto single hosts to dodge exactly
+this penalty — the source of the "actual" throughput gains in Fig. 7/8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Multiplicative slowdown for cross-host jobs.
+
+    ``penalty = 1 / (1 + span_cost * (hosts - 1) + share_cost * contenders)``
+
+    * ``span_cost`` — cost per extra host a job spans (all-reduce hops);
+    * ``share_cost`` — cost per other cross-host job active in the round
+      (fabric sharing);
+    * single-host jobs always run at factor 1.0.
+    """
+
+    span_cost: float = 0.12
+    share_cost: float = 0.04
+    max_penalty: float = 0.5  # factor never drops below 1 - max_penalty
+
+    def __post_init__(self) -> None:
+        if self.span_cost < 0 or self.share_cost < 0:
+            raise SimulationError("network cost coefficients must be >= 0")
+        if not 0.0 <= self.max_penalty < 1.0:
+            raise SimulationError("max_penalty must lie in [0, 1)")
+
+    def factor(self, hosts_spanned: int, other_cross_host_jobs: int = 0) -> float:
+        """Throughput multiplier for one job in one round."""
+        if hosts_spanned < 1:
+            raise SimulationError("a running job spans at least one host")
+        if hosts_spanned == 1:
+            return 1.0
+        slowdown = self.span_cost * (hosts_spanned - 1) + self.share_cost * max(
+            0, other_cross_host_jobs
+        )
+        return max(1.0 - self.max_penalty, 1.0 / (1.0 + slowdown))
+
+    def round_factors(self, spans: Sequence[int]) -> list:
+        """Factors for all jobs of a round, accounting for shared fabric."""
+        cross_jobs = sum(1 for span in spans if span > 1)
+        return [
+            self.factor(span, other_cross_host_jobs=cross_jobs - (1 if span > 1 else 0))
+            for span in spans
+        ]

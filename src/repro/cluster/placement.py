@@ -1,0 +1,286 @@
+"""The placer: integral grants -> physical devices -> effective job rates.
+
+Implements §4.3's placement optimisation as a configurable policy so the
+evaluation can compare OEF's placer against the naive placement the
+baselines use:
+
+* **job selection** — within a tenant, jobs are served in starvation order
+  (the paper's uniform intra-tenant round-robin);
+* **type choice** — OEF fills a job from the fastest granted type downward
+  and keeps the types it mixes *adjacent* (Theorem 5.2 guarantees the
+  grant itself is adjacent); the naive policy consumes types in index
+  order with no adjacency care;
+* **host packing** — OEF places large jobs first and keeps each job on as
+  few hosts as possible (network-contention alleviation); the naive
+  policy takes free devices in id order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.gpu import GPUDevice
+from repro.cluster.job import Job
+from repro.cluster.network import NetworkModel
+from repro.cluster.straggler import StragglerModel
+from repro.cluster.tenant import Tenant
+from repro.cluster.topology import ClusterTopology
+from repro.exceptions import PlacementError
+
+
+@dataclass(frozen=True)
+class PlacementPolicy:
+    """Knobs separating OEF's placer from the naive baseline placer."""
+
+    pack_large_jobs_first: bool = True
+    prefer_single_host: bool = True
+    adjacent_types_only: bool = True
+    prefer_fast_types: bool = True
+
+    @staticmethod
+    def oef() -> "PlacementPolicy":
+        return PlacementPolicy(True, True, True, True)
+
+    @staticmethod
+    def naive() -> "PlacementPolicy":
+        return PlacementPolicy(False, False, False, False)
+
+
+@dataclass
+class JobPlacement:
+    """One job's devices and effective execution rate for a round."""
+
+    job: Job
+    devices: List[GPUDevice]
+    type_counts: Dict[int, int]
+    hosts_spanned: int
+    per_worker_rate: float  # iterations/sec, straggler-adjusted
+    straggler_workers: int
+    network_factor: float = 1.0
+
+    @property
+    def iterations_per_second(self) -> float:
+        return (
+            self.per_worker_rate * len(self.devices) * self.network_factor
+        )
+
+    def normalised_throughput(self) -> float:
+        """Delivered speed in speedup units (relative to the slowest type)."""
+        reference = float(self.job.true_throughput[0])
+        return self.iterations_per_second / reference
+
+
+@dataclass
+class RoundPlacement:
+    """Everything the simulator needs to advance one round."""
+
+    placements: List[JobPlacement] = field(default_factory=list)
+    starved_jobs: List[Job] = field(default_factory=list)
+
+    def cross_host_jobs(self) -> int:
+        return sum(1 for placement in self.placements if placement.hosts_spanned > 1)
+
+    def straggler_workers(self) -> int:
+        return sum(placement.straggler_workers for placement in self.placements)
+
+    def cross_type_jobs(self) -> int:
+        return sum(1 for placement in self.placements if len(placement.type_counts) > 1)
+
+    def tenant_throughput(self) -> Dict[str, float]:
+        result: Dict[str, float] = {}
+        for placement in self.placements:
+            tenant = placement.job.tenant
+            result[tenant] = result.get(tenant, 0.0) + placement.normalised_throughput()
+        return result
+
+    def model_throughput(self) -> Dict[Tuple[str, str], float]:
+        """Delivered speedup units per (tenant, model family) — Fig. 5(b)."""
+        result: Dict[Tuple[str, str], float] = {}
+        for placement in self.placements:
+            key = (placement.job.tenant, placement.job.model_name)
+            result[key] = result.get(key, 0.0) + placement.normalised_throughput()
+        return result
+
+
+class Placer:
+    """Maps per-tenant integral grants to devices and effective rates."""
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        policy: Optional[PlacementPolicy] = None,
+        straggler_model: Optional[StragglerModel] = None,
+        network_model: Optional[NetworkModel] = None,
+    ):
+        self.topology = topology
+        self.policy = policy or PlacementPolicy.oef()
+        self.straggler_model = straggler_model or StragglerModel()
+        self.network_model = network_model or NetworkModel()
+
+    # -- public entry point ---------------------------------------------------
+    def place_round(
+        self,
+        grants: Dict[str, np.ndarray],
+        tenants: Dict[str, Tenant],
+        now: float,
+    ) -> RoundPlacement:
+        """Select runnable jobs per tenant and bind them to devices."""
+        self.topology.release_all()
+        selections: List[Tuple[Job, Dict[int, int]]] = []
+        starved: List[Job] = []
+
+        for tenant_name, grant in grants.items():
+            tenant = tenants.get(tenant_name)
+            if tenant is None:
+                raise PlacementError(f"grant for unknown tenant {tenant_name!r}")
+            budget = np.asarray(grant, dtype=int).copy()
+            for job in tenant.runnable_queue(now):
+                workers = job.num_workers
+                if job.elastic:
+                    # elastic jobs (§8) shrink to whatever remains, down to
+                    # their minimum worker count
+                    workers = min(job.num_workers, int(budget.sum()))
+                    if workers < job.min_workers:
+                        starved.append(job)
+                        continue
+                type_counts = self._select_types(workers, budget)
+                if type_counts is None:
+                    starved.append(job)
+                    continue
+                for rank, count in type_counts.items():
+                    budget[rank] -= count
+                selections.append((job, type_counts))
+
+        if self.policy.pack_large_jobs_first:
+            selections.sort(key=lambda pair: (-pair[0].num_workers, pair[0].job_id))
+        else:
+            selections.sort(key=lambda pair: pair[0].job_id)
+
+        placements: List[JobPlacement] = []
+        for job, type_counts in selections:
+            devices = self._bind_devices(type_counts)
+            outcome = self.straggler_model.evaluate(job, type_counts)
+            hosts = len({device.host_id for device in devices})
+            for device in devices:
+                device.assigned_job = job.job_id
+            placements.append(
+                JobPlacement(
+                    job=job,
+                    devices=devices,
+                    type_counts=type_counts,
+                    hosts_spanned=hosts,
+                    per_worker_rate=outcome.per_worker_rate,
+                    straggler_workers=outcome.straggler_workers,
+                )
+            )
+
+        factors = self.network_model.round_factors(
+            [placement.hosts_spanned for placement in placements]
+        )
+        for placement, factor in zip(placements, factors):
+            placement.network_factor = factor
+        return RoundPlacement(placements=placements, starved_jobs=starved)
+
+    # -- type selection ---------------------------------------------------------
+    def _select_types(
+        self, workers: int, budget: np.ndarray
+    ) -> Optional[Dict[int, int]]:
+        """Pick GPU-type counts for one job from the tenant's budget."""
+        if budget.sum() < workers:
+            return None
+        num_types = budget.shape[0]
+        if self.policy.adjacent_types_only:
+            window = self._best_adjacent_window(workers, budget)
+            if window is not None:
+                return window
+            # no contiguous window covers the job (grant has holes after
+            # redistribution); fall through to greedy rather than starve
+        order = (
+            range(num_types - 1, -1, -1)
+            if self.policy.prefer_fast_types
+            else range(num_types)
+        )
+        remaining = workers
+        counts: Dict[int, int] = {}
+        for rank in order:
+            if remaining == 0:
+                break
+            take = min(int(budget[rank]), remaining)
+            if take > 0:
+                counts[rank] = take
+                remaining -= take
+        if remaining > 0:
+            return None
+        return counts
+
+    def _best_adjacent_window(
+        self, workers: int, budget: np.ndarray
+    ) -> Optional[Dict[int, int]]:
+        """The fastest contiguous run of types that covers the job.
+
+        Among windows with enough budget, prefer the one whose fastest
+        type is highest, then the narrowest (fewest types mixed).
+        """
+        num_types = budget.shape[0]
+        best: Optional[Tuple[Tuple[int, int], Dict[int, int]]] = None
+        for high in range(num_types - 1, -1, -1):
+            if budget[high] <= 0:
+                continue
+            total = 0
+            for low in range(high, -1, -1):
+                if budget[low] <= 0 and low != high:
+                    break  # window must stay contiguous over granted types
+                total += int(budget[low])
+                if total >= workers:
+                    counts: Dict[int, int] = {}
+                    remaining = workers
+                    for rank in range(high, low - 1, -1):
+                        take = min(int(budget[rank]), remaining)
+                        if take > 0:
+                            counts[rank] = take
+                            remaining -= take
+                    score = (high, -(high - low))
+                    if best is None or score > best[0]:
+                        best = (score, counts)
+                    break
+        return best[1] if best else None
+
+    # -- physical binding ---------------------------------------------------------
+    def _bind_devices(self, type_counts: Dict[int, int]) -> List[GPUDevice]:
+        devices: List[GPUDevice] = []
+        for rank, count in sorted(type_counts.items()):
+            devices.extend(self._bind_type(rank, count))
+        return devices
+
+    def _bind_type(self, rank: int, count: int) -> List[GPUDevice]:
+        hosts = self.topology.hosts_of_type(rank)
+        free_total = sum(host.num_free for host in hosts)
+        if free_total < count:
+            raise PlacementError(
+                f"grants exceed free devices of type rank {rank} "
+                f"({count} requested, {free_total} free)"
+            )
+        if not self.policy.prefer_single_host:
+            chosen: List[GPUDevice] = []
+            for host in hosts:
+                for device in host.free_devices():
+                    chosen.append(device)
+                    if len(chosen) == count:
+                        return chosen
+            return chosen
+        # best-fit: the smallest single host that fits the whole request
+        fitting = [host for host in hosts if host.num_free >= count]
+        if fitting:
+            host = min(fitting, key=lambda h: (h.num_free, h.host_id))
+            return host.free_devices()[:count]
+        # otherwise spread across as few hosts as possible, fullest first
+        chosen = []
+        for host in sorted(hosts, key=lambda h: (-h.num_free, h.host_id)):
+            for device in host.free_devices():
+                chosen.append(device)
+                if len(chosen) == count:
+                    return chosen
+        return chosen

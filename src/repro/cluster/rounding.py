@@ -1,0 +1,235 @@
+"""Deviation-accumulating rounding of fractional shares (§4.3).
+
+The fair-share evaluator yields fractional GPU shares; a physical round
+gives each job whole GPUs.  The placer therefore tracks, per tenant and
+GPU type, the cumulative deviation ``dev(t)`` between the ideal fractional
+share and the integral share actually granted:
+
+    real(t) = round(ideal(t) + dev(t))
+    dev(t + 1) = dev(t) + ideal(t) - real(t)
+
+so the time-average of the granted share converges to the ideal share.
+Per GPU type, rounding is capacity-aware (largest-remainder): totals never
+exceed the device count.  The §4.3 refinement also zeroes a tenant's grant
+when it cannot fit the tenant's smallest job (``min_k demand_k``) — the
+deviation then builds up until the tenant is guaranteed a runnable grant,
+which is what shrinks starvation and JCT in Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+@dataclass
+class RoundingResult:
+    """Integral grants plus bookkeeping for tests and metrics."""
+
+    grants: Dict[str, np.ndarray]
+    zeroed_tenants: List[str] = field(default_factory=list)
+
+    def total_granted(self) -> np.ndarray:
+        if not self.grants:
+            return np.zeros(0)
+        return np.sum(list(self.grants.values()), axis=0)
+
+
+class NaiveRounder:
+    """Memoryless rounding baseline: independent round() per entry.
+
+    Used by the baseline schedulers and by the rounding ablation bench.
+    Without deviation accumulation, tenants whose fractional share rounds
+    to zero starve indefinitely; without the min-demand rule, tenants can
+    receive grants too small to run any job.
+    """
+
+    def round_shares(
+        self,
+        ideal: Dict[str, np.ndarray],
+        capacities: Sequence[float] | np.ndarray,
+        min_demands: Dict[str, int] | None = None,
+        redistribute: bool = True,
+    ) -> RoundingResult:
+        capacities = np.asarray(capacities, dtype=float)
+        tenants = list(ideal.keys())
+        if not tenants:
+            return RoundingResult(grants={})
+        matrix = np.vstack([np.asarray(ideal[t], dtype=float) for t in tenants])
+        real = np.rint(matrix).astype(int)
+        real = np.clip(real, 0, None)
+        # enforce capacity by shaving over-subscribed types, largest first
+        for type_index in range(matrix.shape[1]):
+            overflow = real[:, type_index].sum() - int(round(capacities[type_index]))
+            if overflow > 0:
+                order = np.argsort(-real[:, type_index])
+                for row in order:
+                    if overflow <= 0:
+                        break
+                    take = min(real[row, type_index], overflow)
+                    real[row, type_index] -= take
+                    overflow -= take
+        grants = {tenant: real[row].astype(int) for row, tenant in enumerate(tenants)}
+        return RoundingResult(grants=grants)
+
+    def forget(self, tenant: str) -> None:
+        """No state to drop; present for interface parity."""
+
+
+class DeviationRounder:
+    """Stateful rounder: one instance per simulation, fed every round."""
+
+    def __init__(self) -> None:
+        self._deviation: Dict[str, np.ndarray] = {}
+
+    def deviation(self, tenant: str) -> np.ndarray:
+        return self._deviation.get(tenant, np.zeros(0)).copy()
+
+    def forget(self, tenant: str) -> None:
+        """Drop state for a departed tenant."""
+        self._deviation.pop(tenant, None)
+
+    def round_shares(
+        self,
+        ideal: Dict[str, np.ndarray],
+        capacities: Sequence[float] | np.ndarray,
+        min_demands: Dict[str, int] | None = None,
+        redistribute: bool = True,
+    ) -> RoundingResult:
+        """Convert fractional shares into per-type integer grants.
+
+        Parameters
+        ----------
+        ideal:
+            tenant -> fractional share vector (one entry per GPU type).
+        capacities:
+            device count per GPU type; granted totals never exceed it.
+        min_demands:
+            tenant -> smallest worker count among its jobs; grants smaller
+            than this are zeroed (the tenant cannot run anything with them)
+            and the deviation absorbs the difference.
+        redistribute:
+            hand GPUs freed by the zeroing rule to other tenants (work
+            conservation), largest accumulated deviation first.
+        """
+        capacities = np.asarray(capacities, dtype=float)
+        num_types = capacities.shape[0]
+        tenants = list(ideal.keys())
+        for tenant in tenants:
+            vector = np.asarray(ideal[tenant], dtype=float)
+            if vector.shape != (num_types,):
+                raise ValidationError(
+                    f"tenant {tenant!r}: share vector shape {vector.shape} "
+                    f"does not match {num_types} GPU types"
+                )
+            if tenant not in self._deviation or self._deviation[tenant].shape != (
+                num_types,
+            ):
+                self._deviation[tenant] = np.zeros(num_types)
+
+        if not tenants:
+            return RoundingResult(grants={})
+
+        ideal_matrix = np.vstack([np.asarray(ideal[t], dtype=float) for t in tenants])
+        deviation_matrix = np.vstack([self._deviation[t] for t in tenants])
+        target = np.clip(ideal_matrix + deviation_matrix, 0.0, None)
+
+        real = np.zeros_like(target, dtype=int)
+        for type_index in range(num_types):
+            real[:, type_index] = self._largest_remainder(
+                target[:, type_index], int(round(capacities[type_index]))
+            )
+
+        zeroed: List[str] = []
+        if min_demands:
+            for row, tenant in enumerate(tenants):
+                demand = int(min_demands.get(tenant, 0))
+                if demand > 0 and 0 < real[row].sum() < demand:
+                    real[row] = 0
+                    zeroed.append(tenant)
+            if redistribute and zeroed:
+                self._redistribute(real, target, capacities, tenants, min_demands)
+
+        # update deviations and package the result
+        grants: Dict[str, np.ndarray] = {}
+        for row, tenant in enumerate(tenants):
+            grant = real[row]
+            self._deviation[tenant] = (
+                self._deviation[tenant] + ideal_matrix[row] - grant
+            )
+            grants[tenant] = grant.astype(int)
+        return RoundingResult(grants=grants, zeroed_tenants=zeroed)
+
+    # -- helpers ------------------------------------------------------------
+    @staticmethod
+    def _largest_remainder(target: np.ndarray, capacity: int) -> np.ndarray:
+        """Round a column to integers summing to at most ``capacity``."""
+        floors = np.floor(target).astype(int)
+        overflow = floors.sum() - capacity
+        if overflow > 0:
+            # capacity was oversubscribed by accumulated deviations: shave
+            # the largest grants first
+            order = np.argsort(-floors)
+            for index in order:
+                if overflow <= 0:
+                    break
+                take = min(floors[index], overflow)
+                floors[index] -= take
+                overflow -= take
+        remaining = capacity - floors.sum()
+        if remaining > 0:
+            remainders = target - np.floor(target)
+            order = np.argsort(-remainders)
+            for index in order:
+                if remaining <= 0:
+                    break
+                if remainders[index] <= 1e-12:
+                    break  # don't grant devices nobody asked for
+                floors[index] += 1
+                remaining -= 1
+        return floors
+
+    def _redistribute(
+        self,
+        real: np.ndarray,
+        target: np.ndarray,
+        capacities: np.ndarray,
+        tenants: List[str],
+        min_demands: Dict[str, int],
+    ) -> None:
+        """Give devices freed by the zeroing rule to runnable tenants."""
+        free = np.asarray(capacities, dtype=int) - real.sum(axis=0)
+        # candidates: tenants already holding a runnable grant
+        runnable_rows = [
+            row
+            for row, tenant in enumerate(tenants)
+            if real[row].sum() >= max(1, int(min_demands.get(tenant, 0)))
+        ]
+        if not runnable_rows:
+            return
+        for type_index in range(real.shape[1]):
+            while free[type_index] > 0:
+                # most under-served runnable tenant on this type; when no
+                # tenant is below target, still hand the device to the
+                # largest-target tenant (work conservation — the deviation
+                # update claws the excess back in later rounds)
+                deficits = [
+                    (target[row, type_index] - real[row, type_index], row)
+                    for row in runnable_rows
+                ]
+                deficit, row = max(deficits)
+                if deficit <= 1e-12:
+                    candidates = [
+                        (target[r, type_index], r)
+                        for r in runnable_rows
+                        if target[r, type_index] > 1e-12
+                    ]
+                    if not candidates:
+                        break
+                    _, row = max(candidates)
+                real[row, type_index] += 1
+                free[type_index] -= 1

@@ -1,0 +1,88 @@
+"""The straggler effect for cross-GPU-type data-parallel training (§4.4).
+
+Synchronous data parallelism paces every worker to the slowest one: when a
+job's workers span GPU types, each iteration waits for the workers on the
+slowest assigned type, so fast-GPU workers idle during the periodic
+gradient synchronisations.  OEF mitigates this structurally — Theorem 5.2
+shows OEF allocations only ever mix *adjacent* GPU types — while baselines
+may scatter a tenant across the full range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.cluster.job import Job
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class StragglerOutcome:
+    """Effective execution profile of one job for one round."""
+
+    per_worker_rate: float  # iterations/sec each worker contributes
+    straggler_workers: int  # workers pinned below their GPU's native rate
+    types_spanned: int
+
+
+class StragglerModel:
+    """Computes effective rates for jobs whose workers span GPU types.
+
+    ``sync_fraction`` is the fraction of an iteration spent in gradient
+    synchronisation; only that part is gated by the slowest worker.  The
+    paper's qualitative model corresponds to ``sync_fraction = 1.0``
+    (every worker fully paced by the slowest type), which is the default.
+    """
+
+    def __init__(self, sync_fraction: float = 1.0):
+        if not 0.0 <= sync_fraction <= 1.0:
+            raise SimulationError("sync_fraction must lie in [0, 1]")
+        self.sync_fraction = sync_fraction
+
+    def evaluate(self, job: Job, type_counts: Dict[int, int]) -> StragglerOutcome:
+        """Effective per-worker rate given workers per GPU-type rank.
+
+        ``type_counts`` maps GPU-type rank -> number of the job's workers
+        placed on that type.  Raises if no workers were assigned.
+        """
+        if not type_counts or sum(type_counts.values()) == 0:
+            raise SimulationError(f"job {job.job_id}: no workers assigned")
+        rates = {
+            rank: float(job.true_throughput[rank]) for rank in type_counts
+        }
+        slowest = min(rates.values())
+        if len(type_counts) == 1:
+            (rank,) = type_counts
+            return StragglerOutcome(
+                per_worker_rate=rates[rank],
+                straggler_workers=0,
+                types_spanned=1,
+            )
+        # blended rate: the synchronous part runs at the slowest type's
+        # speed, the remainder at each worker's native speed; report the
+        # average per-worker rate so job progress = rate * workers
+        total_workers = sum(type_counts.values())
+        native_average = (
+            sum(rates[rank] * count for rank, count in type_counts.items())
+            / total_workers
+        )
+        effective = (
+            self.sync_fraction * slowest + (1.0 - self.sync_fraction) * native_average
+        )
+        stragglers = sum(
+            count for rank, count in type_counts.items() if rates[rank] > slowest + 1e-12
+        )
+        return StragglerOutcome(
+            per_worker_rate=effective,
+            straggler_workers=stragglers,
+            types_spanned=len(type_counts),
+        )
+
+    @staticmethod
+    def adjacent_types_only(type_counts: Dict[int, int]) -> bool:
+        """True when the assigned type ranks form a contiguous range."""
+        ranks = sorted(type_counts)
+        return ranks == list(range(ranks[0], ranks[-1] + 1))

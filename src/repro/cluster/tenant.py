@@ -1,0 +1,112 @@
+"""Tenants: job owners with weights and per-job-type speedup profiles.
+
+A tenant owns a bag of jobs, possibly of several model families
+("job types", §4.2.4).  Within a tenant, jobs are dispatched round-robin
+with priority to the longest-starved job — the paper's §6.1.3 policy,
+applied uniformly to OEF and all baselines for a fair comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.job import Job
+from repro.exceptions import ValidationError
+
+
+@dataclass
+class Tenant:
+    """A cluster user with a weight and a set of jobs."""
+
+    name: str
+    weight: float = 1.0
+    jobs: List[Job] = field(default_factory=list)
+    arrival_time: float = 0.0
+    departure_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValidationError(f"tenant {self.name!r}: weight must be positive")
+        for job in self.jobs:
+            if job.tenant != self.name:
+                raise ValidationError(
+                    f"job {job.job_id} belongs to {job.tenant!r}, not {self.name!r}"
+                )
+
+    # -- job management ----------------------------------------------------------
+    def add_job(self, job: Job) -> None:
+        if job.tenant != self.name:
+            raise ValidationError(
+                f"job {job.job_id} belongs to {job.tenant!r}, not {self.name!r}"
+            )
+        self.jobs.append(job)
+
+    def active_jobs(self, now: Optional[float] = None) -> List[Job]:
+        """Unfinished jobs that have been submitted by ``now``."""
+        return [
+            job
+            for job in self.jobs
+            if not job.is_finished and (now is None or job.submit_time <= now)
+        ]
+
+    def has_active_jobs(self, now: Optional[float] = None) -> bool:
+        return bool(self.active_jobs(now))
+
+    def runnable_queue(self, now: Optional[float] = None) -> List[Job]:
+        """Active jobs ordered by the paper's intra-tenant policy.
+
+        Longest starvation first; ties broken by submit time then id so the
+        order is deterministic.
+        """
+        return sorted(
+            self.active_jobs(now),
+            key=lambda job: (-job.starvation_rounds, job.submit_time, job.job_id),
+        )
+
+    # -- profiles -------------------------------------------------------------
+    def job_types(self, now: Optional[float] = None) -> Dict[str, List[Job]]:
+        """Active jobs grouped by model family (one speedup vector each)."""
+        groups: Dict[str, List[Job]] = {}
+        for job in self.active_jobs(now):
+            groups.setdefault(job.model_name, []).append(job)
+        return groups
+
+    def true_speedup_profile(self, now: Optional[float] = None) -> Dict[str, np.ndarray]:
+        """Representative ground-truth speedup vector per job type.
+
+        The paper's profiling agent runs one representative task per job
+        type (§4.1); jobs of the same model family share the profile.
+        """
+        profiles: Dict[str, np.ndarray] = {}
+        for model_name, jobs in self.job_types(now).items():
+            profiles[model_name] = jobs[0].speedup_vector
+        return profiles
+
+    def completed_jobs(self) -> List[Job]:
+        return [job for job in self.jobs if job.is_finished]
+
+    def all_done(self, now: Optional[float] = None) -> bool:
+        """True when every submitted job has finished (tenant may exit)."""
+        submitted = [
+            job for job in self.jobs if now is None or job.submit_time <= now
+        ]
+        pending_future = any(
+            now is not None and job.submit_time > now for job in self.jobs
+        )
+        return not pending_future and all(job.is_finished for job in submitted)
+
+    def min_worker_demand(self, now: Optional[float] = None) -> int:
+        """``min_k demand_k`` used by the placer's rounding refinement (§4.3).
+
+        Elastic jobs count with their minimum worker count — they can run
+        on any grant of at least ``min_workers`` devices.
+        """
+        active = self.active_jobs(now)
+        if not active:
+            return 0
+        return min(
+            job.min_workers if job.elastic else job.num_workers for job in active
+        )

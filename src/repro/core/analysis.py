@@ -1,0 +1,127 @@
+"""Analysis utilities: fairness indices and the efficiency–fairness frontier.
+
+Beyond reproducing the paper's figures, a downstream operator wants to
+*see* the efficiency/fairness trade-off OEF navigates.  This module adds:
+
+* :func:`jain_index` — Jain's fairness index over normalised throughput;
+* :func:`min_max_ratio` — worst/best tenant throughput ratio;
+* :func:`efficiency_fairness_frontier` — the epsilon-constraint sweep:
+  maximise total throughput subject to every tenant receiving at least
+  ``alpha`` times its equal-split throughput, for a grid of ``alpha``.
+  ``alpha = 0`` is the unconstrained optimum (Eq. 4); ``alpha = 1`` is the
+  sharing-incentive-constrained optimum; cooperative OEF sits on this
+  frontier at the envy-free point.
+* :func:`compare_allocators` — one table row per allocator with total
+  efficiency, fairness indices, and property check marks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.base import Allocator
+from repro.core.instance import ProblemInstance
+from repro.core.properties import check_envy_freeness, check_sharing_incentive
+from repro.solver import LinearProgram, dot
+
+
+def jain_index(throughputs: Sequence[float] | np.ndarray) -> float:
+    """Jain's fairness index: 1 = perfectly equal, 1/n = maximally unequal."""
+    values = np.asarray(throughputs, dtype=float)
+    if values.size == 0:
+        return 1.0
+    peak = values.max()
+    if peak <= 0:
+        return 1.0
+    # the index is scale-invariant; normalising by the max keeps the
+    # squares away from float under/overflow for extreme inputs
+    scaled = values / peak
+    return float(scaled.sum() ** 2 / (scaled.size * (scaled**2).sum()))
+
+
+def min_max_ratio(throughputs: Sequence[float] | np.ndarray) -> float:
+    """Worst-off over best-off tenant (1 = equal, 0 = someone starves)."""
+    values = np.asarray(throughputs, dtype=float)
+    if values.size == 0 or values.max() == 0:
+        return 1.0
+    return float(values.min() / values.max())
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One epsilon-constraint solution."""
+
+    alpha: float
+    total_efficiency: float
+    min_throughput: float
+    jain: float
+
+
+def efficiency_fairness_frontier(
+    instance: ProblemInstance,
+    alphas: Iterable[float] = (0.0, 0.25, 0.5, 0.75, 0.9, 1.0),
+    backend: str = "auto",
+) -> List[FrontierPoint]:
+    """Max total throughput s.t. ``E_l >= alpha * (W_l . m/n)`` per alpha.
+
+    Monotone non-increasing in ``alpha``: fairness floors cost efficiency.
+    """
+    speedups = instance.speedups.values
+    num_users, num_types = speedups.shape
+    fair = instance.equal_split_throughput()
+
+    points: List[FrontierPoint] = []
+    for alpha in alphas:
+        lp = LinearProgram(f"frontier-{alpha}")
+        shares = lp.new_variable_array("x", (num_users, num_types), lower=0.0)
+        flat = list(shares.ravel())
+        for type_index in range(num_types):
+            row = np.zeros((1, num_users * num_types))
+            row[0, type_index::num_types] = 1.0
+            lp.add_matrix_constraints(
+                row, flat, "<=", float(instance.capacities[type_index])
+            )
+        for user in range(num_users):
+            lp.add_constraint(
+                dot(speedups[user], shares[user]) >= float(alpha * fair[user])
+            )
+        lp.set_objective(dot(speedups.ravel(), flat), sense="max")
+        solution = lp.solve(backend=backend)
+        matrix = np.clip(solution.value(shares), 0.0, None)
+        throughputs = np.einsum("lj,lj->l", speedups, matrix)
+        points.append(
+            FrontierPoint(
+                alpha=float(alpha),
+                total_efficiency=float(throughputs.sum()),
+                min_throughput=float(throughputs.min()),
+                jain=jain_index(throughputs),
+            )
+        )
+    return points
+
+
+def compare_allocators(
+    allocators: Sequence[Allocator],
+    instance: ProblemInstance,
+) -> List[Dict[str, object]]:
+    """One summary row per allocator: efficiency + fairness profile."""
+    rows: List[Dict[str, object]] = []
+    for allocator in allocators:
+        allocation = allocator.allocate(instance)
+        throughputs = allocation.user_throughput()
+        rows.append(
+            {
+                "scheduler": allocator.name,
+                "total efficiency": float(throughputs.sum()),
+                "min throughput": float(throughputs.min()),
+                "jain index": jain_index(throughputs),
+                "min/max ratio": min_max_ratio(throughputs),
+                "envy-free": check_envy_freeness(allocation).satisfied,
+                "sharing-incentive": check_sharing_incentive(allocation).satisfied,
+            }
+        )
+    return rows

@@ -1,0 +1,27 @@
+"""The allocator interface shared by OEF and all baselines."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.allocation import Allocation
+from repro.core.instance import ProblemInstance
+
+
+class Allocator(abc.ABC):
+    """Maps a :class:`ProblemInstance` to an :class:`Allocation`.
+
+    Implementations must be deterministic for a given instance so the
+    strategy-proofness audit (which re-runs the allocator on perturbed
+    speedup matrices) is meaningful.
+    """
+
+    #: Human-readable scheduler name used in reports and experiment tables.
+    name: str = "allocator"
+
+    @abc.abstractmethod
+    def allocate(self, instance: ProblemInstance) -> Allocation:
+        """Compute the allocation matrix for the given instance."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

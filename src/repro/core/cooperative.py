@@ -1,0 +1,229 @@
+"""Cooperative OEF: envy-free, sharing-incentive, optimally efficient (§4.2.2).
+
+The linear program (Eq. 10):
+
+    max   sum_l sum_j w_l^j x_l^j                             (10a)
+    s.t.  sum_l x_l^j <= m_j                      for all j   (10b)
+          W_l . x_l >= W_l . x_i             for all i != l   (10c)
+
+Envy-freeness is imposed directly as the O(n^2) constraints (10c); the
+paper's Theorem 5.1 shows sharing-incentive then follows automatically at
+the optimum (sum the n constraints of one user and use full capacity use).
+Strategy-proofness is *not* provided — that is the point of the split into
+cooperative and non-cooperative variants (Theorems 3.2/3.3 prove the
+combination is impossible at optimal efficiency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.allocation import Allocation
+from repro.core.base import Allocator
+from repro.core.instance import ProblemInstance
+from repro.solver import LinearProgram, dot, lin_sum
+
+
+def _capacity_rows(num_users: int, num_types: int) -> sparse.coo_matrix:
+    """Sparse rows for (10b): sum over users of x_l^j, one row per type."""
+    return sparse.coo_matrix(
+        (
+            np.ones(num_users * num_types),
+            (
+                np.tile(np.arange(num_types), num_users),
+                np.arange(num_users * num_types),
+            ),
+        ),
+        shape=(num_types, num_users * num_types),
+    )
+
+
+class CooperativeOEF(Allocator):
+    """Envy-free OEF for cooperative environments.
+
+    With ``n`` users the program has O(n^2) envy rows, which grows painful
+    past a couple hundred users.  Since only O(n + k) of those rows are
+    active at the optimum (the allocation matrix has at most n + k - 1
+    non-zeros, §4.4), large instances are solved by *cutting planes*:
+    solve with capacity rows only, add the envy constraints the solution
+    violates, and repeat.  Termination is exact — the final solution is
+    verified against every pair — and typically needs a handful of
+    iterations, which is what keeps the Fig. 10(a) overhead sub-second.
+    """
+
+    #: above this many users, use the cutting-plane path
+    CUTTING_PLANE_THRESHOLD = 64
+    #: safety cap before falling back to the full O(n^2) program
+    MAX_CUT_ROUNDS = 60
+
+    name = "oef-coop"
+
+    def __init__(self, backend: str = "auto", method: str = "auto"):
+        if method not in ("auto", "full", "cutting-plane"):
+            raise ValueError(f"unknown method {method!r}")
+        self.backend = backend
+        self.method = method
+
+    def allocate(self, instance: ProblemInstance) -> Allocation:
+        speedups = instance.speedups.values
+        num_users, num_types = speedups.shape
+
+        if num_users == 1:
+            matrix = instance.capacities.reshape(1, num_types).copy()
+            return Allocation(matrix, instance, allocator_name=self.name)
+
+        use_cuts = self.method == "cutting-plane" or (
+            self.method == "auto" and num_users > self.CUTTING_PLANE_THRESHOLD
+        )
+        if use_cuts:
+            matrix = self._solve_cutting_plane(instance)
+            if matrix is not None:
+                return Allocation(matrix, instance, allocator_name=self.name)
+        matrix = self._solve_full(instance)
+        return Allocation(matrix, instance, allocator_name=self.name)
+
+    # -- full O(n^2) formulation -------------------------------------------
+    def _solve_full(self, instance: ProblemInstance) -> np.ndarray:
+        speedups = instance.speedups.values
+        num_users, num_types = speedups.shape
+        lp = LinearProgram("oef-coop")
+        shares = lp.new_variable_array("x", (num_users, num_types), lower=0.0)
+        flat_shares = list(shares.ravel())
+        lp.add_matrix_constraints(
+            _capacity_rows(num_users, num_types), flat_shares, "<=", instance.capacities
+        )
+        # (10c) envy-freeness: W_l . (x_l - x_i) >= 0 for every ordered pair
+        lp.add_matrix_constraints(self._envy_rows(speedups), flat_shares, ">=", 0.0)
+        # (10a) total normalised throughput
+        lp.set_objective(dot(speedups.ravel(), flat_shares), sense="max")
+        solution = lp.solve(backend=self.backend)
+        return np.clip(solution.value(shares), 0.0, None)
+
+    # -- cutting-plane formulation ------------------------------------------
+    def _solve_cutting_plane(
+        self, instance: ProblemInstance, tol: float = 1e-7
+    ) -> np.ndarray | None:
+        speedups = instance.speedups.values
+        num_users, num_types = speedups.shape
+        # seed with neighbours in "steepness" order: with monotone speedup
+        # rows, binding envy constraints overwhelmingly involve users with
+        # adjacent speedup profiles (the adjacent-allocation structure of
+        # Theorem 5.2), so these O(n) cuts remove most early violations
+        order = np.argsort(speedups[:, -1])
+        active_pairs: set = set()
+        for position in range(num_users):
+            for distance in (1, 2):
+                if position + distance < num_users:
+                    first = int(order[position])
+                    second = int(order[position + distance])
+                    active_pairs.add((first, second))
+                    active_pairs.add((second, first))
+
+        for _ in range(self.MAX_CUT_ROUNDS):
+            lp = LinearProgram("oef-coop-cuts")
+            shares = lp.new_variable_array("x", (num_users, num_types), lower=0.0)
+            flat_shares = list(shares.ravel())
+            lp.add_matrix_constraints(
+                _capacity_rows(num_users, num_types),
+                flat_shares,
+                "<=",
+                instance.capacities,
+            )
+            lp.add_matrix_constraints(
+                self._envy_rows(speedups, sorted(active_pairs)),
+                flat_shares,
+                ">=",
+                0.0,
+            )
+            lp.set_objective(dot(speedups.ravel(), flat_shares), sense="max")
+            matrix = np.clip(lp.solve(backend=self.backend).value(shares), 0.0, None)
+
+            # find envy violations: cross[l, i] = W_l . x_i vs own diagonal
+            cross = speedups @ matrix.T
+            own = np.diag(cross)
+            envy = cross - own[:, None]
+            np.fill_diagonal(envy, -np.inf)
+            scale = max(1.0, float(np.abs(own).max()))
+            violated = np.argwhere(envy > tol * scale)
+            if violated.shape[0] == 0:
+                return matrix
+            # cap cuts per round: take the most-violated pairs, at most a
+            # few per user — adding every violated pair balloons the LP
+            # back to O(n^2) rows, one per user converges too slowly
+            budget = 4 * num_users
+            if violated.shape[0] > budget:
+                magnitudes = envy[violated[:, 0], violated[:, 1]]
+                keep = np.argsort(-magnitudes)[:budget]
+                violated = violated[keep]
+            new_pairs = {
+                (int(l), int(i))
+                for l, i in violated
+                if (int(l), int(i)) not in active_pairs
+            }
+            if not new_pairs:
+                return matrix
+            active_pairs |= new_pairs
+        return None  # fall back to the full program
+
+    @staticmethod
+    def _envy_rows(speedups: np.ndarray, pairs=None) -> sparse.coo_matrix:
+        """Sparse envy rows over flattened x, one per ordered pair (l, i).
+
+        Row for (l, i): +W_l at user l's columns, -W_l at user i's.
+        ``pairs`` restricts to a subset (cutting-plane path); ``None``
+        builds all n(n-1) rows.
+        """
+        num_users, num_types = speedups.shape
+        if pairs is None:
+            pairs = [
+                (l, i) for l in range(num_users) for i in range(num_users) if i != l
+            ]
+        num_rows = len(pairs)
+
+        row_idx = np.repeat(np.arange(num_rows), 2 * num_types)
+        col_idx = np.empty(num_rows * 2 * num_types, dtype=int)
+        data = np.empty(num_rows * 2 * num_types, dtype=float)
+        type_range = np.arange(num_types)
+        cursor = 0
+        for l, i in pairs:
+            col_idx[cursor : cursor + num_types] = l * num_types + type_range
+            data[cursor : cursor + num_types] = speedups[l]
+            cursor += num_types
+            col_idx[cursor : cursor + num_types] = i * num_types + type_range
+            data[cursor : cursor + num_types] = -speedups[l]
+            cursor += num_types
+        return sparse.coo_matrix(
+            (data, (row_idx, col_idx)),
+            shape=(num_rows, num_users * num_types),
+        )
+
+
+
+class EfficiencyMaxAllocator(Allocator):
+    """Pure efficiency maximisation (Eq. 4) — the unfair strawman of §3.1.1.
+
+    Used as the upper bound of achievable total throughput and as a
+    counter-example generator in the property audits; it violates SI, EF
+    and SP by design.
+    """
+
+    name = "efficiency-max"
+
+    def __init__(self, backend: str = "auto"):
+        self.backend = backend
+
+    def allocate(self, instance: ProblemInstance) -> Allocation:
+        speedups = instance.speedups.values
+        num_users, num_types = speedups.shape
+
+        lp = LinearProgram("efficiency-max")
+        shares = lp.new_variable_array("x", (num_users, num_types), lower=0.0)
+        for type_index in range(num_types):
+            lp.add_constraint(
+                lin_sum(shares[:, type_index]) <= float(instance.capacities[type_index])
+            )
+        lp.set_objective(dot(speedups.ravel(), list(shares.ravel())), sense="max")
+        solution = lp.solve(backend=self.backend)
+        matrix = np.clip(solution.value(shares), 0.0, None)
+        return Allocation(matrix, instance, allocator_name=self.name)

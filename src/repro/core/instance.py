@@ -1,0 +1,66 @@
+"""A scheduling problem instance: speedups plus cluster capacities."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.speedup import SpeedupMatrix
+from repro.exceptions import ValidationError
+
+
+class ProblemInstance:
+    """The input to every allocator: ``(W, m)``.
+
+    ``capacities[j]`` is the number of devices of GPU type ``j`` (``m_j`` in
+    the paper).  Capacities may be fractional — the fair-share evaluator
+    works on fluid shares; integrality is the placer's job.
+    """
+
+    def __init__(
+        self,
+        speedups: SpeedupMatrix,
+        capacities: Sequence[float] | np.ndarray,
+    ):
+        self.speedups = speedups
+        capacity_array = np.asarray(capacities, dtype=float)
+        if capacity_array.shape != (speedups.num_gpu_types,):
+            raise ValidationError(
+                f"capacities shape {capacity_array.shape} does not match "
+                f"{speedups.num_gpu_types} GPU types"
+            )
+        if np.any(capacity_array < 0) or not np.all(np.isfinite(capacity_array)):
+            raise ValidationError("capacities must be finite and non-negative")
+        if capacity_array.sum() <= 0:
+            raise ValidationError("the cluster must have at least one device")
+        self.capacities = capacity_array
+
+    # -- convenience -------------------------------------------------------
+    @property
+    def num_users(self) -> int:
+        return self.speedups.num_users
+
+    @property
+    def num_gpu_types(self) -> int:
+        return self.speedups.num_gpu_types
+
+    def equal_split_throughput(self, user: Optional[int | str] = None):
+        """Throughput of a 1/n partition of every GPU type (the SI bar).
+
+        With ``user=None`` returns the full vector for all tenants.
+        """
+        share = self.capacities / self.num_users
+        per_user = self.speedups.values @ share
+        if user is None:
+            return per_user
+        return float(per_user[self.speedups.user_index(user)])
+
+    def with_speedups(self, speedups: SpeedupMatrix) -> "ProblemInstance":
+        return ProblemInstance(speedups, self.capacities)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProblemInstance(users={self.num_users}, "
+            f"gpu_types={self.num_gpu_types}, devices={self.capacities.sum():g})"
+        )

@@ -1,0 +1,86 @@
+"""Non-cooperative OEF: the strategy-proof allocator (§4.2.1, Eq. 9).
+
+The linear program:
+
+    max   sum_l sum_j w_l^j x_l^j                        (9a)
+    s.t.  sum_l x_l^j <= m_j                  for all j  (9b)
+          W_l . x_l == W_i . x_i          for all i, l   (9c)
+
+The equal-throughput constraints (9c) make every tenant's normalised
+throughput identical; the paper proves (Theorem 5.4) that this equality is
+what yields strategy-proofness: a tenant inflating its reported speedups
+cannot raise its *true* throughput.  We model (9c) with one auxiliary free
+variable ``T`` and constraints ``W_l . x_l - T == 0``, then maximise ``T``
+(the objective 9a equals ``n * T`` under the equality constraints).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.allocation import Allocation
+from repro.core.base import Allocator
+from repro.core.instance import ProblemInstance
+from repro.solver import LinearProgram
+
+
+class NonCooperativeOEF(Allocator):
+    """Strategy-proof OEF for non-cooperative (competitive) environments."""
+
+    name = "oef-noncoop"
+
+    def __init__(self, backend: str = "auto"):
+        self.backend = backend
+
+    def allocate(self, instance: ProblemInstance) -> Allocation:
+        speedups = instance.speedups.values
+        num_users, num_types = speedups.shape
+
+        if num_users == 1:
+            # a lone tenant simply receives the whole cluster
+            matrix = instance.capacities.reshape(1, num_types).copy()
+            return Allocation(matrix, instance, allocator_name=self.name)
+
+        lp = LinearProgram("oef-noncoop")
+        shares = lp.new_variable_array("x", (num_users, num_types), lower=0.0)
+        throughput = lp.new_variable("T", lower=0.0)
+        flat_shares = list(shares.ravel())
+        all_vars = flat_shares + [throughput]
+
+        # (9b) capacity per GPU type: sum_l x_l^j <= m_j
+        capacity_rows = sparse.coo_matrix(
+            (
+                np.ones(num_users * num_types),
+                (
+                    np.tile(np.arange(num_types), num_users),
+                    np.arange(num_users * num_types),
+                ),
+            ),
+            shape=(num_types, num_users * num_types),
+        )
+        lp.add_matrix_constraints(capacity_rows, flat_shares, "<=", instance.capacities)
+
+        # (9c) equal normalised throughput: W_l . x_l - T == 0 for every l
+        rows = np.repeat(np.arange(num_users), num_types)
+        cols = np.arange(num_users * num_types)
+        data = speedups.ravel()
+        equal_rows = sparse.coo_matrix(
+            (
+                np.concatenate([data, -np.ones(num_users)]),
+                (
+                    np.concatenate([rows, np.arange(num_users)]),
+                    np.concatenate([cols, np.full(num_users, num_users * num_types)]),
+                ),
+            ),
+            shape=(num_users, num_users * num_types + 1),
+        )
+        lp.add_matrix_constraints(equal_rows, all_vars, "==", 0.0)
+
+        # (9a) under (9c) the total equals n*T, so maximising T suffices
+        lp.set_objective(throughput.to_expr(), sense="max")
+
+        solution = lp.solve(backend=self.backend)
+        matrix = solution.value(shares)
+        matrix = np.clip(matrix, 0.0, None)
+        return Allocation(matrix, instance, allocator_name=self.name)

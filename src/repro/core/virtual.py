@@ -1,0 +1,210 @@
+"""Virtual-user expansion for weighted and multi-job-type OEF (§4.2.3–4.2.4).
+
+The paper's mechanism for priorities is *replication*: a tenant with weight
+2 is entered into the optimisation as two identical virtual users, so every
+fairness property OEF proves for users transfers to weighted tenants.  A
+tenant training several job types splits its weight equally across them,
+one virtual user per job type.
+
+Weights may be fractional; they are converted to integer replica counts by
+scaling all weights to a common denominator (``Fraction.limit_denominator``
+keeps the expansion bounded).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.speedup import SpeedupMatrix
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class JobTypeSpec:
+    """One job type a tenant trains: a name plus its speedup vector."""
+
+    name: str
+    speedups: tuple
+
+    @staticmethod
+    def of(name: str, speedups: Sequence[float]) -> "JobTypeSpec":
+        array = np.asarray(speedups, dtype=float)
+        if array.ndim != 1 or array.size == 0:
+            raise ValidationError(f"job type {name!r}: speedups must be a 1-D vector")
+        if np.any(array <= 0):
+            raise ValidationError(f"job type {name!r}: speedups must be positive")
+        normalised = array / array[0]
+        return JobTypeSpec(name, tuple(float(v) for v in normalised))
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """A tenant: a name, a priority weight, and >= 1 job types."""
+
+    name: str
+    job_types: tuple
+    weight: float = 1.0
+
+    @staticmethod
+    def of(
+        name: str,
+        job_types: Sequence[JobTypeSpec],
+        weight: float = 1.0,
+    ) -> "TenantSpec":
+        if not job_types:
+            raise ValidationError(f"tenant {name!r} needs at least one job type")
+        if weight <= 0:
+            raise ValidationError(f"tenant {name!r}: weight must be positive")
+        sizes = {len(job.speedups) for job in job_types}
+        if len(sizes) != 1:
+            raise ValidationError(
+                f"tenant {name!r}: job types disagree on the number of GPU types"
+            )
+        return TenantSpec(name, tuple(job_types), float(weight))
+
+    @staticmethod
+    def single(name: str, speedups: Sequence[float], weight: float = 1.0) -> "TenantSpec":
+        """Convenience: a tenant with exactly one job type."""
+        return TenantSpec.of(name, [JobTypeSpec.of(f"{name}/job", speedups)], weight)
+
+
+@dataclass(frozen=True)
+class VirtualUser:
+    """One expanded row: which tenant/job type it represents."""
+
+    tenant: str
+    job_type: str
+    replica: int
+
+
+@dataclass
+class MergedAllocation:
+    """A virtual-user allocation folded back to tenants and job types."""
+
+    expanded: Allocation
+    tenant_shares: Dict[str, np.ndarray]
+    tenant_throughput: Dict[str, float]
+    job_type_shares: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
+    job_type_throughput: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def total_efficiency(self) -> float:
+        return float(sum(self.tenant_throughput.values()))
+
+
+class VirtualUserExpansion:
+    """Expands tenant specs into replicated virtual users and merges back."""
+
+    def __init__(
+        self,
+        tenants: Sequence[TenantSpec],
+        gpu_types: Optional[Sequence[str]] = None,
+        max_denominator: int = 64,
+    ):
+        if not tenants:
+            raise ValidationError("at least one tenant is required")
+        names = [tenant.name for tenant in tenants]
+        if len(set(names)) != len(names):
+            raise ValidationError("tenant names must be unique")
+        num_types = len(tenants[0].job_types[0].speedups)
+        for tenant in tenants:
+            if len(tenant.job_types[0].speedups) != num_types:
+                raise ValidationError("tenants disagree on the number of GPU types")
+        self.tenants = list(tenants)
+        self.gpu_types = list(gpu_types) if gpu_types else None
+        self.max_denominator = max_denominator
+        self._virtual_users: List[VirtualUser] = []
+        self._matrix: Optional[SpeedupMatrix] = None
+
+    # -- expansion -----------------------------------------------------------
+    def replica_counts(self) -> Dict[str, int]:
+        """Integer replicas per (tenant, job type) honouring weight ratios.
+
+        Each job type of tenant ``t`` carries effective weight
+        ``weight_t / num_job_types_t``; all effective weights are scaled by
+        the LCM of their denominators to integers.
+        """
+        fractions: Dict[tuple, Fraction] = {}
+        for tenant in self.tenants:
+            per_job = Fraction(tenant.weight).limit_denominator(self.max_denominator) / len(
+                tenant.job_types
+            )
+            for job in tenant.job_types:
+                fractions[(tenant.name, job.name)] = per_job
+        common = math.lcm(*(fraction.denominator for fraction in fractions.values()))
+        counts = {key: int(fraction * common) for key, fraction in fractions.items()}
+        divisor = math.gcd(*counts.values())
+        return {f"{tenant}/{job}": count // divisor for (tenant, job), count in counts.items()}
+
+    def expanded_matrix(self) -> SpeedupMatrix:
+        """The virtual-user speedup matrix (one row per replica)."""
+        if self._matrix is not None:
+            return self._matrix
+        counts = self.replica_counts()
+        rows: List[np.ndarray] = []
+        names: List[str] = []
+        self._virtual_users = []
+        for tenant in self.tenants:
+            for job in tenant.job_types:
+                count = counts[f"{tenant.name}/{job.name}"]
+                for replica in range(count):
+                    rows.append(np.asarray(job.speedups))
+                    names.append(f"{tenant.name}/{job.name}#{replica}")
+                    self._virtual_users.append(
+                        VirtualUser(tenant.name, job.name, replica)
+                    )
+        self._matrix = SpeedupMatrix(
+            np.vstack(rows),
+            users=names,
+            gpu_types=self.gpu_types,
+            normalise=False,
+            require_monotone=False,
+        )
+        return self._matrix
+
+    @property
+    def virtual_users(self) -> List[VirtualUser]:
+        self.expanded_matrix()
+        return list(self._virtual_users)
+
+    # -- merging ---------------------------------------------------------------
+    def merge(self, allocation: Allocation) -> MergedAllocation:
+        """Fold a virtual-user allocation back to tenants and job types."""
+        matrix = self.expanded_matrix()
+        if allocation.matrix.shape[0] != matrix.num_users:
+            raise ValidationError(
+                "allocation was not computed on this expansion's matrix"
+            )
+        num_types = matrix.num_gpu_types
+        tenant_shares: Dict[str, np.ndarray] = {
+            tenant.name: np.zeros(num_types) for tenant in self.tenants
+        }
+        tenant_throughput: Dict[str, float] = {tenant.name: 0.0 for tenant in self.tenants}
+        job_shares: Dict[str, Dict[str, np.ndarray]] = {
+            tenant.name: {job.name: np.zeros(num_types) for job in tenant.job_types}
+            for tenant in self.tenants
+        }
+        job_throughput: Dict[str, Dict[str, float]] = {
+            tenant.name: {job.name: 0.0 for job in tenant.job_types}
+            for tenant in self.tenants
+        }
+        speeds = matrix.values
+        for row_index, virtual in enumerate(self._virtual_users):
+            share = allocation.matrix[row_index]
+            throughput = float(speeds[row_index] @ share)
+            tenant_shares[virtual.tenant] += share
+            tenant_throughput[virtual.tenant] += throughput
+            job_shares[virtual.tenant][virtual.job_type] += share
+            job_throughput[virtual.tenant][virtual.job_type] += throughput
+        return MergedAllocation(
+            expanded=allocation,
+            tenant_shares=tenant_shares,
+            tenant_throughput=tenant_throughput,
+            job_type_shares=job_shares,
+            job_type_throughput=job_throughput,
+        )

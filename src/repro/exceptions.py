@@ -1,0 +1,42 @@
+"""Exception hierarchy shared across the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  Subsystems define
+narrower classes below so tests and callers can distinguish modeling
+mistakes (bad input) from solver failures (infeasible/unbounded programs)
+and from simulation misconfiguration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ModelError(ReproError):
+    """An optimisation model was built incorrectly (bad shapes, bad bounds)."""
+
+
+class SolverError(ReproError):
+    """The LP backend failed to produce a usable solution."""
+
+
+class InfeasibleError(SolverError):
+    """The linear program has no feasible point."""
+
+
+class UnboundedError(SolverError):
+    """The linear program is unbounded in the optimisation direction."""
+
+
+class ValidationError(ReproError):
+    """User-supplied data (speedup matrices, cluster specs) is invalid."""
+
+
+class SimulationError(ReproError):
+    """The cluster simulation was configured or driven incorrectly."""
+
+
+class PlacementError(SimulationError):
+    """The placer could not realise an allocation on physical devices."""

@@ -1,0 +1,36 @@
+"""Paper experiments: one module per table/figure (see DESIGN.md §4).
+
+Run everything with ``python -m repro.experiments`` or individual modules
+with e.g. ``python -m repro.experiments.fig8_coop_throughput``.
+"""
+
+from repro.experiments import (
+    fig1_motivation,
+    fig2_conflict,
+    fig4_strategyproofness,
+    fig5_sharing_incentive,
+    fig6_envy_freeness,
+    fig7_noncoop_throughput,
+    fig8_coop_throughput,
+    fig9_jct,
+    fig10_overhead,
+    straggler_ablation,
+    table1_properties,
+)
+from repro.experiments.common import ExperimentResult
+
+ALL_EXPERIMENTS = [
+    ("fig1", fig1_motivation),
+    ("table1", table1_properties),
+    ("fig2", fig2_conflict),
+    ("fig4", fig4_strategyproofness),
+    ("fig5", fig5_sharing_incentive),
+    ("fig6", fig6_envy_freeness),
+    ("fig7", fig7_noncoop_throughput),
+    ("fig8", fig8_coop_throughput),
+    ("fig9", fig9_jct),
+    ("straggler", straggler_ablation),
+    ("fig10", fig10_overhead),
+]
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

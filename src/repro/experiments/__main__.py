@@ -1,0 +1,19 @@
+"""Run every paper experiment and print its table (``python -m repro.experiments``)."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(selected: list) -> None:
+    for name, module in ALL_EXPERIMENTS:
+        if selected and name not in selected:
+            continue
+        print(f"\n########## {name} ##########")
+        module.main()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,84 @@
+"""Shared helpers for the paper-experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines import GandivaFair, Gavel, MaxMinFairness
+from repro.cluster.placement import Placer, PlacementPolicy
+from repro.cluster.schedulers import (
+    FairShareScheduler,
+    OEFScheduler,
+    SingleProfileScheduler,
+)
+from repro.cluster.topology import ClusterTopology
+
+
+@dataclass
+class ExperimentResult:
+    """Printable output of one experiment: named rows plus free-form notes."""
+
+    experiment: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        lines = [f"== {self.experiment} =="]
+        if self.rows:
+            headers: List[str] = []
+            for row in self.rows:
+                for key in row:
+                    if key not in headers:
+                        headers.append(key)
+            widths = {
+                header: max(
+                    len(str(header)),
+                    *(len(_fmt(row.get(header, ""))) for row in self.rows),
+                )
+                for header in headers
+            }
+            lines.append("  ".join(str(h).ljust(widths[h]) for h in headers))
+            for row in self.rows:
+                lines.append(
+                    "  ".join(
+                        _fmt(row.get(header, "")).ljust(widths[header])
+                        for header in headers
+                    )
+                )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def oef_stack(topology: ClusterTopology, mode: str) -> tuple:
+    """OEF's full stack: its evaluator plus its optimised placer."""
+    scheduler = OEFScheduler(mode=mode)
+    placer = Placer(topology, policy=PlacementPolicy.oef())
+    return scheduler, placer
+
+
+def baseline_stack(topology: ClusterTopology, name: str) -> tuple:
+    """A baseline evaluator paired with the naive placer (§6.1.3).
+
+    The baselines have no placement optimisation, so they run with
+    first-fit placement, no packing, and no adjacency enforcement.
+    """
+    allocators = {
+        # quarter-GPU trading lots: Gandiva_fair migrates physical devices
+        # but time-slices them, so trades below a fraction of a device
+        # cannot execute and tenants keep mixed residual holdings
+        "gandiva": GandivaFair(trade_lot=0.25),
+        "gavel": Gavel(slack=0.01),
+        "max-min": MaxMinFairness(),
+    }
+    scheduler: FairShareScheduler = SingleProfileScheduler(allocators[name])
+    placer = Placer(topology, policy=PlacementPolicy.naive())
+    return scheduler, placer

@@ -1,0 +1,123 @@
+"""Fig. 10: solver overhead and profiling-error sensitivity (§6.4).
+
+(a) Wall-clock time of the fair-share LP at 100–300 users and ten GPU
+    types.  Cooperative OEF carries O(n^2) envy constraints and costs
+    more than the O(n)-constraint non-cooperative variant; both stay far
+    below the multi-minute round length (paper: < 0.3 s with ECOS).
+(b) Sensitivity: the allocation is computed from an erroneous profile but
+    delivers throughput according to the *true* speedups; the deviation
+    between promised and delivered throughput stays small (paper: <= 3%
+    at +/-20% profiling error).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core import CooperativeOEF, NonCooperativeOEF, ProblemInstance
+from repro.experiments.common import ExperimentResult
+from repro.workloads.generator import random_instance, zoo_instance
+from repro.workloads.models import all_models
+
+
+def run_overhead(
+    user_counts: Sequence[int] = (100, 200, 300),
+    num_gpu_types: int = 10,
+    seed: int = 23,
+) -> ExperimentResult:
+    result = ExperimentResult("Fig. 10(a) — fair-share solver overhead")
+    for num_users in user_counts:
+        instance = random_instance(
+            num_users=num_users,
+            num_gpu_types=num_gpu_types,
+            seed=seed,
+            devices_per_type=float(num_users),
+        )
+        timings: Dict[str, float] = {}
+        for allocator in (NonCooperativeOEF(), CooperativeOEF()):
+            start = time.perf_counter()
+            allocator.allocate(instance)
+            timings[allocator.name] = time.perf_counter() - start
+        result.rows.append(
+            {
+                "users": num_users,
+                "gpu types": num_gpu_types,
+                "OEF (non-coop) s": timings["oef-noncoop"],
+                "OEF (coop) s": timings["oef-coop"],
+            }
+        )
+    result.notes.append(
+        "cooperative OEF has O(n^2) constraints vs O(n) for non-coop, so it "
+        "costs more; both are negligible against 5-minute rounds (paper: "
+        "< 0.3 s at 300 users)"
+    )
+    return result
+
+
+def _deviation_at_bias(
+    instance: ProblemInstance, bias: float, mode: str, seed: int = 0
+) -> float:
+    """Allocation suboptimality induced by profiling error.
+
+    Entries of every speedup vector are independently perturbed by up to
+    ``|bias|`` (signed towards ``bias``); OEF allocates from the erroneous
+    profile, and the result is scored in *true* speedup units against the
+    allocation OEF would have produced from the true profile.  This is the
+    operational meaning of Fig. 10(b): how much throughput the cluster
+    loses because profiles were off.
+    """
+    allocator = NonCooperativeOEF() if mode == "noncooperative" else CooperativeOEF()
+    truth = instance.speedups.values
+    rng = np.random.default_rng(seed)
+
+    factors = 1.0 + rng.uniform(min(0.0, bias), max(0.0, bias), size=truth.shape)
+    reported = truth * factors
+    reported = np.maximum.accumulate(reported / reported[:, :1], axis=1)
+    reported_matrix = instance.speedups
+    for user in range(instance.num_users):
+        reported_matrix = reported_matrix.with_row(user, reported[user])
+    biased_instance = instance.with_speedups(reported_matrix)
+
+    reference = allocator.allocate(instance)
+    perturbed = allocator.allocate(biased_instance)
+    reference_total = float(np.einsum("lj,lj->", truth, reference.matrix))
+    delivered_total = float(np.einsum("lj,lj->", truth, perturbed.matrix))
+    if reference_total == 0:
+        return 0.0
+    return abs(reference_total - delivered_total) / reference_total
+
+
+def run_sensitivity(
+    biases: Sequence[float] = (-0.2, -0.1, 0.0, 0.1, 0.2),
+    mode: str = "noncooperative",
+) -> ExperimentResult:
+    instance = zoo_instance(all_models()[:6])
+    result = ExperimentResult("Fig. 10(b) — robustness to profiling error")
+    for bias in biases:
+        deviation = _deviation_at_bias(instance, bias, mode)
+        result.rows.append(
+            {"error rate": f"{bias * 100:+.0f}%", "throughput deviation": deviation}
+        )
+    result.notes.append(
+        "deviation = throughput lost (in true speedup units) by allocating "
+        "from an erroneous profile instead of the true one; the paper "
+        "reports <= 3% at +/-20% error."
+    )
+    return result
+
+
+def run() -> List[ExperimentResult]:
+    return [run_overhead(), run_sensitivity()]
+
+
+def main() -> None:
+    for result in run():
+        print(result.format())
+        print()
+
+
+if __name__ == "__main__":
+    main()

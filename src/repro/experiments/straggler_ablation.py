@@ -1,0 +1,107 @@
+"""§6.3.3: straggler-effect alleviation ablation.
+
+Counts cross-GPU-type placements and straggler-affected workers under OEF
+(adjacent-type allocations, Theorem 5.2 + the placer's adjacency rule)
+versus the baselines with naive placement (paper: OEF reduces straggler-
+affected workers by 14% vs Gandiva_fair and 26% vs Gavel).
+
+Multi-worker jobs are essential here — single-GPU jobs can never straggle
+— so the population uses 2- and 4-worker jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cluster import ClusterSimulator, SimulationConfig, paper_cluster
+from repro.cluster.tenant import Tenant
+from repro.experiments.common import ExperimentResult, baseline_stack, oef_stack
+from repro.workloads.generator import TenantGenerator
+from repro.workloads.models import all_models
+
+
+def _population(num_tenants: int, seed: int) -> List[Tenant]:
+    generator = TenantGenerator(seed=seed)
+    models = all_models()
+    tenants = []
+    for index in range(num_tenants):
+        tenant = Tenant(name=f"tenant{index + 1}")
+        for workers in (4, 2, 2, 1):
+            tenant.add_job(
+                generator.make_job(
+                    tenant.name,
+                    models[index % len(models)],
+                    num_workers=workers,
+                    duration_on_slowest=3600.0 * 24,
+                )
+            )
+        tenants.append(tenant)
+    return tenants
+
+
+def run(
+    num_tenants: int = 8, num_rounds: int = 10, seed: int = 17
+) -> ExperimentResult:
+    counts: Dict[str, Dict[str, float]] = {}
+
+    topology = paper_cluster()
+    scheduler, placer = oef_stack(topology, "noncooperative")
+    sim = ClusterSimulator(
+        topology,
+        _population(num_tenants, seed),
+        scheduler,
+        placer=placer,
+        config=SimulationConfig(num_rounds=num_rounds, stop_when_idle=False),
+    )
+    metrics = sim.run()
+    counts["OEF"] = {
+        "straggler_workers": metrics.total_straggler_workers(),
+        "cross_type_jobs": metrics.total_cross_type_jobs(),
+    }
+
+    # Baselines keep their naive placement (the variable under test is
+    # placement adjacency, §4.4) but share OEF's deviation rounding: their
+    # real systems also realise fractional shares over time, which is what
+    # fragments a tenant's per-round holdings across GPU types.
+    for baseline in ("gandiva", "gavel"):
+        topology = paper_cluster()
+        scheduler, placer = baseline_stack(topology, baseline)
+        sim = ClusterSimulator(
+            topology,
+            _population(num_tenants, seed),
+            scheduler,
+            placer=placer,
+            config=SimulationConfig(
+                num_rounds=num_rounds,
+                stop_when_idle=False,
+                use_min_demand_rule=False,
+            ),
+        )
+        metrics = sim.run()
+        counts[baseline.capitalize()] = {
+            "straggler_workers": metrics.total_straggler_workers(),
+            "cross_type_jobs": metrics.total_cross_type_jobs(),
+        }
+
+    result = ExperimentResult("§6.3.3 — straggler-effect alleviation")
+    for scheduler_name, values in counts.items():
+        row = {"scheduler": scheduler_name}
+        row.update(values)
+        if scheduler_name != "OEF" and values["straggler_workers"] > 0:
+            row["OEF reduction"] = (
+                f"{(1 - counts['OEF']['straggler_workers'] / values['straggler_workers']) * 100:+.0f}%"
+            )
+        result.rows.append(row)
+    result.notes.append(
+        "paper: OEF reduces straggler-affected workers by 14% (vs "
+        "Gandiva_fair) and 26% (vs Gavel)"
+    )
+    return result
+
+
+def main() -> None:
+    print(run().format())
+
+
+if __name__ == "__main__":
+    main()

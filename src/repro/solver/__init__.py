@@ -1,0 +1,45 @@
+"""A small linear-programming substrate.
+
+The OEF paper implements its fair-share evaluator with ``cvxpy`` + ECOS.
+Neither is available offline, so this package provides the same ergonomics
+from scratch:
+
+* an expression layer (:mod:`repro.solver.expression`) with scalar
+  :class:`~repro.solver.expression.Variable` handles and affine
+  :class:`~repro.solver.expression.LinExpr` algebra,
+* a model object (:class:`~repro.solver.problem.LinearProgram`) that collects
+  constraints and an objective and compiles them to matrix standard form,
+* two interchangeable backends: scipy's HiGHS
+  (:mod:`repro.solver.scipy_backend`) for speed, and a from-scratch
+  two-phase dense simplex (:mod:`repro.solver.simplex`) used to cross-check
+  results and to keep the repository self-contained.
+
+Typical usage::
+
+    lp = LinearProgram("demo")
+    x = lp.new_variable_array("x", (2, 2))
+    lp.add_constraint(x[0, 0] + x[1, 0] <= 1.0)
+    lp.set_objective(2.0 * x[0, 0] + x[1, 1], sense="max")
+    solution = lp.solve()
+    solution.value(x[0, 0])
+"""
+
+from repro.solver.expression import LinExpr, Variable, dot, lin_sum
+from repro.solver.problem import Constraint, LinearProgram, StandardForm
+from repro.solver.result import Solution, SolveStats
+from repro.solver.scipy_backend import ScipyBackend
+from repro.solver.simplex import SimplexBackend
+
+__all__ = [
+    "Constraint",
+    "LinExpr",
+    "LinearProgram",
+    "ScipyBackend",
+    "SimplexBackend",
+    "Solution",
+    "SolveStats",
+    "StandardForm",
+    "Variable",
+    "dot",
+    "lin_sum",
+]

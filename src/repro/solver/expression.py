@@ -1,0 +1,213 @@
+"""Affine expression algebra for the LP modeling layer.
+
+Expressions are kept deliberately simple: a :class:`LinExpr` is a mapping
+from variable index to coefficient plus a constant offset.  Operator
+overloading on :class:`Variable` and :class:`LinExpr` lets model code read
+like the paper's math, e.g. ``w[l] @ x[l] <= capacity``.
+
+The classes here are data-only; they never talk to a solver.  The
+:class:`~repro.solver.problem.LinearProgram` that created the variables is
+responsible for compiling expressions into matrices.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Dict, Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+Scalar = Union[int, float, np.integer, np.floating]
+ExprLike = Union["Variable", "LinExpr", Scalar]
+
+
+def _is_scalar(value: object) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+class Variable:
+    """A scalar decision variable.
+
+    Instances are created by :meth:`LinearProgram.new_variable` and carry a
+    global column index within their owning program.  All arithmetic
+    promotes to :class:`LinExpr`.
+    """
+
+    __slots__ = ("index", "name", "lower", "upper")
+
+    def __init__(self, index: int, name: str, lower: float | None, upper: float | None):
+        self.index = index
+        self.name = name
+        self.lower = lower
+        self.upper = upper
+
+    # -- promotion -------------------------------------------------------
+    def to_expr(self) -> "LinExpr":
+        return LinExpr({self.index: 1.0}, 0.0)
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        return self.to_expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        return self.to_expr() - other
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        return (-self.to_expr()) + other
+
+    def __mul__(self, other: Scalar) -> "LinExpr":
+        return self.to_expr() * other
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Scalar) -> "LinExpr":
+        return self.to_expr() / other
+
+    def __neg__(self) -> "LinExpr":
+        return self.to_expr() * -1.0
+
+    # -- comparisons build constraints ------------------------------------
+    def __le__(self, other: ExprLike):
+        return self.to_expr() <= other
+
+    def __ge__(self, other: ExprLike):
+        return self.to_expr() >= other
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        return self.to_expr() == other
+
+    def __hash__(self) -> int:
+        return hash(("Variable", self.index))
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, index={self.index})"
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff_i * x_i) + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Dict[int, float] | None = None, constant: float = 0.0):
+        self.coeffs: Dict[int, float] = dict(coeffs) if coeffs else {}
+        self.constant = float(constant)
+
+    # -- helpers ----------------------------------------------------------
+    @staticmethod
+    def coerce(value: ExprLike) -> "LinExpr":
+        """Promote a variable or scalar to a :class:`LinExpr`."""
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Variable):
+            return value.to_expr()
+        if _is_scalar(value):
+            return LinExpr({}, float(value))
+        raise ModelError(f"cannot use {value!r} in a linear expression")
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.coeffs, self.constant)
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        other = LinExpr.coerce(other)
+        result = self.copy()
+        for index, coeff in other.coeffs.items():
+            result.coeffs[index] = result.coeffs.get(index, 0.0) + coeff
+        result.constant += other.constant
+        return result
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        return self + (LinExpr.coerce(other) * -1.0)
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, other: Scalar) -> "LinExpr":
+        if not _is_scalar(other):
+            raise ModelError("linear expressions only support scalar multiplication")
+        factor = float(other)
+        return LinExpr(
+            {index: coeff * factor for index, coeff in self.coeffs.items()},
+            self.constant * factor,
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Scalar) -> "LinExpr":
+        if not _is_scalar(other):
+            raise ModelError("linear expressions only support scalar division")
+        if other == 0:
+            raise ModelError("division of a linear expression by zero")
+        return self * (1.0 / float(other))
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- comparisons ------------------------------------------------------
+    def __le__(self, other: ExprLike):
+        from repro.solver.problem import Constraint
+
+        return Constraint(self - LinExpr.coerce(other), "<=")
+
+    def __ge__(self, other: ExprLike):
+        from repro.solver.problem import Constraint
+
+        return Constraint(self - LinExpr.coerce(other), ">=")
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        from repro.solver.problem import Constraint
+
+        return Constraint(self - LinExpr.coerce(other), "==")
+
+    def __hash__(self) -> int:  # required because __eq__ is overloaded
+        return id(self)
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{coeff:g}*x{index}" for index, coeff in sorted(self.coeffs.items()))
+        if not terms:
+            return f"LinExpr({self.constant:g})"
+        if self.constant:
+            return f"LinExpr({terms} + {self.constant:g})"
+        return f"LinExpr({terms})"
+
+
+def dot(coefficients: Sequence[Scalar] | np.ndarray, variables: Iterable[Variable]) -> LinExpr:
+    """Inner product of a numeric vector with a vector of variables.
+
+    This is the fast path for building expressions like ``W_l . x_l``: it
+    avoids the quadratic cost of repeated ``LinExpr.__add__`` calls.
+    """
+    coeff_array = np.asarray(coefficients, dtype=float).ravel()
+    variable_list = list(variables)
+    if coeff_array.shape[0] != len(variable_list):
+        raise ModelError(
+            f"dot length mismatch: {coeff_array.shape[0]} coefficients "
+            f"vs {len(variable_list)} variables"
+        )
+    coeffs: Dict[int, float] = {}
+    for coeff, variable in zip(coeff_array, variable_list):
+        if coeff == 0.0:
+            continue
+        coeffs[variable.index] = coeffs.get(variable.index, 0.0) + float(coeff)
+    return LinExpr(coeffs, 0.0)
+
+
+def lin_sum(terms: Iterable[ExprLike]) -> LinExpr:
+    """Sum of expressions, variables, and scalars (linear-time)."""
+    coeffs: Dict[int, float] = {}
+    constant = 0.0
+    for term in terms:
+        expr = LinExpr.coerce(term)
+        constant += expr.constant
+        for index, coeff in expr.coeffs.items():
+            coeffs[index] = coeffs.get(index, 0.0) + coeff
+    return LinExpr(coeffs, constant)

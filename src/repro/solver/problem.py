@@ -1,0 +1,333 @@
+"""The :class:`LinearProgram` model object and its standard-form compiler.
+
+A program collects variables, constraints, and one objective, then compiles
+to :class:`StandardForm` — the exact shape that both backends (scipy HiGHS
+and the in-repo simplex) consume:
+
+    minimise    c @ x
+    subject to  A_ub @ x <= b_ub
+                A_eq @ x == b_eq
+                lower <= x <= upper   (element-wise; None = unbounded)
+
+Maximisation is handled by negating ``c`` at compile time and the objective
+value at read-back time.
+
+Two constraint-building paths are supported:
+
+* expression constraints via ``lp.add_constraint(expr <= rhs)`` — readable,
+  used for small programs and examples;
+* bulk matrix rows via :meth:`LinearProgram.add_matrix_constraints` — the
+  fast path used by the OEF allocators.  Blocks may be dense numpy arrays
+  or ``scipy.sparse`` matrices; the cooperative OEF formulation has
+  O(n^2) envy rows, which must stay sparse at the scale of the paper's
+  overhead experiment (Fig. 10a, 300 users x 10 GPU types).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import ModelError
+from repro.solver.expression import LinExpr, Variable
+from repro.solver.result import Solution, SolveStats
+
+_SENSES = ("<=", ">=", "==")
+
+MatrixLike = Union[np.ndarray, sparse.spmatrix]
+
+# Above this many cells, inequality/equality systems are kept sparse.
+_DENSE_CELL_LIMIT = 4_000_000
+
+
+class Constraint:
+    """A single linear constraint ``expr (sense) 0``.
+
+    Stored in homogeneous form: the right-hand side has already been moved
+    into the expression's constant, so the constraint reads
+    ``coeffs @ x + constant <= 0`` (or ``>=``/``==``).
+    """
+
+    __slots__ = ("expr", "sense", "name")
+
+    def __init__(self, expr: LinExpr, sense: str, name: str = ""):
+        if sense not in _SENSES:
+            raise ModelError(f"unknown constraint sense {sense!r}")
+        self.expr = expr
+        self.sense = sense
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.expr!r} {self.sense} 0)"
+
+
+@dataclass
+class _MatrixBlock:
+    """Bulk constraints: ``matrix @ block_vars (sense) rhs`` row-wise."""
+
+    matrix: MatrixLike
+    column_indices: np.ndarray
+    sense: str
+    rhs: np.ndarray
+
+
+@dataclass
+class StandardForm:
+    """Matrix form consumed by LP backends (minimisation convention).
+
+    ``a_ub``/``a_eq`` may be dense ndarrays or scipy sparse matrices; the
+    scipy backend passes either through, and the simplex backend densifies.
+    """
+
+    c: np.ndarray
+    a_ub: Optional[MatrixLike]
+    b_ub: Optional[np.ndarray]
+    a_eq: Optional[MatrixLike]
+    b_eq: Optional[np.ndarray]
+    bounds: List[Tuple[Optional[float], Optional[float]]]
+    maximise: bool
+    offset: float = 0.0
+
+    @property
+    def num_variables(self) -> int:
+        return int(self.c.shape[0])
+
+
+@dataclass
+class _Objective:
+    expr: LinExpr
+    maximise: bool
+
+
+def _as_coo(matrix: MatrixLike) -> sparse.coo_matrix:
+    if sparse.issparse(matrix):
+        return matrix.tocoo()
+    return sparse.coo_matrix(np.atleast_2d(np.asarray(matrix, dtype=float)))
+
+
+class LinearProgram:
+    """A declarative linear program, in the spirit of cvxpy's interface."""
+
+    def __init__(self, name: str = "lp"):
+        self.name = name
+        self._variables: List[Variable] = []
+        self._constraints: List[Constraint] = []
+        self._matrix_blocks: List[_MatrixBlock] = []
+        self._objective: Optional[_Objective] = None
+
+    # -- variables --------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    @property
+    def num_constraints(self) -> int:
+        rows = len(self._constraints)
+        rows += sum(block.matrix.shape[0] for block in self._matrix_blocks)
+        return rows
+
+    def new_variable(
+        self,
+        name: str,
+        lower: Optional[float] = 0.0,
+        upper: Optional[float] = None,
+    ) -> Variable:
+        """Create one scalar variable (default bounds: ``x >= 0``)."""
+        if lower is not None and upper is not None and lower > upper:
+            raise ModelError(f"variable {name!r}: lower bound {lower} > upper bound {upper}")
+        variable = Variable(len(self._variables), name, lower, upper)
+        self._variables.append(variable)
+        return variable
+
+    def new_variable_array(
+        self,
+        name: str,
+        shape: int | Tuple[int, ...],
+        lower: Optional[float] = 0.0,
+        upper: Optional[float] = None,
+    ) -> np.ndarray:
+        """Create an ndarray of scalar variables with a shared bound spec."""
+        if isinstance(shape, int):
+            shape = (shape,)
+        array = np.empty(shape, dtype=object)
+        for index in np.ndindex(*shape):
+            suffix = ",".join(str(i) for i in index)
+            array[index] = self.new_variable(f"{name}[{suffix}]", lower, upper)
+        return array
+
+    # -- constraints ------------------------------------------------------
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        if not isinstance(constraint, Constraint):
+            raise ModelError(
+                "add_constraint expects a Constraint (build one with <=, >= or ==)"
+            )
+        if name:
+            constraint.name = name
+        self._check_indices(constraint.expr)
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_constraints(self, constraints: Sequence[Constraint]) -> None:
+        for constraint in constraints:
+            self.add_constraint(constraint)
+
+    def add_matrix_constraints(
+        self,
+        matrix: MatrixLike,
+        variables: Sequence[Variable],
+        sense: str,
+        rhs: np.ndarray | Sequence[float] | float,
+    ) -> None:
+        """Add ``matrix @ variables (sense) rhs`` as a block of rows.
+
+        ``matrix`` is ``(rows, len(variables))``, dense or scipy-sparse;
+        ``rhs`` broadcasts to ``rows``.
+        """
+        if sense not in _SENSES:
+            raise ModelError(f"unknown constraint sense {sense!r}")
+        if not sparse.issparse(matrix):
+            matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+        column_indices = np.asarray([variable.index for variable in variables], dtype=int)
+        if matrix.shape[1] != column_indices.shape[0]:
+            raise ModelError(
+                f"matrix has {matrix.shape[1]} columns but {column_indices.shape[0]} "
+                "variables were supplied"
+            )
+        if column_indices.size and column_indices.max() >= self.num_variables:
+            raise ModelError("constraint references a variable from another program")
+        rhs_array = np.broadcast_to(np.asarray(rhs, dtype=float), (matrix.shape[0],)).copy()
+        self._matrix_blocks.append(_MatrixBlock(matrix, column_indices, sense, rhs_array))
+
+    def _check_indices(self, expr: LinExpr) -> None:
+        for index in expr.coeffs:
+            if index >= self.num_variables or index < 0:
+                raise ModelError("expression references a variable from another program")
+
+    # -- objective ---------------------------------------------------------
+    def set_objective(self, expr: LinExpr | Variable | float, sense: str = "min") -> None:
+        if sense not in ("min", "max"):
+            raise ModelError(f"objective sense must be 'min' or 'max', got {sense!r}")
+        expression = LinExpr.coerce(expr)
+        self._check_indices(expression)
+        self._objective = _Objective(expression, maximise=(sense == "max"))
+
+    # -- compile ------------------------------------------------------------
+    def compile(self) -> StandardForm:
+        """Assemble the minimisation standard form for the backends."""
+        if self._objective is None:
+            raise ModelError("no objective set; call set_objective() first")
+        num_vars = self.num_variables
+
+        c = np.zeros(num_vars)
+        for index, coeff in self._objective.expr.coeffs.items():
+            c[index] += coeff
+        offset = self._objective.expr.constant
+        if self._objective.maximise:
+            c = -c
+
+        # collect (coo_block, rhs, negate) pieces per system
+        ub_pieces: List[Tuple[sparse.coo_matrix, np.ndarray]] = []
+        eq_pieces: List[Tuple[sparse.coo_matrix, np.ndarray]] = []
+
+        if self._constraints:
+            rows_idx: List[int] = []
+            cols_idx: List[int] = []
+            data: List[float] = []
+            senses: List[str] = []
+            rhs_vals: List[float] = []
+            for row_number, constraint in enumerate(self._constraints):
+                for index, coeff in constraint.expr.coeffs.items():
+                    rows_idx.append(row_number)
+                    cols_idx.append(index)
+                    data.append(coeff)
+                senses.append(constraint.sense)
+                rhs_vals.append(-constraint.expr.constant)
+            expr_matrix = sparse.coo_matrix(
+                (data, (rows_idx, cols_idx)),
+                shape=(len(self._constraints), num_vars),
+            ).tocsr()
+            senses_arr = np.asarray(senses)
+            rhs_arr = np.asarray(rhs_vals)
+            for sense, flip in (("<=", 1.0), (">=", -1.0)):
+                mask = senses_arr == sense
+                if mask.any():
+                    ub_pieces.append((flip * expr_matrix[mask], flip * rhs_arr[mask]))
+            eq_mask = senses_arr == "=="
+            if eq_mask.any():
+                eq_pieces.append((expr_matrix[eq_mask], rhs_arr[eq_mask]))
+
+        for block in self._matrix_blocks:
+            coo = _as_coo(block.matrix)
+            expanded = sparse.coo_matrix(
+                (coo.data, (coo.row, block.column_indices[coo.col])),
+                shape=(block.matrix.shape[0], num_vars),
+            )
+            if block.sense == "<=":
+                ub_pieces.append((expanded, block.rhs))
+            elif block.sense == ">=":
+                ub_pieces.append((-expanded, -block.rhs))
+            else:
+                eq_pieces.append((expanded, block.rhs))
+
+        def _assemble(pieces):
+            if not pieces:
+                return None, None
+            matrix = sparse.vstack([piece for piece, _rhs in pieces], format="csr")
+            rhs = np.concatenate([rhs for _piece, rhs in pieces])
+            if matrix.shape[0] * matrix.shape[1] <= _DENSE_CELL_LIMIT:
+                return matrix.toarray(), rhs
+            return matrix, rhs
+
+        a_ub, b_ub = _assemble(ub_pieces)
+        a_eq, b_eq = _assemble(eq_pieces)
+
+        bounds = [(variable.lower, variable.upper) for variable in self._variables]
+        return StandardForm(
+            c=c,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            maximise=self._objective.maximise,
+            offset=offset,
+        )
+
+    # -- solve ---------------------------------------------------------------
+    def solve(self, backend: str = "auto") -> Solution:
+        """Compile and solve; returns a :class:`Solution`.
+
+        ``backend`` is ``"scipy"``, ``"simplex"`` or ``"auto"`` (scipy by
+        default; the in-repo simplex is the self-contained fallback).
+        """
+        from repro.solver.scipy_backend import ScipyBackend
+        from repro.solver.simplex import SimplexBackend
+
+        form = self.compile()
+        start = time.perf_counter()
+        if backend in ("auto", "scipy"):
+            values = ScipyBackend().solve(form)
+            backend_used = "scipy"
+        elif backend == "scipy-ipm":
+            values = ScipyBackend(method="highs-ipm").solve(form)
+            backend_used = "scipy-ipm"
+        elif backend == "simplex":
+            values = SimplexBackend().solve(form)
+            backend_used = "simplex"
+        else:
+            raise ModelError(f"unknown backend {backend!r}")
+        elapsed = time.perf_counter() - start
+
+        raw_objective = float(form.c @ values)
+        objective = (-raw_objective if form.maximise else raw_objective) + form.offset
+        stats = SolveStats(
+            backend=backend_used,
+            solve_seconds=elapsed,
+            num_variables=self.num_variables,
+            num_constraints=self.num_constraints,
+        )
+        return Solution(values=values, objective=objective, stats=stats)

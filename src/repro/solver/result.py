@@ -1,0 +1,47 @@
+"""Solution objects returned by :meth:`LinearProgram.solve`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solver.expression import LinExpr, Variable
+
+
+@dataclass(frozen=True)
+class SolveStats:
+    """Bookkeeping about one solve, used by the overhead experiments."""
+
+    backend: str
+    solve_seconds: float
+    num_variables: int
+    num_constraints: int
+
+
+@dataclass(frozen=True)
+class Solution:
+    """An optimal point plus its objective value.
+
+    ``value`` reads back scalars, variables, expressions, or object arrays
+    of variables (returning a float ndarray of the same shape).
+    """
+
+    values: np.ndarray
+    objective: float
+    stats: SolveStats
+
+    def value(self, item):
+        if isinstance(item, Variable):
+            return float(self.values[item.index])
+        if isinstance(item, LinExpr):
+            total = item.constant
+            for index, coeff in item.coeffs.items():
+                total += coeff * self.values[index]
+            return float(total)
+        if isinstance(item, np.ndarray) and item.dtype == object:
+            out = np.empty(item.shape, dtype=float)
+            for index in np.ndindex(*item.shape):
+                out[index] = self.value(item[index])
+            return out
+        raise TypeError(f"cannot evaluate {type(item).__name__} against a solution")

@@ -1,0 +1,269 @@
+"""A from-scratch dense two-phase simplex LP backend.
+
+This backend keeps the repository self-contained (the paper's artifact uses
+ECOS through cvxpy; we cross-check scipy's HiGGS/HiGHS against this
+implementation in the test suite).  It is a classic tableau simplex:
+
+1. Standardise: shift finite lower bounds to zero, split free variables
+   into positive/negative parts, turn finite upper bounds into extra rows,
+   add slack variables for all inequalities.
+2. Phase 1: add one artificial variable per row and minimise their sum to
+   find a basic feasible solution (Bland's rule, so it terminates).
+3. Phase 2: minimise the real objective from that basis.
+
+Intended for small/medium programs (hundreds of variables); the OEF
+allocators default to the scipy backend and use this one for verification
+and as a fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import InfeasibleError, SolverError, UnboundedError
+from repro.solver.problem import StandardForm
+
+
+def _densify(matrix):
+    """Sparse standard forms are densified; this backend is dense-only."""
+    if matrix is None:
+        return None
+    if sparse.issparse(matrix):
+        return matrix.toarray()
+    return np.asarray(matrix, dtype=float)
+
+_TOL = 1e-9
+
+
+@dataclass
+class _Column:
+    """Maps one internal simplex column back to an original variable."""
+
+    original_index: int
+    sign: float  # +1 for the positive part, -1 for the negative part
+    offset: float  # original lower bound folded into the shift
+
+
+class SimplexBackend:
+    """Two-phase dense tableau simplex over a :class:`StandardForm`."""
+
+    def __init__(self, max_iterations: int = 100_000):
+        self.max_iterations = max_iterations
+
+    # -- public API --------------------------------------------------------
+    def solve(self, form: StandardForm) -> np.ndarray:
+        a_eq, b_eq, c, columns = self._standardise(form)
+        internal = self._two_phase(a_eq, b_eq, c)
+        values = np.zeros(form.num_variables)
+        for column_index, column in enumerate(columns):
+            values[column.original_index] += column.sign * internal[column_index]
+        for index, (lower, _upper) in enumerate(form.bounds):
+            if lower is not None:
+                values[index] += lower
+        return values
+
+    # -- standardisation ----------------------------------------------------
+    def _standardise(
+        self, form: StandardForm
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[_Column]]:
+        """Rewrite the program as ``min c@y, A@y == b, y >= 0``."""
+        num_original = form.num_variables
+        columns: List[_Column] = []
+        # map original variable -> list of (internal column, sign)
+        col_of: List[List[int]] = [[] for _ in range(num_original)]
+        for index, (lower, upper) in enumerate(form.bounds):
+            if lower is None:
+                # free (or upper-bounded only): split into two parts
+                columns.append(_Column(index, +1.0, 0.0))
+                col_of[index].append(len(columns) - 1)
+                columns.append(_Column(index, -1.0, 0.0))
+                col_of[index].append(len(columns) - 1)
+            else:
+                columns.append(_Column(index, +1.0, lower))
+                col_of[index].append(len(columns) - 1)
+
+        num_internal = len(columns)
+
+        def expand_matrix(matrix: Optional[np.ndarray]) -> Optional[np.ndarray]:
+            if matrix is None:
+                return None
+            expanded = np.zeros((matrix.shape[0], num_internal))
+            for internal_index, column in enumerate(columns):
+                expanded[:, internal_index] += column.sign * matrix[:, column.original_index]
+            return expanded
+
+        def shift_rhs(matrix: Optional[np.ndarray], rhs: Optional[np.ndarray]):
+            """Fold lower-bound shifts x = y + lo into the right-hand side."""
+            if matrix is None or rhs is None:
+                return rhs
+            shift = np.zeros(num_original)
+            for index, (lower, _upper) in enumerate(form.bounds):
+                if lower is not None:
+                    shift[index] = lower
+            return rhs - matrix @ shift
+
+        form_a_ub = _densify(form.a_ub)
+        form_a_eq = _densify(form.a_eq)
+        ub_matrix = expand_matrix(form_a_ub)
+        ub_rhs = shift_rhs(form_a_ub, form.b_ub)
+        eq_matrix = expand_matrix(form_a_eq)
+        eq_rhs = shift_rhs(form_a_eq, form.b_eq)
+
+        # upper bounds become extra inequality rows on the shifted variable
+        bound_rows: List[np.ndarray] = []
+        bound_rhs: List[float] = []
+        for index, (lower, upper) in enumerate(form.bounds):
+            if upper is None:
+                continue
+            row = np.zeros(num_internal)
+            for internal_index in col_of[index]:
+                row[internal_index] = columns[internal_index].sign
+            bound_rows.append(row)
+            bound_rhs.append(upper - (lower if lower is not None else 0.0))
+
+        ineq_pieces = []
+        ineq_rhs_pieces = []
+        if ub_matrix is not None:
+            ineq_pieces.append(ub_matrix)
+            ineq_rhs_pieces.append(np.asarray(ub_rhs, dtype=float))
+        if bound_rows:
+            ineq_pieces.append(np.vstack(bound_rows))
+            ineq_rhs_pieces.append(np.asarray(bound_rhs, dtype=float))
+
+        num_ineq = sum(piece.shape[0] for piece in ineq_pieces)
+        num_eq = 0 if eq_matrix is None else eq_matrix.shape[0]
+
+        total_cols = num_internal + num_ineq  # slacks for inequalities
+        total_rows = num_ineq + num_eq
+        a_full = np.zeros((total_rows, total_cols))
+        b_full = np.zeros(total_rows)
+
+        row_cursor = 0
+        slack_cursor = num_internal
+        for piece, rhs_piece in zip(ineq_pieces, ineq_rhs_pieces):
+            rows = piece.shape[0]
+            a_full[row_cursor : row_cursor + rows, :num_internal] = piece
+            for local in range(rows):
+                a_full[row_cursor + local, slack_cursor] = 1.0
+                slack_cursor += 1
+            b_full[row_cursor : row_cursor + rows] = rhs_piece
+            row_cursor += rows
+        if eq_matrix is not None:
+            rows = eq_matrix.shape[0]
+            a_full[row_cursor : row_cursor + rows, :num_internal] = eq_matrix
+            b_full[row_cursor : row_cursor + rows] = np.asarray(eq_rhs, dtype=float)
+
+        # make all right-hand sides non-negative
+        negative = b_full < 0
+        a_full[negative] *= -1.0
+        b_full[negative] *= -1.0
+
+        c_full = np.zeros(total_cols)
+        for internal_index, column in enumerate(columns):
+            c_full[internal_index] += column.sign * form.c[column.original_index]
+
+        return a_full, b_full, c_full, columns
+
+    # -- two-phase tableau simplex -------------------------------------------
+    def _two_phase(self, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+        num_rows, num_cols = a.shape
+        if num_rows == 0:
+            # no constraints: optimum is at the lower bounds unless unbounded
+            if np.any(c < -_TOL):
+                raise UnboundedError("objective improves without constraints")
+            return np.zeros(num_cols)
+
+        # phase 1 tableau: [A | I | b]
+        tableau = np.zeros((num_rows + 1, num_cols + num_rows + 1))
+        tableau[:num_rows, :num_cols] = a
+        tableau[:num_rows, num_cols : num_cols + num_rows] = np.eye(num_rows)
+        tableau[:num_rows, -1] = b
+        basis = list(range(num_cols, num_cols + num_rows))
+
+        # phase-1 reduced costs: minimise sum of artificials
+        cost = np.zeros(num_cols + num_rows)
+        cost[num_cols:] = 1.0
+        tableau[-1, :-1] = cost
+        tableau[-1, -1] = 0.0
+        for row, basic in enumerate(basis):
+            tableau[-1, :] -= cost[basic] * tableau[row, :]
+
+        self._pivot_loop(tableau, basis, allowed_cols=num_cols + num_rows)
+        phase1_objective = -tableau[-1, -1]
+        if phase1_objective > 1e-7:
+            raise InfeasibleError(
+                f"phase-1 objective {phase1_objective:.3g} > 0: no feasible point"
+            )
+
+        # drive remaining artificial variables out of the basis
+        for row in range(num_rows):
+            if basis[row] >= num_cols:
+                pivot_col = next(
+                    (
+                        col
+                        for col in range(num_cols)
+                        if abs(tableau[row, col]) > _TOL
+                    ),
+                    None,
+                )
+                if pivot_col is not None:
+                    self._pivot(tableau, basis, row, pivot_col)
+                # else: the row is redundant; its artificial stays basic at 0
+
+        # phase 2: rebuild the cost row for the real objective
+        tableau[-1, :] = 0.0
+        tableau[-1, :num_cols] = c
+        tableau[-1, num_cols:-1] = 0.0
+        for row, basic in enumerate(basis):
+            if basic < num_cols:
+                tableau[-1, :] -= c[basic] * tableau[row, :]
+
+        self._pivot_loop(tableau, basis, allowed_cols=num_cols)
+
+        values = np.zeros(num_cols)
+        for row, basic in enumerate(basis):
+            if basic < num_cols:
+                values[basic] = tableau[row, -1]
+        return values
+
+    def _pivot_loop(self, tableau: np.ndarray, basis: List[int], allowed_cols: int) -> None:
+        """Bland's-rule pivoting until optimal (or raise on unbounded)."""
+        num_rows = tableau.shape[0] - 1
+        for _iteration in range(self.max_iterations):
+            entering = None
+            for col in range(allowed_cols):
+                if tableau[-1, col] < -_TOL:
+                    entering = col
+                    break
+            if entering is None:
+                return
+            # ratio test
+            leaving = None
+            best_ratio = np.inf
+            for row in range(num_rows):
+                coeff = tableau[row, entering]
+                if coeff > _TOL:
+                    ratio = tableau[row, -1] / coeff
+                    if ratio < best_ratio - _TOL or (
+                        abs(ratio - best_ratio) <= _TOL
+                        and (leaving is None or basis[row] < basis[leaving])
+                    ):
+                        best_ratio = ratio
+                        leaving = row
+            if leaving is None:
+                raise UnboundedError("entering column has no positive pivot: unbounded LP")
+            self._pivot(tableau, basis, leaving, entering)
+        raise SolverError(f"simplex exceeded {self.max_iterations} iterations")
+
+    @staticmethod
+    def _pivot(tableau: np.ndarray, basis: List[int], row: int, col: int) -> None:
+        pivot_value = tableau[row, col]
+        tableau[row, :] /= pivot_value
+        for other in range(tableau.shape[0]):
+            if other != row and abs(tableau[other, col]) > 0.0:
+                tableau[other, :] -= tableau[other, col] * tableau[row, :]
+        basis[row] = col

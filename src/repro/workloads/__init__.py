@@ -1,0 +1,38 @@
+"""Workload substrates: model zoo, instance generators, Philly-like traces."""
+
+from repro.workloads.generator import (
+    TenantGenerator,
+    random_instance,
+    random_speedup_matrix,
+    zoo_instance,
+)
+from repro.workloads.models import (
+    GPU_CATALOG,
+    MODEL_CATALOG,
+    PAPER_GPU_TYPES,
+    all_models,
+    gpu_rank,
+    language_models,
+    speedup_vector,
+    throughput_vector,
+    vision_models,
+)
+from repro.workloads.philly import PhillyTraceConfig, PhillyTraceGenerator
+
+__all__ = [
+    "GPU_CATALOG",
+    "MODEL_CATALOG",
+    "PAPER_GPU_TYPES",
+    "PhillyTraceConfig",
+    "PhillyTraceGenerator",
+    "TenantGenerator",
+    "all_models",
+    "gpu_rank",
+    "language_models",
+    "random_instance",
+    "random_speedup_matrix",
+    "speedup_vector",
+    "throughput_vector",
+    "vision_models",
+    "zoo_instance",
+]

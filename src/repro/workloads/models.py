@@ -1,0 +1,115 @@
+"""The model zoo: synthetic per-GPU-type throughput tables.
+
+Substitutes the paper's hardware profiling runs (DESIGN.md §2).  Numbers
+are iterations/second for one worker and are calibrated so the *speedup
+shapes* match what the paper reports: Fig. 1(a) shows VGG at 1.39x and
+LSTM at 2.15x on an RTX 3090 relative to a 3070 — vision models are
+memory-bound and gain little from newer GPUs, language models are
+compute-bound and gain a lot.
+
+Beyond the paper's three GPU types, the table extends to ten generations
+(for the Fig. 10a scalability experiment, which fixes ten GPU types) via a
+roofline-style model: each GPU has a compute scale and a bandwidth scale,
+each model has a compute intensity, and throughput follows the harmonic
+blend of the two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+# GPU generations, slowest first.  (compute scale, bandwidth scale) are
+# relative to the RTX 3070.
+GPU_CATALOG: Dict[str, tuple] = {
+    # both scales increase along the catalog so every roofline blend is
+    # monotone — the slowest-type-first assumption of §2.3 (footnote 1)
+    "k80": (0.30, 0.35),
+    "t4": (0.50, 0.52),
+    "p100": (0.70, 0.70),
+    "v100": (0.90, 0.85),
+    "rtx3070": (1.00, 1.00),
+    "rtx3080": (1.55, 1.24),
+    "rtx3090": (2.15, 1.39),
+    "a100": (2.90, 1.80),
+    "h100": (4.20, 2.40),
+    "b200": (6.00, 3.20),
+}
+
+#: The paper's testbed types, slowest first.
+PAPER_GPU_TYPES: List[str] = ["rtx3070", "rtx3080", "rtx3090"]
+
+# model -> (base iterations/sec on rtx3070, compute intensity in [0, 1])
+# intensity 0 = fully bandwidth-bound, 1 = fully compute-bound.
+MODEL_CATALOG: Dict[str, tuple] = {
+    # image classification on CIFAR-100
+    "vgg11": (3.0, 0.02),
+    "vgg16": (2.4, 0.00),
+    "vgg19": (2.1, 0.00),
+    "resnet18": (4.2, 0.08),
+    "resnet50": (3.1, 0.15),
+    "densenet121": (2.7, 0.05),
+    # language modelling on WikiText-2
+    "rnn": (7.5, 0.80),
+    "lstm": (8.5, 1.00),
+    "transformer": (5.2, 0.90),
+    "gnmt": (4.0, 0.70),
+}
+
+
+def gpu_rank(gpu_type: str) -> int:
+    """Position of a GPU type in the slowest-first catalog order."""
+    names = list(GPU_CATALOG.keys())
+    try:
+        return names.index(gpu_type)
+    except ValueError:
+        raise ValidationError(f"unknown GPU type {gpu_type!r}") from None
+
+
+def _device_speed(gpu_type: str, intensity: float) -> float:
+    """Roofline blend: harmonic mix of compute and bandwidth scaling."""
+    compute, bandwidth = GPU_CATALOG[gpu_type]
+    return 1.0 / (intensity / compute + (1.0 - intensity) / bandwidth)
+
+
+def throughput_vector(
+    model_name: str, gpu_types: Sequence[str] = PAPER_GPU_TYPES
+) -> np.ndarray:
+    """Iterations/sec per worker for one model across GPU types.
+
+    ``gpu_types`` must be ordered slowest-first (catalog order); the
+    resulting vector is then non-decreasing, as speedup matrices require.
+    """
+    if model_name not in MODEL_CATALOG:
+        raise ValidationError(f"unknown model {model_name!r}")
+    ranks = [gpu_rank(name) for name in gpu_types]
+    if ranks != sorted(ranks):
+        raise ValidationError("gpu_types must be ordered slowest first")
+    base_rate, intensity = MODEL_CATALOG[model_name]
+    reference = _device_speed("rtx3070", intensity)
+    return np.asarray(
+        [base_rate * _device_speed(name, intensity) / reference for name in gpu_types]
+    )
+
+
+def speedup_vector(
+    model_name: str, gpu_types: Sequence[str] = PAPER_GPU_TYPES
+) -> np.ndarray:
+    """Normalised speedups (slowest type = 1) for one model."""
+    vector = throughput_vector(model_name, gpu_types)
+    return vector / vector[0]
+
+
+def all_models() -> List[str]:
+    return list(MODEL_CATALOG.keys())
+
+
+def vision_models() -> List[str]:
+    return ["vgg11", "vgg16", "vgg19", "resnet18", "resnet50", "densenet121"]
+
+
+def language_models() -> List[str]:
+    return ["rnn", "lstm", "transformer", "gnmt"]

@@ -1,0 +1,60 @@
+"""DRF over GPU types: quantifying §2.3.3's unfitness claim."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DominantResourceFairness, GandivaFair
+from repro.core import CooperativeOEF, check_sharing_incentive
+
+
+class TestDRFMechanics:
+    def test_capacity_respected(self, paper_instance):
+        allocation = DominantResourceFairness().allocate(paper_instance)
+        assert np.all(
+            allocation.matrix.sum(axis=0) <= paper_instance.capacities + 1e-9
+        )
+
+    def test_dominant_shares_equalised(self, paper_instance):
+        allocation = DominantResourceFairness().allocate(paper_instance)
+        shares = allocation.matrix / paper_instance.capacities
+        dominant = shares.max(axis=1)
+        np.testing.assert_allclose(dominant, dominant[0], rtol=1e-9)
+
+    def test_allocates_in_demand_proportions(self, paper_instance):
+        allocation = DominantResourceFairness().allocate(paper_instance)
+        speedups = paper_instance.speedups.values
+        for user in range(3):
+            expected = speedups[user] / speedups[user].sum()
+            actual = allocation.matrix[user] / allocation.matrix[user].sum()
+            np.testing.assert_allclose(actual, expected, rtol=1e-9)
+
+    def test_some_type_saturates(self, paper_instance):
+        allocation = DominantResourceFairness().allocate(paper_instance)
+        used = allocation.matrix.sum(axis=0)
+        assert np.any(np.isclose(used, paper_instance.capacities))
+
+
+class TestDRFUnfitness:
+    """The paper's argument: DRF wastes interchangeability."""
+
+    def test_leaves_capacity_idle(self, paper_instance):
+        # fixed per-tenant type proportions mean the non-bottleneck type
+        # cannot be fully used — unlike every interchangeability-aware
+        # scheduler
+        allocation = DominantResourceFairness().allocate(paper_instance)
+        used = allocation.matrix.sum(axis=0)
+        assert np.any(used < paper_instance.capacities - 1e-6)
+
+    def test_less_efficient_than_trading(self, paper_instance):
+        drf = DominantResourceFairness().allocate(paper_instance)
+        gandiva = GandivaFair().allocate(paper_instance)
+        assert drf.total_efficiency() < gandiva.total_efficiency()
+
+    def test_less_efficient_than_oef(self, zoo_instance_4):
+        drf = DominantResourceFairness().allocate(zoo_instance_4)
+        oef = CooperativeOEF().allocate(zoo_instance_4)
+        assert drf.total_efficiency() < oef.total_efficiency()
+
+    def test_violates_sharing_incentive(self, zoo_instance_4):
+        allocation = DominantResourceFairness().allocate(zoo_instance_4)
+        assert not check_sharing_incentive(allocation).satisfied

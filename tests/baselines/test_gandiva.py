@@ -1,0 +1,146 @@
+"""Gandiva_fair greedy trading: paper-example reproduction and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GandivaFair
+from repro.core import (
+    ProblemInstance,
+    SpeedupMatrix,
+    check_envy_freeness,
+    check_sharing_incentive,
+)
+from repro.workloads.generator import random_instance
+
+
+class TestPaperExample:
+    """§2.4, Expression (1): W=[[1,2],[1,3],[1,4]], m=[1,1]."""
+
+    def test_allocation_matches_paper(self, paper_instance):
+        allocation = GandivaFair().allocate(paper_instance)
+        expected = np.array([[1.0, 0.0889], [0.0, 0.4667], [0.0, 0.4444]])
+        np.testing.assert_allclose(allocation.matrix, expected, atol=2e-3)
+
+    def test_efficiency_vector_matches_paper(self, paper_instance):
+        # paper E = <1.18, 1.41, 1.76> (rounded)
+        allocation = GandivaFair().allocate(paper_instance)
+        np.testing.assert_allclose(
+            allocation.user_throughput(), [1.178, 1.4, 1.778], atol=2e-2
+        )
+
+    def test_two_trades_executed(self, paper_instance):
+        allocator = GandivaFair()
+        allocator.allocate(paper_instance)
+        assert len(allocator.last_trades) == 2
+
+    def test_first_trade_between_extremes(self, paper_instance):
+        allocator = GandivaFair()
+        allocator.allocate(paper_instance)
+        first = allocator.last_trades[0]
+        # greatest gap: buyer u3 (ratio 4), seller u1 (ratio 2), price 3
+        assert first.buyer == 2
+        assert first.seller == 0
+        assert first.price == pytest.approx(3.0)
+
+    def test_second_trade_price_matches_paper(self, paper_instance):
+        # the paper: "the price in the second-round trading [is] 2.5"
+        allocator = GandivaFair()
+        allocator.allocate(paper_instance)
+        assert allocator.last_trades[1].price == pytest.approx(2.5)
+
+    def test_cheating_changes_second_price_to_2_9(self, paper_instance):
+        # u1 fakes 2 -> 2.8; paper: second-round price becomes 2.9 and the
+        # faked allocation X_f gives u1 more GPU2 than honest
+        faked = paper_instance.with_speedups(
+            paper_instance.speedups.with_row(0, [1.0, 2.8])
+        )
+        allocator = GandivaFair()
+        lying = allocator.allocate(faked)
+        assert allocator.last_trades[1].price == pytest.approx(2.9)
+        honest = GandivaFair().allocate(paper_instance)
+        assert lying.matrix[0, 1] > honest.matrix[0, 1]
+
+    def test_violates_envy_freeness_on_paper_example(self, paper_instance):
+        # paper: u3 prefers u2's allocation
+        allocation = GandivaFair().allocate(paper_instance)
+        report = check_envy_freeness(allocation)
+        assert not report.satisfied
+        assert report.worst_pair == (2, 1)
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sharing_incentive_always_holds(self, seed):
+        # trading only ever improves on the equal split
+        instance = random_instance(5, 3, seed=seed)
+        allocation = GandivaFair().allocate(instance)
+        assert check_sharing_incentive(allocation, tol=1e-6).satisfied
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_conserves_total_shares(self, seed):
+        instance = random_instance(4, 3, seed=seed, devices_per_type=4.0)
+        allocation = GandivaFair().allocate(instance)
+        np.testing.assert_allclose(
+            allocation.matrix.sum(axis=0), instance.capacities, rtol=1e-9
+        )
+
+    def test_trades_strictly_beneficial(self, paper_instance):
+        allocator = GandivaFair()
+        allocator.allocate(paper_instance)
+        speedups = paper_instance.speedups.values
+        for trade in allocator.last_trades:
+            buyer_gain = (
+                speedups[trade.buyer, trade.fast_type] * trade.fast_amount
+                - speedups[trade.buyer, trade.slow_type] * trade.slow_amount
+            )
+            seller_gain = (
+                speedups[trade.seller, trade.slow_type] * trade.slow_amount
+                - speedups[trade.seller, trade.fast_type] * trade.fast_amount
+            )
+            assert buyer_gain > 0
+            assert seller_gain > 0
+
+    def test_identical_users_no_trades(self):
+        instance = ProblemInstance(SpeedupMatrix([[1, 2], [1, 2]]), [1.0, 1.0])
+        allocator = GandivaFair()
+        allocation = allocator.allocate(instance)
+        assert allocator.last_trades == []
+        np.testing.assert_allclose(allocation.matrix, 0.5)
+
+    def test_single_gpu_type_no_trades(self):
+        instance = ProblemInstance(
+            SpeedupMatrix([[1.0], [1.0]], require_monotone=False), [2.0]
+        )
+        allocator = GandivaFair()
+        allocation = allocator.allocate(instance)
+        assert allocator.last_trades == []
+        np.testing.assert_allclose(allocation.matrix, 1.0)
+
+    def test_terminates_on_larger_instances(self):
+        instance = random_instance(12, 4, seed=3, devices_per_type=6.0)
+        allocation = GandivaFair().allocate(instance)
+        assert allocation.total_efficiency() > 0
+
+
+class TestTradeLots:
+    def test_zero_lot_is_continuous(self, paper_instance):
+        continuous = GandivaFair(trade_lot=0.0).allocate(paper_instance)
+        assert continuous.matrix[0, 1] == pytest.approx(0.0889, abs=1e-3)
+
+    def test_large_lot_blocks_all_trades(self, paper_instance):
+        # each tenant holds 1/3 per type; a full-GPU lot cannot execute
+        allocator = GandivaFair(trade_lot=1.0)
+        allocation = allocator.allocate(paper_instance)
+        assert allocator.last_trades == []
+        np.testing.assert_allclose(allocation.matrix, 1.0 / 3.0)
+
+    def test_lot_trading_still_sharing_incentive(self):
+        instance = random_instance(5, 3, seed=7, devices_per_type=8.0)
+        allocation = GandivaFair(trade_lot=0.5).allocate(instance)
+        assert check_sharing_incentive(allocation, tol=1e-6).satisfied
+
+    def test_lot_trading_less_efficient_than_continuous(self):
+        instance = random_instance(6, 3, seed=9, devices_per_type=8.0)
+        continuous = GandivaFair(trade_lot=0.0).allocate(instance)
+        lotted = GandivaFair(trade_lot=1.0).allocate(instance)
+        assert lotted.total_efficiency() <= continuous.total_efficiency() + 1e-9

@@ -1,0 +1,57 @@
+"""Max-Min fairness: the 1/n equal partition."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MaxMinFairness
+from repro.core import (
+    ProblemInstance,
+    SpeedupMatrix,
+    check_envy_freeness,
+    check_sharing_incentive,
+    check_strategy_proofness,
+)
+
+
+class TestMaxMin:
+    def test_equal_split(self, paper_instance):
+        allocation = MaxMinFairness().allocate(paper_instance)
+        np.testing.assert_allclose(allocation.matrix, 1.0 / 3.0)
+
+    def test_uneven_capacities(self):
+        instance = ProblemInstance(SpeedupMatrix([[1, 2], [1, 3]]), [4.0, 2.0])
+        allocation = MaxMinFairness().allocate(instance)
+        np.testing.assert_allclose(allocation.matrix, [[2.0, 1.0], [2.0, 1.0]])
+
+    def test_paper_fig1b_values(self):
+        # Fig. 1(b): VGG user 1.19, LSTM user 1.57 under Max-Min
+        instance = ProblemInstance(
+            SpeedupMatrix([[1.0, 1.39], [1.0, 2.15]]), [1.0, 1.0]
+        )
+        throughput = MaxMinFairness().allocate(instance).user_throughput()
+        assert throughput[0] == pytest.approx(1.195)
+        assert throughput[1] == pytest.approx(1.575)
+
+    def test_envy_free(self, paper_instance):
+        allocation = MaxMinFairness().allocate(paper_instance)
+        assert check_envy_freeness(allocation).satisfied
+
+    def test_sharing_incentive_with_equality(self, paper_instance):
+        allocation = MaxMinFairness().allocate(paper_instance)
+        np.testing.assert_allclose(
+            allocation.sharing_incentive_gap(), 0.0, atol=1e-12
+        )
+
+    def test_strategy_proof(self, paper_instance):
+        report = check_strategy_proofness(
+            MaxMinFairness(), paper_instance, trials=2
+        )
+        assert report.satisfied
+
+    def test_ignores_speedups_entirely(self, paper_instance):
+        honest = MaxMinFairness().allocate(paper_instance)
+        faked = paper_instance.with_speedups(
+            paper_instance.speedups.with_row(0, [1.0, 40.0])
+        )
+        lying = MaxMinFairness().allocate(faked)
+        np.testing.assert_allclose(honest.matrix, lying.matrix)

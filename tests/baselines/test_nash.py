@@ -1,0 +1,94 @@
+"""Nash welfare (CEEI): envy-free by theory, cross-checks coop OEF."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nash import NashWelfare
+from repro.core import (
+    CooperativeOEF,
+    ProblemInstance,
+    SpeedupMatrix,
+    check_envy_freeness,
+    check_pareto_efficiency,
+    check_sharing_incentive,
+)
+from repro.workloads.generator import random_instance
+
+
+class TestNashMechanics:
+    def test_capacity_respected(self, paper_instance):
+        allocation = NashWelfare().allocate(paper_instance)
+        assert np.all(
+            allocation.matrix.sum(axis=0) <= paper_instance.capacities + 1e-6
+        )
+
+    def test_single_user(self):
+        instance = ProblemInstance(SpeedupMatrix([[1, 2]]), [1.0, 2.0])
+        allocation = NashWelfare().allocate(instance)
+        np.testing.assert_allclose(allocation.matrix, [[1.0, 2.0]])
+
+    def test_identical_users_split_evenly_in_value(self):
+        instance = ProblemInstance(SpeedupMatrix([[1, 3], [1, 3]]), [1.0, 1.0])
+        allocation = NashWelfare().allocate(instance)
+        throughput = allocation.user_throughput()
+        assert throughput[0] == pytest.approx(throughput[1], rel=5e-3)
+
+    def test_two_user_closed_form(self):
+        # two users, one divisible fast GPU, no slow GPU value difference:
+        # for W = [[1, 2], [1, 4]], m = [1, 1] the Nash optimum splits so
+        # that each user's *share of its own utility* is equalised; verify
+        # the product is (near-)maximal against a fine grid search
+        instance = ProblemInstance(SpeedupMatrix([[1, 2], [1, 4]]), [1.0, 1.0])
+        allocation = NashWelfare(num_tangents=96).allocate(instance)
+        nash_product = float(np.prod(allocation.user_throughput()))
+        best = 0.0
+        for a in np.linspace(0, 1, 201):  # user-1's share of GPU1
+            for b in np.linspace(0, 1, 201):  # user-1's share of GPU2
+                u1 = a + 2 * b
+                u2 = (1 - a) + 4 * (1 - b)
+                best = max(best, u1 * u2)
+        assert nash_product >= best * 0.995
+
+    def test_invalid_tangent_count(self):
+        with pytest.raises(ValueError):
+            NashWelfare(num_tangents=1)
+
+
+class TestNashFairness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_envy_free_on_random_instances(self, seed):
+        instance = random_instance(4, 3, seed=seed, devices_per_type=4.0)
+        allocation = NashWelfare().allocate(instance)
+        # CEEI is exactly EF; the PWL approximation leaves small residuals
+        report = check_envy_freeness(allocation, tol=5e-2)
+        assert report.satisfied, report.worst_envy
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sharing_incentive_on_random_instances(self, seed):
+        instance = random_instance(4, 3, seed=seed, devices_per_type=4.0)
+        allocation = NashWelfare().allocate(instance)
+        assert check_sharing_incentive(allocation, tol=5e-2).satisfied
+
+    def test_pareto_efficient_up_to_approximation(self, paper_instance):
+        allocation = NashWelfare(num_tangents=96).allocate(paper_instance)
+        report = check_pareto_efficiency(allocation, tol=5e-3)
+        assert report.satisfied
+
+
+class TestCrossCheckAgainstCoopOEF:
+    """Coop OEF = max total throughput under EF, so it must dominate Nash."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_coop_oef_total_dominates_nash(self, seed):
+        instance = random_instance(4, 3, seed=seed, devices_per_type=4.0)
+        nash = NashWelfare().allocate(instance).total_efficiency()
+        coop = CooperativeOEF().allocate(instance).total_efficiency()
+        assert coop >= nash - 1e-3 * max(1.0, nash)
+
+    def test_nash_product_dominates_coop_oef(self, paper_instance):
+        # ... and conversely Nash maximises the product
+        nash = NashWelfare(num_tangents=96).allocate(paper_instance)
+        coop = CooperativeOEF().allocate(paper_instance)
+        nash_product = float(np.prod(nash.user_throughput()))
+        coop_product = float(np.prod(coop.user_throughput()))
+        assert nash_product >= coop_product * 0.99

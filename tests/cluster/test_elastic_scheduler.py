@@ -1,0 +1,75 @@
+"""The ElasticOEFScheduler adapter (§8 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ElasticOEFScheduler, Tenant, make_job
+from repro.exceptions import SimulationError
+
+
+def _tenant(name, num_jobs=2, speedups=(1.0, 1.5, 2.0), weight=1.0):
+    tenant = Tenant(name=name, weight=weight)
+    for index in range(num_jobs):
+        tenant.add_job(
+            make_job(
+                job_id=abs(hash((name, index))) % 100_000,
+                tenant=name,
+                model_name=f"m{index}",
+                throughput=list(speedups),
+                num_workers=8,
+                elastic=True,
+            )
+        )
+    return tenant
+
+
+CAPACITIES = np.array([8.0, 8.0, 8.0])
+
+
+class TestElasticScheduler:
+    def test_invalid_mode(self):
+        with pytest.raises(SimulationError):
+            ElasticOEFScheduler(mode="wild")
+
+    def test_name(self):
+        assert ElasticOEFScheduler("cooperative").name == "oef-elastic-coop"
+
+    def test_tenant_shares_cover_everyone(self):
+        tenants = [_tenant("a"), _tenant("b", speedups=(1.0, 1.6, 2.15))]
+        profiles = {t.name: t.true_speedup_profile() for t in tenants}
+        decision = ElasticOEFScheduler("noncooperative").shares(
+            tenants, profiles, CAPACITIES
+        )
+        assert set(decision.tenant_shares) == {"a", "b"}
+        assert decision.solver_seconds > 0
+
+    def test_noncoop_equalises_tenant_estimates(self):
+        tenants = [_tenant("a"), _tenant("b", speedups=(1.0, 1.6, 2.15))]
+        profiles = {t.name: t.true_speedup_profile() for t in tenants}
+        decision = ElasticOEFScheduler("noncooperative").shares(
+            tenants, profiles, CAPACITIES
+        )
+        assert decision.estimated["a"] == pytest.approx(
+            decision.estimated["b"], rel=1e-5
+        )
+
+    def test_unequal_job_counts_still_equal_tenants(self):
+        # tenant 'a' has 3 jobs, tenant 'b' 1 job: per-tenant totals stay
+        # equal (weights split within the tenant, §4.2.4)
+        tenants = [_tenant("a", num_jobs=3), _tenant("b", num_jobs=1)]
+        profiles = {t.name: t.true_speedup_profile() for t in tenants}
+        decision = ElasticOEFScheduler("noncooperative").shares(
+            tenants, profiles, CAPACITIES
+        )
+        assert decision.estimated["a"] == pytest.approx(
+            decision.estimated["b"], rel=1e-5
+        )
+
+    def test_capacity_respected(self):
+        tenants = [_tenant("a"), _tenant("b")]
+        profiles = {t.name: t.true_speedup_profile() for t in tenants}
+        decision = ElasticOEFScheduler("cooperative").shares(
+            tenants, profiles, CAPACITIES
+        )
+        total = np.sum(list(decision.tenant_shares.values()), axis=0)
+        assert np.all(total <= CAPACITIES + 1e-6)

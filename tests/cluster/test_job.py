@@ -1,0 +1,115 @@
+"""Job lifecycle: progress, completion interpolation, starvation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Job, JobState, make_job
+from repro.exceptions import SimulationError, ValidationError
+
+
+def _job(**overrides):
+    defaults = dict(
+        job_id=1,
+        tenant="t",
+        model_name="vgg16",
+        throughput=[2.0, 3.0, 4.0],
+        num_workers=1,
+        total_iterations=100.0,
+        submit_time=0.0,
+    )
+    defaults.update(overrides)
+    return make_job(**defaults)
+
+
+class TestValidation:
+    def test_basic(self):
+        job = _job()
+        assert job.state == JobState.PENDING
+        assert job.remaining_iterations == 100.0
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValidationError):
+            _job(num_workers=0)
+
+    def test_non_positive_iterations_rejected(self):
+        with pytest.raises(ValidationError):
+            _job(total_iterations=0.0)
+
+    def test_non_positive_throughput_rejected(self):
+        with pytest.raises(ValidationError):
+            _job(throughput=[1.0, 0.0])
+
+    def test_speedup_vector_normalised(self):
+        job = _job(throughput=[2.0, 3.0, 4.0])
+        np.testing.assert_allclose(job.speedup_vector, [1.0, 1.5, 2.0])
+
+
+class TestProgress:
+    def test_partial_progress(self):
+        job = _job()
+        used = job.advance(now=0.0, iterations_per_second=1.0, duration=30.0)
+        assert used == 30.0
+        assert job.done_iterations == pytest.approx(30.0)
+        assert job.state == JobState.RUNNING
+        assert job.start_time == 0.0
+
+    def test_finish_interpolates_within_round(self):
+        job = _job(total_iterations=50.0)
+        used = job.advance(now=300.0, iterations_per_second=1.0, duration=300.0)
+        assert used == pytest.approx(50.0)
+        assert job.is_finished
+        assert job.finish_time == pytest.approx(350.0)
+        assert job.jct == pytest.approx(350.0)
+
+    def test_zero_rate_consumes_round(self):
+        job = _job()
+        used = job.advance(now=0.0, iterations_per_second=0.0, duration=300.0)
+        assert used == 300.0
+        assert job.done_iterations == 0.0
+
+    def test_advance_after_finish_rejected(self):
+        job = _job(total_iterations=1.0)
+        job.advance(0.0, 10.0, 10.0)
+        with pytest.raises(SimulationError):
+            job.advance(300.0, 10.0, 10.0)
+
+    def test_negative_rate_rejected(self):
+        job = _job()
+        with pytest.raises(SimulationError):
+            job.advance(0.0, -1.0, 10.0)
+
+    def test_start_time_set_once(self):
+        job = _job()
+        job.advance(0.0, 0.1, 300.0)
+        job.advance(300.0, 0.1, 300.0)
+        assert job.start_time == 0.0
+
+    def test_rounds_scheduled_counter(self):
+        job = _job()
+        job.advance(0.0, 0.1, 300.0)
+        job.advance(300.0, 0.1, 300.0)
+        assert job.rounds_scheduled == 2
+
+    def test_jct_none_before_finish(self):
+        job = _job()
+        assert job.jct is None
+
+
+class TestStarvation:
+    def test_starve_increments(self):
+        job = _job()
+        job.starve()
+        job.starve()
+        assert job.starvation_rounds == 2
+
+    def test_starve_after_finish_is_noop(self):
+        job = _job(total_iterations=1.0)
+        job.advance(0.0, 10.0, 10.0)
+        job.starve()
+        assert job.starvation_rounds == 0
+
+    def test_starve_resets_state_to_pending(self):
+        job = _job()
+        job.advance(0.0, 0.1, 300.0)
+        job.starve()
+        assert job.state == JobState.PENDING

@@ -1,0 +1,171 @@
+"""Placer: type selection, adjacency, host packing, physical binding."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Placer,
+    PlacementPolicy,
+    Tenant,
+    make_job,
+    paper_cluster,
+)
+from repro.exceptions import PlacementError
+
+
+def _tenant(name, jobs_spec):
+    """jobs_spec: list of (workers, model) tuples."""
+    tenant = Tenant(name=name)
+    for index, (workers, model) in enumerate(jobs_spec):
+        tenant.add_job(
+            make_job(
+                job_id=hash(name) % 1000 + index,
+                tenant=name,
+                model_name=model,
+                throughput=[1.0, 1.5, 2.0],
+                num_workers=workers,
+                total_iterations=1e6,
+            )
+        )
+    return tenant
+
+
+class TestTypeSelection:
+    def test_prefers_fast_types(self):
+        topology = paper_cluster()
+        placer = Placer(topology, policy=PlacementPolicy.oef())
+        tenants = {"t": _tenant("t", [(2, "m")])}
+        result = placer.place_round({"t": np.array([2, 2, 2])}, tenants, 0.0)
+        placement = result.placements[0]
+        assert placement.type_counts == {2: 2}
+
+    def test_naive_takes_slow_types_first(self):
+        topology = paper_cluster()
+        placer = Placer(topology, policy=PlacementPolicy.naive())
+        tenants = {"t": _tenant("t", [(2, "m")])}
+        result = placer.place_round({"t": np.array([2, 2, 2])}, tenants, 0.0)
+        assert result.placements[0].type_counts == {0: 2}
+
+    def test_adjacent_window_chosen(self):
+        topology = paper_cluster()
+        placer = Placer(topology, policy=PlacementPolicy.oef())
+        tenants = {"t": _tenant("t", [(4, "m")])}
+        # grant has a hole-free window 3080+3090 covering 4 workers
+        result = placer.place_round({"t": np.array([0, 2, 2])}, tenants, 0.0)
+        assert result.placements[0].type_counts == {1: 2, 2: 2}
+
+    def test_naive_spans_whole_range(self):
+        topology = paper_cluster()
+        placer = Placer(topology, policy=PlacementPolicy.naive())
+        tenants = {"t": _tenant("t", [(3, "m")])}
+        result = placer.place_round({"t": np.array([1, 1, 1])}, tenants, 0.0)
+        assert result.placements[0].type_counts == {0: 1, 1: 1, 2: 1}
+
+    def test_insufficient_grant_starves_job(self):
+        topology = paper_cluster()
+        placer = Placer(topology)
+        tenants = {"t": _tenant("t", [(4, "m")])}
+        result = placer.place_round({"t": np.array([1, 1, 1])}, tenants, 0.0)
+        assert not result.placements
+        assert len(result.starved_jobs) == 1
+
+    def test_smaller_job_runs_when_big_one_starves(self):
+        topology = paper_cluster()
+        placer = Placer(topology)
+        tenants = {"t": _tenant("t", [(8, "m"), (2, "m")])}
+        result = placer.place_round({"t": np.array([0, 0, 3])}, tenants, 0.0)
+        assert len(result.placements) == 1
+        assert result.placements[0].job.num_workers == 2
+
+
+class TestHostPacking:
+    def test_single_host_preferred(self):
+        topology = paper_cluster()
+        placer = Placer(topology, policy=PlacementPolicy.oef())
+        tenants = {"t": _tenant("t", [(4, "m")])}
+        result = placer.place_round({"t": np.array([0, 0, 4])}, tenants, 0.0)
+        assert result.placements[0].hosts_spanned == 1
+
+    def test_oversized_job_spreads_minimally(self):
+        topology = paper_cluster()
+        placer = Placer(topology, policy=PlacementPolicy.oef())
+        tenants = {"t": _tenant("t", [(6, "m")])}
+        result = placer.place_round({"t": np.array([0, 0, 6])}, tenants, 0.0)
+        assert result.placements[0].hosts_spanned == 2
+
+    def test_large_jobs_placed_first_under_oef(self):
+        topology = paper_cluster()
+        placer = Placer(topology, policy=PlacementPolicy.oef())
+        tenants = {
+            "a": _tenant("a", [(1, "m"), (1, "m")]),
+            "b": _tenant("b", [(4, "m")]),
+        }
+        grants = {"a": np.array([0, 0, 2]), "b": np.array([0, 0, 4])}
+        result = placer.place_round(grants, tenants, 0.0)
+        # the 4-worker job landed on a single host despite 'a' also using
+        # the same type
+        big = next(p for p in result.placements if p.job.num_workers == 4)
+        assert big.hosts_spanned == 1
+
+    def test_binding_error_when_grants_exceed_devices(self):
+        topology = paper_cluster()
+        placer = Placer(topology)
+        tenants = {"t": _tenant("t", [(9, "m")])}
+        with pytest.raises(PlacementError):
+            placer.place_round({"t": np.array([0, 0, 9])}, tenants, 0.0)
+
+    def test_unknown_tenant_rejected(self):
+        topology = paper_cluster()
+        placer = Placer(topology)
+        with pytest.raises(PlacementError):
+            placer.place_round({"ghost": np.array([1, 0, 0])}, {}, 0.0)
+
+
+class TestRoundOutcome:
+    def test_devices_marked_assigned(self):
+        topology = paper_cluster()
+        placer = Placer(topology)
+        tenants = {"t": _tenant("t", [(2, "m")])}
+        result = placer.place_round({"t": np.array([0, 0, 2])}, tenants, 0.0)
+        assert sum(1 for device in topology.devices if not device.is_free) == 2
+        assert len(result.placements[0].devices) == 2
+
+    def test_cross_type_job_counts_stragglers(self):
+        topology = paper_cluster()
+        placer = Placer(topology, policy=PlacementPolicy.naive())
+        tenants = {"t": _tenant("t", [(2, "m")])}
+        result = placer.place_round({"t": np.array([1, 1, 0])}, tenants, 0.0)
+        placement = result.placements[0]
+        assert placement.straggler_workers == 1
+        assert result.straggler_workers() == 1
+        assert result.cross_type_jobs() == 1
+
+    def test_network_factor_applied_to_cross_host(self):
+        topology = paper_cluster()
+        placer = Placer(topology, policy=PlacementPolicy.naive())
+        tenants = {"t": _tenant("t", [(2, "m")])}
+        result = placer.place_round({"t": np.array([1, 1, 0])}, tenants, 0.0)
+        assert result.placements[0].network_factor < 1.0
+
+    def test_single_host_job_no_penalty(self):
+        topology = paper_cluster()
+        placer = Placer(topology)
+        tenants = {"t": _tenant("t", [(2, "m")])}
+        result = placer.place_round({"t": np.array([0, 0, 2])}, tenants, 0.0)
+        assert result.placements[0].network_factor == 1.0
+
+    def test_tenant_throughput_aggregation(self):
+        topology = paper_cluster()
+        placer = Placer(topology)
+        tenants = {"t": _tenant("t", [(2, "m"), (1, "m")])}
+        result = placer.place_round({"t": np.array([0, 0, 3])}, tenants, 0.0)
+        throughput = result.tenant_throughput()
+        # 3 workers on rank-2 GPUs at speedup 2.0
+        assert throughput["t"] == pytest.approx(6.0)
+
+    def test_model_throughput_keyed_by_pair(self):
+        topology = paper_cluster()
+        placer = Placer(topology)
+        tenants = {"t": _tenant("t", [(1, "m")])}
+        result = placer.place_round({"t": np.array([1, 0, 0])}, tenants, 0.0)
+        assert ("t", "m") in result.model_throughput()

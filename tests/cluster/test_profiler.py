@@ -1,0 +1,81 @@
+"""Profiling agent: exact profiles, random error, deterministic bias."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ProfilingAgent, Tenant, make_job
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def tenant():
+    job = make_job(
+        job_id=1,
+        tenant="t",
+        model_name="lstm",
+        throughput=[4.0, 6.0, 8.6],
+    )
+    return Tenant(name="t", jobs=[job])
+
+
+class TestValidation:
+    def test_error_rate_bounds(self):
+        with pytest.raises(ValidationError):
+            ProfilingAgent(error_rate=-0.1)
+        with pytest.raises(ValidationError):
+            ProfilingAgent(error_rate=1.0)
+
+    def test_bias_bounds(self):
+        with pytest.raises(ValidationError):
+            ProfilingAgent(deterministic_bias=-1.0)
+
+
+class TestProfiles:
+    def test_zero_error_returns_truth(self, tenant):
+        agent = ProfilingAgent(error_rate=0.0)
+        profile = agent.profile_tenant(tenant)
+        np.testing.assert_allclose(profile["lstm"], [1.0, 1.5, 2.15])
+
+    def test_error_bounded(self, tenant):
+        agent = ProfilingAgent(error_rate=0.2, seed=1)
+        profile = agent.profile_tenant(tenant)["lstm"]
+        truth = np.array([1.0, 1.5, 2.15])
+        # entry-wise within 20% (after monotone repair, entries only grow)
+        assert np.all(profile <= truth * 1.2 + 1e-9)
+        assert np.all(profile >= truth * 0.8 - 1e-9)
+
+    def test_profile_stays_monotone(self, tenant):
+        agent = ProfilingAgent(error_rate=0.3, seed=5)
+        for _ in range(10):
+            profile = agent.profile_tenant(tenant)["lstm"]
+            assert np.all(np.diff(profile) >= -1e-12)
+
+    def test_profile_normalised(self, tenant):
+        agent = ProfilingAgent(error_rate=0.2, seed=2)
+        profile = agent.profile_tenant(tenant)["lstm"]
+        assert profile[0] == pytest.approx(1.0)
+
+    def test_deterministic_bias(self, tenant):
+        agent = ProfilingAgent(deterministic_bias=0.1)
+        profile = agent.profile_tenant(tenant)["lstm"]
+        np.testing.assert_allclose(profile, [1.0, 1.5 * 1.1, 2.15 * 1.1])
+
+    def test_negative_bias(self, tenant):
+        agent = ProfilingAgent(deterministic_bias=-0.1)
+        profile = agent.profile_tenant(tenant)["lstm"]
+        np.testing.assert_allclose(profile, [1.0, 1.35, 1.935])
+
+    def test_seed_reproducibility(self, tenant):
+        first = ProfilingAgent(error_rate=0.2, seed=9).profile_tenant(tenant)
+        second = ProfilingAgent(error_rate=0.2, seed=9).profile_tenant(tenant)
+        np.testing.assert_allclose(first["lstm"], second["lstm"])
+
+    def test_multiple_job_types_profiled_separately(self):
+        jobs = [
+            make_job(job_id=1, tenant="t", model_name="a", throughput=[1.0, 2.0]),
+            make_job(job_id=2, tenant="t", model_name="b", throughput=[1.0, 3.0]),
+        ]
+        tenant = Tenant(name="t", jobs=jobs)
+        profile = ProfilingAgent().profile_tenant(tenant)
+        assert set(profile) == {"a", "b"}
+        np.testing.assert_allclose(profile["b"], [1.0, 3.0])

@@ -1,0 +1,125 @@
+"""Deviation rounding (§4.3): capacity, convergence, min-demand rule."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import DeviationRounder, NaiveRounder
+from repro.exceptions import ValidationError
+
+
+class TestDeviationRounder:
+    def test_integral_output(self):
+        rounder = DeviationRounder()
+        result = rounder.round_shares({"a": np.array([1.4, 0.6])}, [8.0, 8.0])
+        assert result.grants["a"].dtype.kind == "i"
+
+    def test_capacity_never_exceeded(self):
+        rounder = DeviationRounder()
+        ideal = {f"t{i}": np.array([0.7, 0.7]) for i in range(10)}
+        for _ in range(20):
+            result = rounder.round_shares(ideal, [4.0, 4.0])
+            total = result.total_granted()
+            assert np.all(total <= 4 + 1e-9)
+
+    def test_long_run_average_converges_to_ideal(self):
+        rounder = DeviationRounder()
+        ideal = {"a": np.array([0.5, 1.5]), "b": np.array([1.5, 0.5])}
+        totals = {"a": np.zeros(2), "b": np.zeros(2)}
+        rounds = 40
+        for _ in range(rounds):
+            result = rounder.round_shares(ideal, [2.0, 2.0])
+            for name in totals:
+                totals[name] += result.grants[name]
+        np.testing.assert_allclose(totals["a"] / rounds, [0.5, 1.5], atol=0.06)
+        np.testing.assert_allclose(totals["b"] / rounds, [1.5, 0.5], atol=0.06)
+
+    def test_fractional_share_eventually_served(self):
+        # a tenant with ideal 0.25 must run once every ~4 rounds
+        rounder = DeviationRounder()
+        ideal = {
+            "small": np.array([0.25]),
+            "big": np.array([0.75]),
+        }
+        grants = []
+        for _ in range(8):
+            result = rounder.round_shares(ideal, [1.0])
+            grants.append(int(result.grants["small"][0]))
+        assert sum(grants) == 2  # 8 * 0.25
+
+    def test_min_demand_zeroes_small_grants(self):
+        rounder = DeviationRounder()
+        ideal = {"a": np.array([1.0, 0.0]), "b": np.array([3.0, 0.0])}
+        result = rounder.round_shares(
+            ideal, [4.0, 4.0], min_demands={"a": 2, "b": 1}
+        )
+        assert result.grants["a"].sum() == 0
+        assert "a" in result.zeroed_tenants
+
+    def test_zeroing_accumulates_deviation_until_runnable(self):
+        rounder = DeviationRounder()
+        ideal = {"a": np.array([1.0]), "b": np.array([3.0])}
+        served = 0
+        for _ in range(4):
+            result = rounder.round_shares(
+                ideal, [4.0], min_demands={"a": 2, "b": 1}, redistribute=False
+            )
+            served += int(result.grants["a"].sum() >= 2)
+        assert served >= 1  # deviation eventually buys a 2-GPU grant
+
+    def test_redistribution_keeps_work_conserving(self):
+        rounder = DeviationRounder()
+        ideal = {"a": np.array([1.0]), "b": np.array([3.0])}
+        result = rounder.round_shares(
+            ideal, [4.0], min_demands={"a": 2, "b": 1}, redistribute=True
+        )
+        if result.grants["a"].sum() == 0:
+            assert result.grants["b"].sum() == 4
+
+    def test_forget_drops_state(self):
+        rounder = DeviationRounder()
+        rounder.round_shares({"a": np.array([0.4])}, [1.0])
+        assert rounder.deviation("a").shape == (1,)
+        rounder.forget("a")
+        assert rounder.deviation("a").size == 0
+
+    def test_shape_mismatch_rejected(self):
+        rounder = DeviationRounder()
+        with pytest.raises(ValidationError):
+            rounder.round_shares({"a": np.array([0.4])}, [1.0, 1.0])
+
+    def test_empty_input(self):
+        rounder = DeviationRounder()
+        result = rounder.round_shares({}, [2.0])
+        assert result.grants == {}
+
+    def test_no_devices_granted_beyond_requests(self):
+        rounder = DeviationRounder()
+        result = rounder.round_shares(
+            {"a": np.array([0.5, 0.0])}, [8.0, 8.0]
+        )
+        # nobody asked for type 2; largest-remainder must not hand it out
+        assert result.grants["a"][1] == 0
+
+
+class TestNaiveRounder:
+    def test_rint_behaviour(self):
+        rounder = NaiveRounder()
+        result = rounder.round_shares(
+            {"a": np.array([1.6, 0.4])}, [8.0, 8.0]
+        )
+        np.testing.assert_array_equal(result.grants["a"], [2, 0])
+
+    def test_small_shares_starve_forever(self):
+        rounder = NaiveRounder()
+        for _ in range(5):
+            result = rounder.round_shares({"a": np.array([0.4])}, [1.0])
+            assert result.grants["a"][0] == 0
+
+    def test_capacity_shaved_on_oversubscription(self):
+        rounder = NaiveRounder()
+        ideal = {f"t{i}": np.array([0.6]) for i in range(10)}  # rint -> 1 each
+        result = rounder.round_shares(ideal, [4.0])
+        assert result.total_granted()[0] <= 4
+
+    def test_forget_is_noop(self):
+        NaiveRounder().forget("whoever")

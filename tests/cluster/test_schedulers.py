@@ -1,0 +1,136 @@
+"""Round-level scheduler adapters."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Gavel, MaxMinFairness
+from repro.cluster import (
+    OEFScheduler,
+    SingleProfileScheduler,
+    Tenant,
+    make_job,
+)
+from repro.exceptions import SimulationError
+
+
+def _tenant(name, model="vgg16", speedups=(1.0, 1.5, 2.0), num_jobs=2, weight=1.0):
+    tenant = Tenant(name=name, weight=weight)
+    for index in range(num_jobs):
+        tenant.add_job(
+            make_job(
+                job_id=abs(hash((name, index))) % 10_000,
+                tenant=name,
+                model_name=model,
+                throughput=list(speedups),
+            )
+        )
+    return tenant
+
+
+@pytest.fixture
+def tenants():
+    return [
+        _tenant("a", "vgg16", (1.0, 1.2, 1.4)),
+        _tenant("b", "lstm", (1.0, 1.6, 2.15)),
+    ]
+
+
+@pytest.fixture
+def profiles(tenants):
+    return {
+        tenant.name: tenant.true_speedup_profile() for tenant in tenants
+    }
+
+
+CAPACITIES = np.array([8.0, 8.0, 8.0])
+
+
+class TestOEFScheduler:
+    def test_invalid_mode(self):
+        with pytest.raises(SimulationError):
+            OEFScheduler(mode="chaotic")
+
+    def test_shares_for_every_tenant(self, tenants, profiles):
+        decision = OEFScheduler("noncooperative").shares(
+            tenants, profiles, CAPACITIES
+        )
+        assert set(decision.tenant_shares) == {"a", "b"}
+        assert decision.solver_seconds > 0
+
+    def test_noncoop_equalises_estimates(self, tenants, profiles):
+        decision = OEFScheduler("noncooperative").shares(
+            tenants, profiles, CAPACITIES
+        )
+        assert decision.estimated["a"] == pytest.approx(
+            decision.estimated["b"], rel=1e-5
+        )
+
+    def test_weight_respected(self, profiles):
+        tenants = [
+            _tenant("a", "vgg16", (1.0, 1.2, 1.4), weight=2.0),
+            _tenant("b", "lstm", (1.0, 1.6, 2.15)),
+        ]
+        profiles = {t.name: t.true_speedup_profile() for t in tenants}
+        decision = OEFScheduler("noncooperative").shares(
+            tenants, profiles, CAPACITIES
+        )
+        assert decision.estimated["a"] == pytest.approx(
+            2 * decision.estimated["b"], rel=1e-5
+        )
+
+    def test_multiple_job_types_share_equally(self):
+        tenant = Tenant(name="a")
+        tenant.add_job(
+            make_job(job_id=1, tenant="a", model_name="x", throughput=[1, 2, 3])
+        )
+        tenant.add_job(
+            make_job(job_id=2, tenant="a", model_name="y", throughput=[1, 1.5, 2])
+        )
+        other = _tenant("b", "lstm", (1.0, 1.6, 2.15))
+        tenants = [tenant, other]
+        profiles = {t.name: t.true_speedup_profile() for t in tenants}
+        decision = OEFScheduler("noncooperative").shares(
+            tenants, profiles, CAPACITIES
+        )
+        by_type = decision.job_type_shares["a"]
+        assert set(by_type) == {"x", "y"}
+
+    def test_shares_respect_capacity(self, tenants, profiles):
+        decision = OEFScheduler("cooperative").shares(tenants, profiles, CAPACITIES)
+        total = np.sum(list(decision.tenant_shares.values()), axis=0)
+        assert np.all(total <= CAPACITIES + 1e-6)
+
+
+class TestSingleProfileScheduler:
+    def test_name_propagates(self):
+        scheduler = SingleProfileScheduler(Gavel())
+        assert scheduler.name == "gavel"
+
+    def test_maxmin_equal_shares(self, tenants, profiles):
+        decision = SingleProfileScheduler(MaxMinFairness()).shares(
+            tenants, profiles, CAPACITIES
+        )
+        np.testing.assert_allclose(decision.tenant_shares["a"], CAPACITIES / 2)
+
+    def test_estimated_matches_shares(self, tenants, profiles):
+        decision = SingleProfileScheduler(MaxMinFairness()).shares(
+            tenants, profiles, CAPACITIES
+        )
+        expected = float(profiles["b"]["lstm"] @ (CAPACITIES / 2))
+        assert decision.estimated["b"] == pytest.approx(expected)
+
+    def test_dominant_job_type_selected(self):
+        tenant = Tenant(name="a")
+        for index in range(3):
+            tenant.add_job(
+                make_job(
+                    job_id=index, tenant="a", model_name="many",
+                    throughput=[1, 2, 3],
+                )
+            )
+        tenant.add_job(
+            make_job(job_id=99, tenant="a", model_name="few", throughput=[1, 1.1, 1.2])
+        )
+        profiles = {"a": tenant.true_speedup_profile()}
+        dominant = SingleProfileScheduler._dominant_job_type(tenant, profiles["a"])
+        assert dominant == "many"

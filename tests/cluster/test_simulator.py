@@ -1,0 +1,186 @@
+"""End-to-end cluster simulations: integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MaxMinFairness
+from repro.cluster import (
+    ClusterSimulator,
+    OEFScheduler,
+    Placer,
+    PlacementPolicy,
+    SimulationConfig,
+    SingleProfileScheduler,
+    Tenant,
+    paper_cluster,
+)
+from repro.exceptions import ValidationError
+from repro.workloads import TenantGenerator
+
+
+def _population(num_tenants=3, num_jobs=3, duration=1800.0, seed=0):
+    generator = TenantGenerator(seed=seed)
+    models = ["vgg16", "lstm", "resnet50", "transformer"]
+    return [
+        generator.make_tenant(
+            f"t{i}", model_name=models[i % 4], num_jobs=num_jobs,
+            duration_on_slowest=duration,
+        )
+        for i in range(num_tenants)
+    ]
+
+
+def _simulator(tenants=None, scheduler=None, **config_overrides):
+    topology = paper_cluster()
+    tenants = tenants or _population()
+    scheduler = scheduler or OEFScheduler("noncooperative")
+    config = SimulationConfig(num_rounds=6, **config_overrides)
+    return ClusterSimulator(topology, tenants, scheduler, config=config)
+
+
+class TestConfig:
+    def test_bad_round_duration(self):
+        with pytest.raises(ValidationError):
+            SimulationConfig(round_duration=0.0)
+
+    def test_bad_num_rounds(self):
+        with pytest.raises(ValidationError):
+            SimulationConfig(num_rounds=0)
+
+    def test_duplicate_tenant_names_rejected(self):
+        tenants = [Tenant(name="x"), Tenant(name="x")]
+        with pytest.raises(ValidationError):
+            _simulator(tenants=tenants)
+
+
+class TestRunBasics:
+    def test_rounds_recorded(self):
+        metrics = _simulator().run()
+        assert len(metrics.rounds) == 6
+
+    def test_throughput_positive(self):
+        metrics = _simulator().run()
+        assert metrics.mean_total_actual() > 0
+        assert metrics.mean_total_estimated() > 0
+
+    def test_jobs_complete_and_jct_recorded(self):
+        metrics = _simulator(
+            tenants=_population(num_jobs=1, duration=200.0)
+        ).run()
+        assert len(metrics.completions) == 3
+        assert all(record.jct > 0 for record in metrics.completions)
+
+    def test_stop_when_idle(self):
+        metrics = _simulator(
+            tenants=_population(num_jobs=1, duration=100.0),
+            stop_when_idle=True,
+        ).run()
+        assert len(metrics.rounds) < 6
+
+    def test_no_stop_runs_all_rounds(self):
+        metrics = _simulator(
+            tenants=_population(num_jobs=1, duration=100.0),
+            stop_when_idle=False,
+        ).run()
+        assert len(metrics.rounds) == 6
+
+    def test_devices_never_oversubscribed(self):
+        metrics = _simulator().run()
+        for round_metrics in metrics.rounds:
+            assert round_metrics.devices_used <= 24
+
+    def test_completion_recorded_once(self):
+        metrics = _simulator(
+            tenants=_population(num_jobs=2, duration=150.0)
+        ).run()
+        ids = [record.job_id for record in metrics.completions]
+        assert len(ids) == len(set(ids))
+
+
+class TestTenantDynamics:
+    def test_departure_removes_tenant(self):
+        tenants = _population()
+        tenants[0].departure_time = 600.0  # leaves after round 2
+        metrics = _simulator(tenants=tenants, stop_when_idle=False).run()
+        series = metrics.tenant_series(tenants[0].name)
+        assert all(value == 0.0 for value in series[2:])
+        assert any(value > 0.0 for value in series[:2])
+
+    def test_late_arrival_waits(self):
+        generator = TenantGenerator(seed=1)
+        late = generator.make_tenant(
+            "late", model_name="lstm", num_jobs=2,
+            duration_on_slowest=3600.0, submit_time=600.0,
+        )
+        tenants = _population(num_tenants=2) + [late]
+        metrics = _simulator(tenants=tenants, stop_when_idle=False).run()
+        series = metrics.tenant_series("late")
+        assert series[0] == 0.0 and series[1] == 0.0
+        assert any(value > 0.0 for value in series[2:])
+
+    def test_remaining_tenants_keep_equal_progress_after_exit(self):
+        tenants = _population(num_tenants=4, num_jobs=6, duration=36000.0)
+        tenants[3].departure_time = 900.0
+        metrics = _simulator(tenants=tenants, stop_when_idle=False).run()
+        last = metrics.rounds[-1]
+        values = [last.estimated[t.name] for t in tenants[:3]]
+        np.testing.assert_allclose(values, values[0], rtol=1e-4)
+
+
+class TestMisreports:
+    def test_misreport_does_not_pay_when_demand_is_ample(self):
+        # SP is a fluid-allocation property; with enough jobs per tenant
+        # (no demand cap), the simulated cheater must not gain either
+        honest = _simulator(
+            tenants=_population(num_jobs=12, duration=360000.0)
+        ).run()
+        cheating = _simulator(
+            tenants=_population(num_jobs=12, duration=360000.0),
+            misreports={"t0": np.array([1.0, 1.3, 1.3])},
+        ).run()
+        assert (
+            cheating.mean_tenant_throughput("t0")
+            <= honest.mean_tenant_throughput("t0") * 1.05
+        )
+
+    def test_misreport_inflates_reported_estimates(self):
+        cheating = _simulator(
+            tenants=_population(num_jobs=12, duration=360000.0),
+            misreports={"t0": np.array([1.0, 1.3, 1.3])},
+        ).run()
+        honest = _simulator(
+            tenants=_population(num_jobs=12, duration=360000.0)
+        ).run()
+        # the evaluator's (reported-unit) totals rise under inflated claims
+        assert cheating.mean_total_estimated() >= honest.mean_total_estimated()
+
+
+class TestSchedulerIntegration:
+    def test_maxmin_baseline_runs(self):
+        metrics = _simulator(
+            scheduler=SingleProfileScheduler(MaxMinFairness())
+        ).run()
+        assert metrics.mean_total_actual() > 0
+
+    def test_cooperative_oef_runs(self):
+        metrics = _simulator(scheduler=OEFScheduler("cooperative")).run()
+        assert metrics.mean_total_actual() > 0
+
+    def test_naive_placer_configuration(self):
+        topology = paper_cluster()
+        simulator = ClusterSimulator(
+            topology,
+            _population(),
+            SingleProfileScheduler(MaxMinFairness()),
+            placer=Placer(topology, policy=PlacementPolicy.naive()),
+            config=SimulationConfig(num_rounds=3),
+        )
+        assert simulator.run().mean_total_actual() > 0
+
+    def test_profiling_error_still_valid(self):
+        metrics = _simulator(profiling_error=0.2).run()
+        assert metrics.mean_total_actual() > 0
+
+    def test_solver_seconds_tracked(self):
+        metrics = _simulator().run()
+        assert metrics.mean_solver_seconds() > 0

@@ -1,0 +1,88 @@
+"""Allocation metrics: throughput, envy, sharing-incentive, utilisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Allocation, ProblemInstance, SpeedupMatrix
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def instance():
+    return ProblemInstance(SpeedupMatrix([[1, 2], [1, 4]]), [1.0, 1.0])
+
+
+class TestValidation:
+    def test_shape_mismatch(self, instance):
+        with pytest.raises(ValidationError):
+            Allocation(np.zeros((3, 2)), instance)
+
+    def test_negative_share_rejected(self, instance):
+        with pytest.raises(ValidationError):
+            Allocation([[-0.5, 0], [0, 0]], instance)
+
+    def test_over_capacity_rejected(self, instance):
+        with pytest.raises(ValidationError):
+            Allocation([[1.0, 0.6], [0.0, 0.6]], instance)
+
+    def test_tiny_negative_clipped(self, instance):
+        allocation = Allocation([[-1e-9, 0.0], [0.0, 0.0]], instance)
+        assert allocation.matrix.min() >= 0.0
+
+
+class TestMetrics:
+    def test_user_throughput(self, instance):
+        allocation = Allocation([[1.0, 0.25], [0.0, 0.75]], instance)
+        np.testing.assert_allclose(allocation.user_throughput(), [1.5, 3.0])
+
+    def test_user_throughput_by_name(self, instance):
+        allocation = Allocation([[1.0, 0.0], [0.0, 1.0]], instance)
+        assert allocation.user_throughput("user2") == pytest.approx(4.0)
+
+    def test_total_efficiency(self, instance):
+        allocation = Allocation([[1.0, 0.25], [0.0, 0.75]], instance)
+        assert allocation.total_efficiency() == pytest.approx(4.5)
+
+    def test_cross_throughput(self, instance):
+        allocation = Allocation([[1.0, 0.0], [0.0, 1.0]], instance)
+        cross = allocation.cross_throughput()
+        # user1 on user2's share: speedup [1,2] . [0,1] = 2
+        assert cross[0, 1] == pytest.approx(2.0)
+        assert cross[1, 0] == pytest.approx(1.0)
+
+    def test_envy_matrix_diagonal_zero(self, instance):
+        allocation = Allocation([[0.5, 0.5], [0.5, 0.5]], instance)
+        envy = allocation.envy_matrix()
+        np.testing.assert_allclose(np.diag(envy), 0.0)
+
+    def test_envy_matrix_detects_envy(self, instance):
+        # user1 holds nothing: it envies user2
+        allocation = Allocation([[0.0, 0.0], [1.0, 1.0]], instance)
+        envy = allocation.envy_matrix()
+        assert envy[0, 1] == pytest.approx(3.0)
+
+    def test_sharing_incentive_gap(self, instance):
+        allocation = Allocation([[0.5, 0.5], [0.5, 0.5]], instance)
+        # equal split is exactly the SI reference point
+        np.testing.assert_allclose(allocation.sharing_incentive_gap(), 0.0, atol=1e-12)
+
+    def test_utilisation(self, instance):
+        allocation = Allocation([[0.5, 0.0], [0.25, 1.0]], instance)
+        np.testing.assert_allclose(allocation.utilisation(), [0.75, 1.0])
+
+    def test_user_share_copy(self, instance):
+        allocation = Allocation([[0.5, 0.5], [0.0, 0.0]], instance)
+        share = allocation.user_share(0)
+        share[0] = 9.0
+        assert allocation.matrix[0, 0] == 0.5
+
+    def test_gpu_types_used(self, instance):
+        allocation = Allocation([[1.0, 0.0], [0.0, 1.0]], instance)
+        assert allocation.gpu_types_used(0) == [0]
+        assert allocation.gpu_types_used("user2") == [1]
+
+    def test_repr_contains_allocator_name(self, instance):
+        allocation = Allocation(
+            [[0.0, 0.0], [0.0, 0.0]], instance, allocator_name="x"
+        )
+        assert "x" in repr(allocation)

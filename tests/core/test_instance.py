@@ -1,0 +1,62 @@
+"""ProblemInstance validation and helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProblemInstance, SpeedupMatrix
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def matrix():
+    return SpeedupMatrix([[1, 2], [1, 4]])
+
+
+class TestValidation:
+    def test_construction(self, matrix):
+        instance = ProblemInstance(matrix, [2.0, 3.0])
+        assert instance.num_users == 2
+        assert instance.num_gpu_types == 2
+
+    def test_capacity_shape_mismatch(self, matrix):
+        with pytest.raises(ValidationError):
+            ProblemInstance(matrix, [1.0])
+
+    def test_negative_capacity_rejected(self, matrix):
+        with pytest.raises(ValidationError):
+            ProblemInstance(matrix, [1.0, -1.0])
+
+    def test_all_zero_capacity_rejected(self, matrix):
+        with pytest.raises(ValidationError):
+            ProblemInstance(matrix, [0.0, 0.0])
+
+    def test_nan_capacity_rejected(self, matrix):
+        with pytest.raises(ValidationError):
+            ProblemInstance(matrix, [1.0, np.nan])
+
+    def test_fractional_capacities_allowed(self, matrix):
+        instance = ProblemInstance(matrix, [0.5, 1.5])
+        assert instance.capacities.sum() == pytest.approx(2.0)
+
+
+class TestHelpers:
+    def test_equal_split_throughput_vector(self, matrix):
+        instance = ProblemInstance(matrix, [2.0, 2.0])
+        # each of 2 users gets one GPU of each type
+        np.testing.assert_allclose(
+            instance.equal_split_throughput(), [3.0, 5.0]
+        )
+
+    def test_equal_split_single_user(self, matrix):
+        instance = ProblemInstance(matrix, [1.0, 1.0])
+        assert instance.equal_split_throughput("user2") == pytest.approx(2.5)
+
+    def test_with_speedups_keeps_capacities(self, matrix):
+        instance = ProblemInstance(matrix, [1.0, 1.0])
+        replaced = instance.with_speedups(matrix.with_row(0, [1, 3]))
+        np.testing.assert_allclose(replaced.capacities, instance.capacities)
+        assert replaced.speedups.values[0, 1] == 3.0
+
+    def test_repr_mentions_sizes(self, matrix):
+        instance = ProblemInstance(matrix, [1.0, 1.0])
+        assert "users=2" in repr(instance)

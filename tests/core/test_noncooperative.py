@@ -1,0 +1,88 @@
+"""Non-cooperative OEF (Eq. 9): equal throughput + strategy-proofness."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    NonCooperativeOEF,
+    ProblemInstance,
+    SpeedupMatrix,
+    check_strategy_proofness,
+)
+from repro.workloads.generator import random_instance
+
+
+class TestFormulation:
+    def test_equal_throughput_constraint_holds(self, paper_instance):
+        allocation = NonCooperativeOEF().allocate(paper_instance)
+        throughput = allocation.user_throughput()
+        np.testing.assert_allclose(throughput, throughput[0], rtol=1e-6)
+
+    def test_paper_example_value(self, paper_instance):
+        # common throughput T for W=[[1,2],[1,3],[1,4]], m=[1,1]:
+        # use GPU1 on u1 and split GPU2 so everyone hits T = 18/13
+        allocation = NonCooperativeOEF().allocate(paper_instance)
+        assert allocation.user_throughput()[0] == pytest.approx(18 / 13, rel=1e-6)
+
+    def test_capacity_respected(self, paper_instance):
+        allocation = NonCooperativeOEF().allocate(paper_instance)
+        used = allocation.matrix.sum(axis=0)
+        assert np.all(used <= paper_instance.capacities + 1e-8)
+
+    def test_full_capacity_used(self, paper_instance):
+        allocation = NonCooperativeOEF().allocate(paper_instance)
+        np.testing.assert_allclose(
+            allocation.matrix.sum(axis=0), paper_instance.capacities, rtol=1e-6
+        )
+
+    def test_single_user_gets_everything(self):
+        instance = ProblemInstance(SpeedupMatrix([[1, 2]]), [3.0, 5.0])
+        allocation = NonCooperativeOEF().allocate(instance)
+        np.testing.assert_allclose(allocation.matrix, [[3.0, 5.0]])
+
+    def test_identical_users_split_equally_in_value(self):
+        instance = ProblemInstance(SpeedupMatrix([[1, 2], [1, 2]]), [1.0, 1.0])
+        allocation = NonCooperativeOEF().allocate(instance)
+        throughput = allocation.user_throughput()
+        assert throughput[0] == pytest.approx(throughput[1])
+        assert allocation.total_efficiency() == pytest.approx(3.0)
+
+    def test_more_users_than_devices(self):
+        instance = ProblemInstance(
+            SpeedupMatrix([[1, 2], [1, 3], [1, 4], [1, 5], [1, 6]]), [1.0, 1.0]
+        )
+        allocation = NonCooperativeOEF().allocate(instance)
+        throughput = allocation.user_throughput()
+        np.testing.assert_allclose(throughput, throughput[0], rtol=1e-6)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances_equalise(self, seed):
+        instance = random_instance(6, 3, seed=seed)
+        allocation = NonCooperativeOEF().allocate(instance)
+        throughput = allocation.user_throughput()
+        np.testing.assert_allclose(throughput, throughput[0], rtol=1e-5)
+
+
+class TestStrategyProofness:
+    def test_paper_example_is_strategy_proof(self, paper_instance):
+        report = check_strategy_proofness(
+            NonCooperativeOEF(), paper_instance, trials=6, seed=0
+        )
+        assert report.satisfied, report.violations
+
+    def test_zoo_instance_is_strategy_proof(self, zoo_instance_4):
+        report = check_strategy_proofness(
+            NonCooperativeOEF(), zoo_instance_4, trials=4, seed=1
+        )
+        assert report.satisfied, report.violations
+
+    def test_honest_users_gain_when_someone_cheats(self, paper_instance):
+        allocator = NonCooperativeOEF()
+        honest = allocator.allocate(paper_instance)
+        faked = paper_instance.with_speedups(
+            paper_instance.speedups.with_row(0, [1.0, 2.5])
+        )
+        lying = allocator.allocate(faked)
+        truth = paper_instance.speedups.row(0)
+        # the cheater's true throughput must not improve
+        assert truth @ lying.matrix[0] <= truth @ honest.matrix[0] + 1e-6

@@ -1,0 +1,174 @@
+"""Weighted OEF and virtual-user expansion (§4.2.3–4.2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    JobTypeSpec,
+    TenantSpec,
+    VirtualUserExpansion,
+    WeightedOEF,
+)
+from repro.exceptions import ValidationError
+
+
+def _two_tenants(weight2: float = 1.0):
+    return [
+        TenantSpec.single("u1", [1.0, 2.0], weight=1.0),
+        TenantSpec.single("u2", [1.0, 5.0], weight=weight2),
+    ]
+
+
+class TestSpecs:
+    def test_job_type_normalised(self):
+        job = JobTypeSpec.of("j", [2.0, 4.0])
+        assert job.speedups == (1.0, 2.0)
+
+    def test_job_type_rejects_non_positive(self):
+        with pytest.raises(ValidationError):
+            JobTypeSpec.of("j", [1.0, 0.0])
+
+    def test_job_type_rejects_matrix(self):
+        with pytest.raises(ValidationError):
+            JobTypeSpec.of("j", [[1.0, 2.0]])
+
+    def test_tenant_requires_job_types(self):
+        with pytest.raises(ValidationError):
+            TenantSpec.of("t", [])
+
+    def test_tenant_rejects_zero_weight(self):
+        with pytest.raises(ValidationError):
+            TenantSpec.single("t", [1.0, 2.0], weight=0.0)
+
+    def test_tenant_rejects_mixed_type_counts(self):
+        with pytest.raises(ValidationError):
+            TenantSpec.of(
+                "t",
+                [JobTypeSpec.of("a", [1, 2]), JobTypeSpec.of("b", [1, 2, 3])],
+            )
+
+
+class TestExpansion:
+    def test_unit_weights_one_replica_each(self):
+        expansion = VirtualUserExpansion(_two_tenants())
+        counts = expansion.replica_counts()
+        assert counts == {"u1/u1/job": 1, "u2/u2/job": 1}
+
+    def test_integer_weight_replicates(self):
+        expansion = VirtualUserExpansion(_two_tenants(weight2=2.0))
+        counts = expansion.replica_counts()
+        assert counts["u2/u2/job"] == 2 * counts["u1/u1/job"]
+
+    def test_fractional_weight_scaled_to_integers(self):
+        tenants = [
+            TenantSpec.single("a", [1, 2], weight=1.5),
+            TenantSpec.single("b", [1, 2], weight=1.0),
+        ]
+        counts = VirtualUserExpansion(tenants).replica_counts()
+        assert counts["a/a/job"] == 3
+        assert counts["b/b/job"] == 2
+
+    def test_job_types_split_weight(self):
+        tenants = [
+            TenantSpec.of(
+                "t",
+                [JobTypeSpec.of("x", [1, 2]), JobTypeSpec.of("y", [1, 3])],
+                weight=1.0,
+            ),
+            TenantSpec.single("s", [1, 4]),
+        ]
+        counts = VirtualUserExpansion(tenants).replica_counts()
+        # tenant t: 1/2 weight per job type; tenant s: weight 1
+        assert counts["t/x"] == 1
+        assert counts["t/y"] == 1
+        assert counts["s/s/job"] == 2
+
+    def test_expanded_matrix_rows(self):
+        expansion = VirtualUserExpansion(_two_tenants(weight2=2.0))
+        matrix = expansion.expanded_matrix()
+        assert matrix.num_users == 3
+        np.testing.assert_allclose(matrix.values[1], matrix.values[2])
+
+    def test_duplicate_tenant_names_rejected(self):
+        with pytest.raises(ValidationError):
+            VirtualUserExpansion(
+                [TenantSpec.single("x", [1, 2]), TenantSpec.single("x", [1, 3])]
+            )
+
+    def test_mismatched_gpu_type_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            VirtualUserExpansion(
+                [TenantSpec.single("a", [1, 2]), TenantSpec.single("b", [1, 2, 3])]
+            )
+
+
+class TestWeightedAllocation:
+    def test_weight_doubles_throughput_noncoop(self):
+        merged = WeightedOEF(mode="noncooperative").allocate(
+            _two_tenants(weight2=2.0), [1.0, 1.0]
+        )
+        ratio = merged.tenant_throughput["u2"] / merged.tenant_throughput["u1"]
+        assert ratio == pytest.approx(2.0, rel=1e-5)
+
+    def test_paper_weighted_example(self):
+        # §4.2.3: W = [[1,2],[1,5]] with pi2 = 2 -> u2 gets 2/3 of GPU2
+        merged = WeightedOEF(mode="noncooperative").allocate(
+            _two_tenants(weight2=2.0), [1.0, 1.0]
+        )
+        assert merged.tenant_shares["u2"][1] == pytest.approx(2 / 3, rel=1e-4)
+        assert merged.tenant_shares["u1"][0] == pytest.approx(1.0, rel=1e-4)
+
+    def test_multiple_job_types_get_equal_throughput_noncoop(self):
+        # §4.2.4: u1 adds a second job type <1,3>; the two virtual users of
+        # u1 each achieve the common per-virtual-user throughput
+        tenants = [
+            TenantSpec.of(
+                "u1",
+                [JobTypeSpec.of("a", [1, 2]), JobTypeSpec.of("b", [1, 3])],
+            ),
+            TenantSpec.single("u2", [1, 5]),
+        ]
+        merged = WeightedOEF(mode="noncooperative").allocate(tenants, [1.0, 1.0])
+        job_tp = merged.job_type_throughput["u1"]
+        assert job_tp["a"] == pytest.approx(job_tp["b"], rel=1e-5)
+        # u2 (weight 1 split over 2 replicas... none) gets same total as u1
+        assert merged.tenant_throughput["u2"] == pytest.approx(
+            merged.tenant_throughput["u1"], rel=1e-5
+        )
+
+    def test_cooperative_mode_respects_weights_as_replicas(self):
+        merged = WeightedOEF(mode="cooperative").allocate(
+            _two_tenants(weight2=2.0), [1.0, 1.0]
+        )
+        # the heavy tenant must do at least as well as its weighted equal
+        # split: 2/3 of each GPU type
+        heavy = merged.tenant_throughput["u2"]
+        assert heavy >= (2 / 3) * (1.0 + 5.0) - 1e-6
+
+    def test_total_efficiency_helper(self):
+        merged = WeightedOEF().allocate(_two_tenants(), [1.0, 1.0])
+        assert merged.total_efficiency() == pytest.approx(
+            sum(merged.tenant_throughput.values())
+        )
+
+    def test_shares_respect_capacity(self):
+        merged = WeightedOEF().allocate(_two_tenants(weight2=3.0), [2.0, 2.0])
+        total = np.sum(list(merged.tenant_shares.values()), axis=0)
+        assert np.all(total <= 2.0 + 1e-6)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            WeightedOEF(mode="anarchic")
+
+    def test_merge_requires_matching_allocation(self):
+        expansion = VirtualUserExpansion(_two_tenants())
+        other = VirtualUserExpansion(_two_tenants(weight2=3.0))
+        other_matrix = other.expanded_matrix()
+        from repro.core import Allocation, ProblemInstance
+
+        allocation = Allocation(
+            np.zeros((other_matrix.num_users, 2)),
+            ProblemInstance(other_matrix, [1.0, 1.0]),
+        )
+        with pytest.raises(ValidationError):
+            expansion.merge(allocation)

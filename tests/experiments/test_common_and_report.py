@@ -1,0 +1,73 @@
+"""Experiment helpers: table formatting, stacks, and the report generator."""
+
+import io
+
+import pytest
+
+from repro.cluster import PlacementPolicy, paper_cluster
+from repro.experiments.common import (
+    ExperimentResult,
+    baseline_stack,
+    oef_stack,
+)
+from repro.experiments.report import _as_markdown, generate_report
+
+
+class TestExperimentResultFormat:
+    def test_header_union_across_rows(self):
+        result = ExperimentResult("t")
+        result.rows = [{"a": 1}, {"b": 2.5}]
+        text = result.format()
+        assert "a" in text and "b" in text
+        assert "2.500" in text
+
+    def test_notes_rendered(self):
+        result = ExperimentResult("t", notes=["something important"])
+        assert "something important" in result.format()
+
+    def test_empty_result(self):
+        result = ExperimentResult("empty")
+        assert "empty" in result.format()
+
+    def test_float_formatting(self):
+        result = ExperimentResult("t")
+        result.rows = [{"x": 1.23456789}]
+        assert "1.235" in result.format()
+
+
+class TestStacks:
+    def test_oef_stack_modes(self):
+        topology = paper_cluster()
+        scheduler, placer = oef_stack(topology, "cooperative")
+        assert scheduler.name == "oef-coop"
+        assert placer.policy == PlacementPolicy.oef()
+
+    def test_baseline_stack_naive_placement(self):
+        topology = paper_cluster()
+        for name in ("gandiva", "gavel", "max-min"):
+            scheduler, placer = baseline_stack(topology, name)
+            assert placer.policy == PlacementPolicy.naive()
+
+    def test_baseline_stack_unknown(self):
+        with pytest.raises(KeyError):
+            baseline_stack(paper_cluster(), "fifo")
+
+
+class TestReport:
+    def test_markdown_table_shape(self):
+        result = ExperimentResult("Fig. X — demo")
+        result.rows = [{"col": 1.0, "name": "a"}, {"col": 2.0, "name": "b"}]
+        result.notes = ["a note"]
+        text = _as_markdown(result)
+        assert text.startswith("### Fig. X — demo")
+        assert "| col | name |" in text
+        assert "> a note" in text
+
+    def test_generate_report_subset(self):
+        stream = io.StringIO()
+        count = generate_report(stream, only=["fig1", "fig2"])
+        text = stream.getvalue()
+        assert count == 2
+        assert "Fig. 1" in text
+        assert "Fig. 2" in text
+        assert "regenerated in" in text

@@ -1,0 +1,198 @@
+"""Integration tests: every paper experiment runs and shows the right shape.
+
+These use scaled-down parameters so the suite stays fast; the full-scale
+runs live in benchmarks/ and EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig1_motivation,
+    fig2_conflict,
+    fig4_strategyproofness,
+    fig5_sharing_incentive,
+    fig6_envy_freeness,
+    fig7_noncoop_throughput,
+    fig8_coop_throughput,
+    fig9_jct,
+    fig10_overhead,
+    straggler_ablation,
+    table1_properties,
+)
+
+
+class TestFig1:
+    def test_speedup_shape(self):
+        result = fig1_motivation.run()
+        rows = {row["user"]: row for row in result.rows if row["panel"] == "(a)"}
+        assert rows["user-2 (LSTM)"]["3090"] > rows["user-1 (VGG)"]["3090"]
+
+    def test_oef_beats_maxmin_for_steep_user(self):
+        result = fig1_motivation.run()
+        rows = [row for row in result.rows if row["panel"] == "(b)"]
+        user2 = next(row for row in rows if row["user"] == "user-2")
+        assert user2["OEF"] > user2["Max-Min"]
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return table1_properties.run(num_random=1, sp_trials=1)
+
+    def test_matches_paper_rows(self, table):
+        rows = {row["scheduler"]: row for row in table.rows}
+        assert rows["gavel"]["SI"] == "yes"
+        assert rows["gavel"]["EF"] == "no"
+        assert rows["gavel"]["SP"] == "no"
+        assert rows["gandiva-fair"]["PE"] == "yes"
+        assert rows["gandiva-fair"]["SP"] == "no"
+        assert rows["oef-coop"]["EF"] == "yes"
+        assert rows["oef-noncoop"]["SP"] == "yes"
+
+    def test_combined_oef_row_all_yes(self, table):
+        combined = next(
+            row for row in table.rows if row["scheduler"] == "OEF (per environment)"
+        )
+        for key in ("PE", "EF", "SI", "SP", "optimal efficiency"):
+            assert combined[key] == "yes"
+
+
+class TestFig2:
+    def test_lying_gains_under_ef_optimal(self):
+        result = fig2_conflict.run()
+        honest = result.rows[0]["u1 true throughput"]
+        lied = result.rows[1]["u1 true throughput"]
+        assert lied > honest
+
+    def test_eq6_numbers(self):
+        result = fig2_conflict.run()
+        assert result.rows[2]["u1 share gpu2"] == pytest.approx(0.25, abs=1e-4)
+        assert result.rows[3]["u1 share gpu2"] == pytest.approx(0.375, abs=1e-4)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4_strategyproofness.run(
+            num_rounds=6, departure_round=3, jobs_per_tenant=10
+        )
+
+    def test_cheater_penalised(self, result):
+        rows = {row["tenant"]: row for row in result.rows}
+        assert (
+            rows["user1"]["mean throughput (user1 cheats)"]
+            < rows["user1"]["mean throughput (no one cheats)"]
+        )
+
+    def test_honest_users_equal_progress(self, result):
+        honest = [
+            result.series[f"user{i}/honest"][0] for i in range(1, 5)
+        ]
+        np.testing.assert_allclose(honest, honest[0], rtol=0.35)
+
+    def test_departed_user_stops(self, result):
+        series = result.series["user4/honest"]
+        assert all(value == 0.0 for value in series[3:])
+
+
+class TestFig5:
+    def test_sharing_incentive_ratios(self):
+        result = fig5_sharing_incentive.run_panel_a(num_rounds=4)
+        for row in result.rows:
+            assert row["estimated / Max-Min"] >= 0.99
+
+    def test_second_job_type_splits_evenly(self):
+        result = fig5_sharing_incentive.run_panel_b(num_rounds=6, switch_round=3)
+        after = result.rows[1]
+        assert after["user1 job2"] > 0
+        total_user1 = after["user1 job1"] + after["user1 job2"]
+        assert total_user1 == pytest.approx(
+            after["other tenants (mean)"], rel=0.35
+        )
+
+
+class TestFig6:
+    def test_no_envy(self):
+        result = fig6_envy_freeness.run()
+        for row in result.rows:
+            for key, value in row.items():
+                if key.startswith("vs "):
+                    assert value >= 1.0 - 1e-6
+
+
+class TestFig7And8:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return {
+            mode: fig7_noncoop_throughput.run_setting(
+                mode, num_tenants=10, jobs_per_tenant=4, num_rounds=4
+            )
+            for mode in ("noncooperative", "cooperative")
+        }
+
+    def test_noncoop_estimated_comparable(self, outcomes):
+        values = outcomes["noncooperative"]
+        ratio = values["OEF"]["estimated"] / max(
+            values["Gandiva"]["estimated"], values["Gavel"]["estimated"]
+        )
+        assert 0.9 <= ratio <= 1.1
+
+    def test_oef_wins_actual_in_both_settings(self, outcomes):
+        for mode in outcomes:
+            values = outcomes[mode]
+            best_baseline = max(
+                values["Gandiva"]["actual"], values["Gavel"]["actual"]
+            )
+            assert values["OEF"]["actual"] >= best_baseline * 0.98
+
+    def test_coop_estimated_leads(self, outcomes):
+        values = outcomes["cooperative"]
+        best_baseline = max(
+            values["Gandiva"]["estimated"], values["Gavel"]["estimated"]
+        )
+        assert values["OEF"]["estimated"] >= best_baseline - 1e-6
+
+    def test_tabulate_formats(self, outcomes):
+        table = fig8_coop_throughput.run(
+            num_tenants=8, jobs_per_tenant=3, num_rounds=3
+        )
+        assert len(table.rows) == 3
+
+
+class TestFig9:
+    def test_oef_lowest_jct(self):
+        result = fig9_jct.run(
+            num_tenants=6,
+            jobs_per_tenant_mean=4.0,
+            window_seconds=4 * 3600.0,
+            contention=0.6,
+        )
+        rows = {row["scheduler"]: row for row in result.rows}
+        assert rows["Gandiva"]["JCT ratio vs OEF"] >= 0.95
+        assert rows["Gavel"]["JCT ratio vs OEF"] >= 0.95
+
+
+class TestStragglerAblation:
+    def test_oef_fewest_stragglers(self):
+        result = straggler_ablation.run(num_tenants=8, num_rounds=6)
+        rows = {row["scheduler"]: row for row in result.rows}
+        assert rows["OEF"]["straggler_workers"] <= rows["Gavel"]["straggler_workers"]
+
+
+class TestFig10:
+    def test_overhead_scales(self):
+        result = fig10_overhead.run_overhead(user_counts=(20, 40), num_gpu_types=5)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row["OEF (non-coop) s"] < row["OEF (coop) s"] + 1.0
+
+    def test_sensitivity_small_deviation(self):
+        result = fig10_overhead.run_sensitivity(biases=(-0.2, 0.0, 0.2))
+        deviations = [row["throughput deviation"] for row in result.rows]
+        assert deviations[1] == pytest.approx(0.0, abs=1e-9)
+        assert max(deviations) <= 0.05  # paper: <= 3%
+
+    def test_result_formatting(self):
+        result = fig10_overhead.run_sensitivity(biases=(0.0,))
+        assert "Fig. 10(b)" in result.format()

@@ -1,0 +1,119 @@
+"""CLI: every subcommand against a demo instance."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import (
+    CooperativeOEF,
+    instance_to_dict,
+    load_allocation,
+)
+from repro.core.serialization import save_instance
+
+
+@pytest.fixture
+def instance_path(tmp_path, paper_instance):
+    path = tmp_path / "instance.json"
+    save_instance(paper_instance, path)
+    return str(path)
+
+
+class TestAllocate:
+    def test_allocate_to_stdout(self, instance_path, capsys):
+        assert main(["allocate", instance_path, "--scheduler", "oef-coop"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["allocator"] == "oef-coop"
+        assert payload["total_efficiency"] == pytest.approx(4.5)
+
+    def test_allocate_to_file(self, instance_path, tmp_path, capsys):
+        output = tmp_path / "allocation.json"
+        assert (
+            main(
+                [
+                    "allocate",
+                    instance_path,
+                    "--scheduler",
+                    "oef-noncoop",
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        allocation = load_allocation(output)
+        throughput = allocation.user_throughput()
+        assert throughput[0] == pytest.approx(throughput[1], rel=1e-5)
+
+    def test_every_registered_scheduler_runs(self, instance_path, capsys):
+        for scheduler in (
+            "oef-coop",
+            "oef-noncoop",
+            "max-min",
+            "gandiva-fair",
+            "gavel",
+            "drf",
+            "efficiency-max",
+        ):
+            assert main(["allocate", instance_path, "--scheduler", scheduler]) == 0
+            capsys.readouterr()
+
+
+class TestAudit:
+    def test_audit_coop(self, instance_path, capsys):
+        assert (
+            main(
+                [
+                    "audit",
+                    instance_path,
+                    "--scheduler",
+                    "oef-coop",
+                    "--sp-trials",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "EF" in out and "yes" in out
+
+    def test_audit_maxmin(self, instance_path, capsys):
+        assert (
+            main(["audit", instance_path, "--scheduler", "max-min", "--sp-trials", "1"])
+            == 0
+        )
+        assert "max-min" in capsys.readouterr().out
+
+
+class TestCompareAndFrontier:
+    def test_compare(self, instance_path, capsys):
+        assert main(["compare", instance_path]) == 0
+        out = capsys.readouterr().out
+        for name in ("oef-coop", "gavel", "drf"):
+            assert name in out
+
+    def test_frontier(self, instance_path, capsys):
+        assert main(["frontier", instance_path, "--alphas", "0,1"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out
+        assert "1.0000" in out
+
+
+class TestDemo:
+    def test_demo_writes_valid_instance(self, tmp_path, capsys):
+        output = tmp_path / "demo.json"
+        assert main(["demo", "--output", str(output)]) == 0
+        payload = json.loads(output.read_text())
+        assert payload["schema"] == "repro/instance-v1"
+        assert len(payload["speedups"]) == 4
+
+
+class TestErrors:
+    def test_unknown_scheduler_exits(self, instance_path):
+        with pytest.raises(SystemExit):
+            main(["allocate", instance_path, "--scheduler", "fifo"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

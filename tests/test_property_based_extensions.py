@@ -1,0 +1,161 @@
+"""Property-based tests for the extension modules.
+
+Fuzzes the weighted/job-level machinery and the cluster sub-models:
+
+* Weighted OEF delivers throughput exactly proportional to weights in the
+  non-cooperative environment, for arbitrary rational weights;
+* job-level OEF gives every job of a tenant the same throughput;
+* the efficiency-fairness frontier is monotone in alpha;
+* straggler/network models stay within their physical bounds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import NetworkModel, StragglerModel, Tenant, make_job
+from repro.core import (
+    JobLevelOEF,
+    TenantSpec,
+    WeightedOEF,
+    efficiency_fairness_frontier,
+    jain_index,
+)
+from repro.core.instance import ProblemInstance
+from repro.core.speedup import SpeedupMatrix
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def weighted_scenarios(draw):
+    num_tenants = draw(st.integers(2, 4))
+    num_types = draw(st.integers(2, 3))
+    tenants = []
+    for index in range(num_tenants):
+        gains = [draw(st.floats(1.0, 3.0)) for _ in range(num_types - 1)]
+        row = np.cumprod([1.0] + gains)
+        weight = draw(st.sampled_from([0.5, 1.0, 1.5, 2.0, 3.0]))
+        tenants.append(TenantSpec.single(f"t{index}", row.tolist(), weight=weight))
+    capacities = [draw(st.floats(1.0, 6.0)) for _ in range(num_types)]
+    return tenants, capacities
+
+
+class TestWeightedOEFProperties:
+    @_SETTINGS
+    @given(weighted_scenarios())
+    def test_noncoop_throughput_proportional_to_weight(self, scenario):
+        tenants, capacities = scenario
+        merged = WeightedOEF(mode="noncooperative").allocate(tenants, capacities)
+        base = merged.tenant_throughput[tenants[0].name] / tenants[0].weight
+        for tenant in tenants[1:]:
+            ratio = merged.tenant_throughput[tenant.name] / tenant.weight
+            assert ratio == pytest.approx(base, rel=1e-4)
+
+    @_SETTINGS
+    @given(weighted_scenarios())
+    def test_capacity_never_exceeded(self, scenario):
+        tenants, capacities = scenario
+        merged = WeightedOEF(mode="noncooperative").allocate(tenants, capacities)
+        total = np.sum(list(merged.tenant_shares.values()), axis=0)
+        assert np.all(total <= np.asarray(capacities) + 1e-5)
+
+    @_SETTINGS
+    @given(weighted_scenarios())
+    def test_coop_weighted_beats_weighted_equal_split(self, scenario):
+        tenants, capacities = scenario
+        merged = WeightedOEF(mode="cooperative").allocate(tenants, capacities)
+        capacities = np.asarray(capacities)
+        total_weight = sum(tenant.weight for tenant in tenants)
+        for tenant in tenants:
+            share = capacities * (tenant.weight / total_weight)
+            floor = float(np.asarray(tenant.job_types[0].speedups) @ share)
+            assert merged.tenant_throughput[tenant.name] >= floor - 1e-5
+
+
+class TestJobLevelProperties:
+    @_SETTINGS
+    @given(st.integers(1, 4), st.integers(2, 4))
+    def test_jobs_get_equal_throughput(self, num_jobs, num_tenants):
+        rng = np.random.default_rng(num_jobs * 10 + num_tenants)
+        tenants = []
+        for index in range(num_tenants):
+            tenant = Tenant(name=f"t{index}")
+            speedups = np.cumprod(
+                np.concatenate([[1.0], 1.0 + rng.uniform(0, 2, 2)])
+            )
+            for job_number in range(num_jobs):
+                tenant.add_job(
+                    make_job(
+                        job_id=index * 100 + job_number,
+                        tenant=tenant.name,
+                        model_name=f"m{job_number}",
+                        throughput=speedups * (1 + 0.1 * job_number),
+                        elastic=True,
+                    )
+                )
+            tenants.append(tenant)
+        allocation = JobLevelOEF("noncooperative").allocate(tenants, [4.0, 4.0, 4.0])
+        for tenant in tenants:
+            values = [
+                value
+                for (name, _job), value in allocation.job_throughput.items()
+                if name == tenant.name
+            ]
+            # same-speedup-shape jobs of one tenant: equal normalised share
+            assert max(values) - min(values) <= 1e-4 * max(max(values), 1.0)
+
+
+class TestFrontierProperties:
+    @_SETTINGS
+    @given(st.integers(0, 1000))
+    def test_monotone_efficiency_and_fairness(self, seed):
+        rng = np.random.default_rng(seed)
+        rows = np.cumprod(
+            1.0 + rng.uniform(0, 2, size=(4, 3)) * (rng.uniform(size=(4, 3)) < 0.9),
+            axis=1,
+        )
+        rows[:, 0] = 1.0
+        instance = ProblemInstance(
+            SpeedupMatrix(rows, normalise=False), [4.0, 4.0, 4.0]
+        )
+        points = efficiency_fairness_frontier(instance, alphas=(0.0, 0.5, 1.0))
+        efficiencies = [point.total_efficiency for point in points]
+        assert all(
+            earlier >= later - 1e-6
+            for earlier, later in zip(efficiencies, efficiencies[1:])
+        )
+        assert all(0.0 <= point.jain <= 1.0 + 1e-9 for point in points)
+
+
+class TestClusterModelBounds:
+    @_SETTINGS
+    @given(
+        st.floats(0.0, 1.0),
+        st.dictionaries(st.integers(0, 2), st.integers(1, 4), min_size=1),
+    )
+    def test_straggler_rate_between_min_and_mean(self, sync_fraction, type_counts):
+        job = make_job(
+            job_id=1, tenant="t", model_name="m",
+            throughput=[2.0, 3.0, 4.0], num_workers=8,
+        )
+        outcome = StragglerModel(sync_fraction).evaluate(job, type_counts)
+        rates = [float(job.true_throughput[rank]) for rank in type_counts]
+        assert min(rates) - 1e-9 <= outcome.per_worker_rate <= max(rates) + 1e-9
+
+    @_SETTINGS
+    @given(st.integers(1, 8), st.integers(0, 10))
+    def test_network_factor_in_unit_interval(self, hosts, contenders):
+        factor = NetworkModel().factor(hosts, contenders)
+        assert 0.0 < factor <= 1.0
+
+    @_SETTINGS
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=10))
+    def test_jain_index_bounds(self, values):
+        index = jain_index(values)
+        assert 0.0 < index <= 1.0 + 1e-12

@@ -1,0 +1,78 @@
+"""Model zoo: calibration to the paper's Fig. 1(a) and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workloads import (
+    GPU_CATALOG,
+    MODEL_CATALOG,
+    PAPER_GPU_TYPES,
+    all_models,
+    gpu_rank,
+    language_models,
+    speedup_vector,
+    throughput_vector,
+    vision_models,
+)
+
+
+class TestCalibration:
+    def test_vgg16_matches_paper_fig1a(self):
+        # paper: VGG 1.39x on 3090 vs 3070
+        vector = speedup_vector("vgg16", ["rtx3070", "rtx3090"])
+        assert vector[1] == pytest.approx(1.39, abs=0.01)
+
+    def test_lstm_matches_paper_fig1a(self):
+        # paper: LSTM 2.15x on 3090 vs 3070
+        vector = speedup_vector("lstm", ["rtx3070", "rtx3090"])
+        assert vector[1] == pytest.approx(2.15, abs=0.01)
+
+    def test_language_models_steeper_than_vision(self):
+        for language in language_models():
+            for vision in vision_models():
+                assert (
+                    speedup_vector(language)[-1] > speedup_vector(vision)[-1]
+                )
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("model", all_models())
+    def test_speedups_monotone(self, model):
+        vector = speedup_vector(model, list(GPU_CATALOG.keys()))
+        assert np.all(np.diff(vector) >= -1e-12)
+
+    @pytest.mark.parametrize("model", all_models())
+    def test_speedup_normalised(self, model):
+        assert speedup_vector(model)[0] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("model", all_models())
+    def test_throughput_positive(self, model):
+        assert np.all(throughput_vector(model) > 0)
+
+    def test_paper_gpu_types_in_catalog(self):
+        for name in PAPER_GPU_TYPES:
+            assert name in GPU_CATALOG
+
+    def test_catalog_listing_helpers(self):
+        assert set(vision_models()) | set(language_models()) == set(all_models())
+        assert set(all_models()) == set(MODEL_CATALOG)
+
+
+class TestErrors:
+    def test_unknown_model(self):
+        with pytest.raises(ValidationError):
+            throughput_vector("alexnet-9000")
+
+    def test_unknown_gpu(self):
+        with pytest.raises(ValidationError):
+            throughput_vector("vgg16", ["rtx9090"])
+        with pytest.raises(ValidationError):
+            gpu_rank("rtx9090")
+
+    def test_misordered_gpu_types_rejected(self):
+        with pytest.raises(ValidationError):
+            throughput_vector("vgg16", ["rtx3090", "rtx3070"])
+
+    def test_gpu_rank_order(self):
+        assert gpu_rank("rtx3070") < gpu_rank("rtx3090") < gpu_rank("a100")

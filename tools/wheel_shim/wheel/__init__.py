@@ -1,0 +1,15 @@
+"""A minimal stand-in for the PyPA ``wheel`` package.
+
+This offline environment ships setuptools but not ``wheel``, which
+setuptools < 70.1 needs to build (editable) wheels.  The shim provides the
+two pieces setuptools actually imports:
+
+* :mod:`wheel.wheelfile` — a RECORD-writing zip container;
+* :mod:`wheel.bdist_wheel` — a ``bdist_wheel`` command sufficient for
+  pure-Python projects (tag ``py3-none-any``).
+
+It implements just enough of PEP 427 for ``pip install -e .`` of *this*
+project; it is not a general wheel builder.
+"""
+
+__version__ = "0.0.0+repro-shim"

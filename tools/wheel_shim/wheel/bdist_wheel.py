@@ -1,0 +1,172 @@
+"""A ``bdist_wheel`` command good enough for pure-Python projects."""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+from distutils import log
+
+from setuptools import Command
+
+from wheel.wheelfile import WheelFile
+
+WHEEL_METADATA_TEMPLATE = """\
+Wheel-Version: 1.0
+Generator: repro-wheel-shim (0.0.0)
+Root-Is-Purelib: {purelib}
+Tag: {tag}
+"""
+
+
+class bdist_wheel(Command):  # noqa: N801 - distutils command naming
+    description = "create a wheel distribution (pure-Python shim)"
+
+    user_options = [
+        ("bdist-dir=", "b", "temporary directory for creating the distribution"),
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("keep-temp", "k", "keep the pseudo-installation tree"),
+    ]
+    boolean_options = ["keep-temp"]
+
+    def initialize_options(self):
+        self.bdist_dir = None
+        self.dist_dir = None
+        self.keep_temp = False
+        self.data_dir = None
+        self.plat_name = None
+        self.root_is_pure = True
+
+    def finalize_options(self):
+        if self.bdist_dir is None:
+            bdist_base = self.get_finalized_command("bdist").bdist_base
+            self.bdist_dir = os.path.join(bdist_base, "wheel")
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+        self.data_dir = self.wheel_dist_name + ".data"
+
+    # -- naming -------------------------------------------------------------
+    @property
+    def wheel_dist_name(self) -> str:
+        from pkg_resources import safe_name, safe_version, to_filename
+
+        return "-".join(
+            (
+                to_filename(safe_name(self.distribution.get_name())),
+                to_filename(safe_version(self.distribution.get_version())),
+            )
+        )
+
+    def get_tag(self):
+        """Pure-Python tag only; this shim does not build binary wheels."""
+        if self.distribution.has_ext_modules():
+            raise RuntimeError(
+                "the repro wheel shim only builds pure-Python wheels"
+            )
+        return ("py3", "none", "any")
+
+    # -- metadata ------------------------------------------------------------
+    def egg2dist(self, egginfo_path: str, distinfo_path: str) -> None:
+        """Convert an ``.egg-info`` directory into a ``.dist-info`` one.
+
+        Mirrors the behaviour setuptools' ``dist_info`` command relies on:
+        PKG-INFO becomes METADATA (with ``requires.txt`` folded into
+        ``Requires-Dist``/``Provides-Extra`` headers), entry points and
+        top-level listings are copied through.
+        """
+        if os.path.isdir(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        os.makedirs(distinfo_path)
+
+        pkg_info_path = os.path.join(egginfo_path, "PKG-INFO")
+        with open(pkg_info_path, "r", encoding="utf-8") as handle:
+            pkg_info = handle.read()
+        headers, _, body = pkg_info.partition("\n\n")
+        header_lines = headers.splitlines()
+
+        requires_path = os.path.join(egginfo_path, "requires.txt")
+        if os.path.exists(requires_path):
+            extra = None
+            with open(requires_path, "r", encoding="utf-8") as handle:
+                for raw_line in handle:
+                    line = raw_line.strip()
+                    if not line:
+                        continue
+                    if line.startswith("[") and line.endswith("]"):
+                        extra = line[1:-1]
+                        if extra:
+                            header_lines.append(f"Provides-Extra: {extra}")
+                        continue
+                    if extra:
+                        header_lines.append(
+                            f'Requires-Dist: {line} ; extra == "{extra}"'
+                        )
+                    else:
+                        header_lines.append(f"Requires-Dist: {line}")
+
+        metadata = "\n".join(header_lines) + "\n"
+        if body:
+            metadata += "\n" + body
+        with open(
+            os.path.join(distinfo_path, "METADATA"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write(metadata)
+
+        for extra_file in ("entry_points.txt", "top_level.txt"):
+            source = os.path.join(egginfo_path, extra_file)
+            if os.path.exists(source):
+                shutil.copy(source, os.path.join(distinfo_path, extra_file))
+
+    def write_wheelfile(self, wheelfile_base: str) -> None:
+        tag = "-".join(self.get_tag())
+        content = WHEEL_METADATA_TEMPLATE.format(
+            purelib="true" if self.root_is_pure else "false", tag=tag
+        )
+        path = os.path.join(wheelfile_base, "WHEEL")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+
+    # -- build -----------------------------------------------------------------
+    def run(self):
+        build_scripts = self.reinitialize_command("build_scripts")
+        build_scripts.executable = sys.executable
+        self.run_command("build")
+
+        install = self.reinitialize_command("install", reinit_subcommands=True)
+        install.root = self.bdist_dir
+        install.compile = False
+        install.skip_build = True
+        install.warn_dir = False
+        # everything into purelib for a pure wheel
+        basedir_observed = os.path.join(self.bdist_dir, "purelib")
+        install.install_purelib = basedir_observed
+        install.install_platlib = basedir_observed
+        install.install_lib = basedir_observed
+        install.install_headers = os.path.join(self.data_dir, "headers")
+        install.install_scripts = os.path.join(self.data_dir, "scripts")
+        install.install_data = os.path.join(self.data_dir, "data")
+        self.run_command("install")
+
+        dist_info_cmd = self.reinitialize_command("dist_info")
+        dist_info_cmd.output_dir = basedir_observed
+        dist_info_cmd.ensure_finalized()
+        dist_info_cmd.run()
+        self.write_wheelfile(os.path.join(basedir_observed, dist_info_cmd.name + ".dist-info"))
+
+        tag = "-".join(self.get_tag())
+        wheel_name = f"{self.wheel_dist_name}-{tag}.whl"
+        os.makedirs(self.dist_dir, exist_ok=True)
+        wheel_path = os.path.join(self.dist_dir, wheel_name)
+        if os.path.exists(wheel_path):
+            os.unlink(wheel_path)
+        with WheelFile(wheel_path, "w") as wheel_file:
+            wheel_file.write_files(basedir_observed)
+        log.info("created wheel %s", wheel_path)
+
+        if not self.keep_temp:
+            shutil.rmtree(self.bdist_dir, ignore_errors=True)
+
+        # record for `setup.py bdist_wheel --help` style introspection
+        getattr(self.distribution, "dist_files", []).append(
+            ("bdist_wheel", "any", wheel_path)
+        )

@@ -1,0 +1,78 @@
+"""A PEP 427 wheel archive writer (RECORD-aware zip container)."""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import re
+import zipfile
+
+_DIST_INFO_RE = re.compile(
+    r"^(?P<name>[^-]+(-[^-]+)*?)-(?P<version>[^-]+?)(-(?P<build>\d[^-]*))?"
+    r"-(?P<pyver>[^-]+)-(?P<abi>[^-]+)-(?P<plat>[^-]+)\.whl$"
+)
+
+
+def _urlsafe_b64_nopad(digest: bytes) -> str:
+    return base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(zipfile.ZipFile):
+    """Zip file that records sha256 hashes and writes RECORD on close."""
+
+    def __init__(self, file, mode: str = "r", compression=zipfile.ZIP_DEFLATED):
+        super().__init__(file, mode=mode, compression=compression, allowZip64=True)
+        basename = os.path.basename(str(file))
+        match = _DIST_INFO_RE.match(basename)
+        if match:
+            self.parsed_filename = match
+            self.dist_info_path = (
+                f"{match.group('name')}-{match.group('version')}.dist-info"
+            )
+        else:
+            self.parsed_filename = None
+            self.dist_info_path = None
+        self.record_path = (
+            f"{self.dist_info_path}/RECORD" if self.dist_info_path else "RECORD"
+        )
+        self._records: list = []
+
+    # -- writing -----------------------------------------------------------
+    def write(self, filename, arcname=None, compress_type=None):  # noqa: A003
+        with open(filename, "rb") as handle:
+            data = handle.read()
+        self.writestr(
+            arcname if arcname is not None else filename, data, compress_type
+        )
+
+    def writestr(self, zinfo_or_arcname, data, compress_type=None):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        arcname = (
+            zinfo_or_arcname.filename
+            if isinstance(zinfo_or_arcname, zipfile.ZipInfo)
+            else zinfo_or_arcname
+        )
+        super().writestr(zinfo_or_arcname, data, compress_type)
+        if arcname != self.record_path:
+            digest = _urlsafe_b64_nopad(hashlib.sha256(data).digest())
+            self._records.append((arcname, f"sha256={digest}", str(len(data))))
+
+    def write_files(self, base_dir):
+        """Add every file under ``base_dir`` keeping relative arcnames."""
+        for root, _dirs, files in os.walk(base_dir):
+            for name in sorted(files):
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                self.write(path, arcname)
+
+    def close(self):
+        if self.mode == "w" and self._records:
+            lines = [",".join(entry) for entry in self._records]
+            lines.append(f"{self.record_path},,")
+            record = "\n".join(lines) + "\n"
+            # bypass our writestr bookkeeping for RECORD itself
+            zipfile.ZipFile.writestr(self, self.record_path, record)
+            self._records = []
+        super().close()
