@@ -14,12 +14,10 @@ Run:  python examples/cheating_tenant.py
 import numpy as np
 
 from repro import (
-    GandivaFair,
-    Gavel,
-    NonCooperativeOEF,
     ProblemInstance,
     SpeedupMatrix,
     check_strategy_proofness,
+    create_scheduler,
 )
 
 TRUE_W = [[1.0, 2.0], [1.0, 3.0], [1.0, 4.0]]
@@ -31,7 +29,7 @@ def main() -> None:
     truth = np.asarray(TRUE_W[0])
 
     print("--- the paper's hand-picked lies (tenant 1 inflates GPU2) ---")
-    for allocator in (Gavel(), GandivaFair()):
+    for allocator in (create_scheduler("gavel"), create_scheduler("gandiva-fair")):
         fake = PAPER_LIES[allocator.name]
         honest = allocator.allocate(instance)
         lied = allocator.allocate(
@@ -45,7 +43,11 @@ def main() -> None:
         )
 
     print("\n--- systematic audit: search inflated misreports per tenant ---")
-    for allocator in (Gavel(), GandivaFair(), NonCooperativeOEF()):
+    for allocator in (
+        create_scheduler("gavel"),
+        create_scheduler("gandiva-fair"),
+        create_scheduler("oef-noncoop"),
+    ):
         report = check_strategy_proofness(allocator, instance, trials=8, seed=1)
         verdict = (
             "strategy-proof"

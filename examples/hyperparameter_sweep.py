@@ -11,14 +11,12 @@ Run:  python examples/hyperparameter_sweep.py
 
 from repro.cluster import (
     ClusterSimulator,
-    OEFScheduler,
     Placer,
     PlacementPolicy,
     SimulationConfig,
-    SingleProfileScheduler,
+    make_fair_share_scheduler,
     paper_cluster,
 )
-from repro.baselines import MaxMinFairness
 from repro.workloads import TenantGenerator
 
 SWEEPS = {
@@ -70,8 +68,9 @@ def run(scheduler, label: str, seed: int = 42) -> None:
 
 
 def main() -> None:
-    run(OEFScheduler(mode="cooperative"), "cooperative OEF + OEF placer")
-    run(SingleProfileScheduler(MaxMinFairness()), "Max-Min + naive placer")
+    # registry names (or aliases) are all a caller needs
+    run(make_fair_share_scheduler("oef-coop"), "cooperative OEF + OEF placer")
+    run(make_fair_share_scheduler("max-min"), "Max-Min + naive placer")
 
 
 if __name__ == "__main__":

@@ -1,8 +1,9 @@
-"""Quickstart: allocate a heterogeneous GPU cluster with OEF.
+"""Quickstart: allocate a heterogeneous GPU cluster through the service facade.
 
-Builds the paper's running example (three tenants, two GPU types), runs
-OEF in both environments plus all baselines, and audits every fairness
-property of Table 1.
+Builds the paper's running example (three tenants, two GPU types), solves
+it with every registered scheduler in one ``solve_batch`` call, audits
+cooperative OEF with its registry-sourced audit policy, and shows the
+content-hash allocation cache at work.
 
 Run:  python examples/quickstart.py
 """
@@ -10,14 +11,10 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro import (
-    CooperativeOEF,
-    GandivaFair,
-    Gavel,
-    MaxMinFairness,
-    NonCooperativeOEF,
     ProblemInstance,
+    SchedulingService,
     SpeedupMatrix,
-    audit_allocator,
+    scheduler_names,
 )
 
 
@@ -35,17 +32,13 @@ def main() -> None:
     )
     instance = ProblemInstance(speedups, capacities=[1.0, 1.0])
 
-    print("=== allocations ===")
-    for allocator in (
-        NonCooperativeOEF(),
-        CooperativeOEF(),
-        MaxMinFairness(),
-        GandivaFair(),
-        Gavel(),
-    ):
-        allocation = allocator.allocate(instance)
+    service = SchedulingService()
+
+    print("=== allocations (one solve_batch over every registered scheduler) ===")
+    for result in service.solve_batch(instance, scheduler_names()):
+        allocation = result.allocation
         throughput = np.round(allocation.user_throughput(), 3)
-        print(f"{allocator.name:>14}:  X =")
+        print(f"{result.scheduler:>14}:  X =")
         for user, row in zip(speedups.users, np.round(allocation.matrix, 3)):
             print(f"{'':>16}{user:<6} {row}")
         print(
@@ -54,12 +47,16 @@ def main() -> None:
         )
 
     print("\n=== Table-1 property audit (cooperative OEF) ===")
-    report = audit_allocator(
-        CooperativeOEF(), instance, efficiency_constraint="envy_free",
-        pe_within="envy_free",
-    )
+    # pe_within / efficiency_constraint come from the registry metadata
+    report = service.audit(instance, "oef-coop")
     for key, value in report.as_row().items():
         print(f"  {key}: {value}")
+
+    stats = service.cache_info()
+    print(
+        f"\ncache: {stats.hits} hits / {stats.misses} misses "
+        f"(the audit reused the batch's oef-coop solve)"
+    )
 
 
 if __name__ == "__main__":

@@ -1,8 +1,28 @@
 """OEF: Optimal Resource Efficiency with Fairness in Heterogeneous GPU Clusters.
 
-A full reproduction of the Middleware '24 paper by Mo, Xu, and Lau.  The
-public API re-exports the pieces a downstream user needs:
+A full reproduction of the Middleware '24 paper by Mo, Xu, and Lau.
 
+The recommended entry point is the service facade backed by the scheduler
+registry::
+
+    from repro import SchedulingService
+
+    service = SchedulingService()
+    result = service.solve(instance, "oef-coop")     # memoized by content hash
+    report = service.audit(instance, "oef-noncoop")  # registry audit defaults
+    rows = service.compare(instance)                 # every registered scheduler
+
+Allocators self-register metadata (canonical name, aliases, family, audit
+policy, capability flags) via :func:`repro.registry.register_scheduler`;
+``repro list-schedulers`` on the command line renders the registry.
+
+The public API re-exports the pieces a downstream user needs:
+
+* facade -- :class:`SchedulingService`, :class:`SolveRequest`,
+  :class:`SolveResult`, :class:`CacheStats`;
+* registry -- :func:`create_scheduler`, :func:`scheduler_names`,
+  :func:`scheduler_info`, :func:`register_scheduler`,
+  :class:`SchedulerInfo`;
 * data model -- :class:`SpeedupMatrix`, :class:`ProblemInstance`,
   :class:`Allocation`;
 * allocators -- :class:`NonCooperativeOEF`, :class:`CooperativeOEF`,
@@ -34,12 +54,30 @@ from repro.core import (
     check_strategy_proofness,
     optimal_efficiency_upper_bound,
 )
+from repro.registry import (
+    SchedulerInfo,
+    SchedulerRegistry,
+    create_scheduler,
+    register_scheduler,
+    registry_rows,
+    resolve_scheduler_name,
+    scheduler_info,
+    scheduler_names,
+)
+from repro.service import (
+    CacheStats,
+    SchedulingService,
+    SolveRequest,
+    SolveResult,
+    instance_fingerprint,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Allocation",
     "Allocator",
+    "CacheStats",
     "CooperativeOEF",
     "EfficiencyMaxAllocator",
     "GandivaFair",
@@ -49,6 +87,11 @@ __all__ = [
     "NonCooperativeOEF",
     "ProblemInstance",
     "PropertyReport",
+    "SchedulerInfo",
+    "SchedulerRegistry",
+    "SchedulingService",
+    "SolveRequest",
+    "SolveResult",
     "SpeedupMatrix",
     "TenantSpec",
     "VirtualUserExpansion",
@@ -58,5 +101,12 @@ __all__ = [
     "check_pareto_efficiency",
     "check_sharing_incentive",
     "check_strategy_proofness",
+    "create_scheduler",
+    "instance_fingerprint",
     "optimal_efficiency_upper_bound",
+    "register_scheduler",
+    "registry_rows",
+    "resolve_scheduler_name",
+    "scheduler_info",
+    "scheduler_names",
 ]

@@ -22,8 +22,14 @@ import numpy as np
 from repro.core.allocation import Allocation
 from repro.core.base import Allocator
 from repro.core.instance import ProblemInstance
+from repro.registry import register_scheduler
 
 
+@register_scheduler(
+    aliases=("dominant-resource",),
+    family="baseline",
+    description="Progressive-filling DRF over GPU types (§2.3.3 strawman)",
+)
 class DominantResourceFairness(Allocator):
     """Progressive-filling DRF with speedup-proportional demand vectors."""
 

@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.allocation import Allocation
 from repro.core.base import Allocator
 from repro.core.instance import ProblemInstance
+from repro.registry import register_scheduler
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,11 @@ class Trade:
     fast_amount: float  # fast-GPU share the buyer receives
 
 
+@register_scheduler(
+    aliases=("gandiva",),
+    family="baseline",
+    description="Gandiva_fair's greedy GPU-trading baseline",
+)
 class GandivaFair(Allocator):
     """Greedy trading baseline; records its trade log on the instance."""
 

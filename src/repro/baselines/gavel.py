@@ -22,9 +22,14 @@ import numpy as np
 from repro.core.allocation import Allocation
 from repro.core.base import Allocator
 from repro.core.instance import ProblemInstance
+from repro.registry import register_scheduler
 from repro.solver import LinearProgram, dot, lin_sum
 
 
+@register_scheduler(
+    family="baseline",
+    description="Gavel's two-phase max-min-ratio LP baseline",
+)
 class Gavel(Allocator):
     """Two-phase max-min-ratio LP baseline.
 

@@ -14,8 +14,14 @@ import numpy as np
 from repro.core.allocation import Allocation
 from repro.core.base import Allocator
 from repro.core.instance import ProblemInstance
+from repro.registry import register_scheduler
 
 
+@register_scheduler(
+    aliases=("maxmin", "equal-share"),
+    family="baseline",
+    description="Equal 1/n split of every GPU type",
+)
 class MaxMinFairness(Allocator):
     """Equal 1/n split of every GPU type.
 

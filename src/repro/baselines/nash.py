@@ -30,9 +30,15 @@ from repro.core.allocation import Allocation
 from repro.core.base import Allocator
 from repro.core.instance import ProblemInstance
 from repro.core.properties import optimal_efficiency_upper_bound
+from repro.registry import register_scheduler
 from repro.solver import LinearProgram, dot
 
 
+@register_scheduler(
+    aliases=("nash",),
+    family="baseline",
+    description="Approximate max-Nash-welfare allocation via tangent cuts",
+)
 class NashWelfare(Allocator):
     """Approximate max-Nash-welfare allocation via tangent cuts."""
 

@@ -2,12 +2,23 @@
 
 Commands
 --------
-``allocate``   solve a JSON instance with a chosen scheduler
-``audit``      run the Table-1 property audit on a JSON instance
-``compare``    efficiency/fairness summary of all schedulers on an instance
-``frontier``   print the efficiency-fairness frontier of an instance
-``experiments``run the paper experiments (all or a subset)
-``demo``       write a demo instance JSON to get started
+``allocate``         solve a JSON instance with a chosen scheduler
+``audit``            run the Table-1 property audit on a JSON instance
+``compare``          efficiency/fairness summary of all schedulers on an instance
+``frontier``         print the efficiency-fairness frontier of an instance
+``list-schedulers``  render the scheduler registry (name, family, capabilities)
+``experiments``      run the paper experiments (all or a subset)
+``demo``             write a demo instance JSON to get started
+
+``repro --version`` prints the package version.
+
+Every command resolves schedulers through the registry
+(:mod:`repro.registry`) and solves through the
+:class:`~repro.service.SchedulingService` facade, so per-scheduler audit
+policy (``pe_within``, ``efficiency_constraint``) comes from each
+allocator's registered metadata — overridable with ``--pe-within`` /
+``--efficiency-constraint`` — and new allocators appear in every command
+the moment they self-register.
 
 Instances use the ``repro/instance-v1`` JSON schema (see
 :mod:`repro.core.serialization`).
@@ -18,47 +29,23 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.baselines import (
-    DominantResourceFairness,
-    NashWelfare,
-    EfficiencyMaxAllocator,
-    GandivaFair,
-    Gavel,
-    MaxMinFairness,
-)
+from repro import __version__
 from repro.core import (
-    CooperativeOEF,
-    NonCooperativeOEF,
     allocation_to_dict,
-    audit_allocator,
-    compare_allocators,
-    efficiency_fairness_frontier,
     instance_to_dict,
     load_instance,
 )
-from repro.core.base import Allocator
+from repro.registry import registry_rows, scheduler_names
+from repro.service import SchedulingService
 
-_SCHEDULERS: Dict[str, type] = {
-    "oef-noncoop": NonCooperativeOEF,
-    "oef-coop": CooperativeOEF,
-    "max-min": MaxMinFairness,
-    "gandiva-fair": GandivaFair,
-    "gavel": Gavel,
-    "drf": DominantResourceFairness,
-    "nash-welfare": NashWelfare,
-    "efficiency-max": EfficiencyMaxAllocator,
-}
+#: One service per process: repeated solves within a command share the cache.
+_SERVICE = SchedulingService()
 
-
-def _make_scheduler(name: str) -> Allocator:
-    try:
-        return _SCHEDULERS[name]()
-    except KeyError:
-        raise SystemExit(
-            f"unknown scheduler {name!r}; choose from {sorted(_SCHEDULERS)}"
-        ) from None
+#: CLI spelling -> audit keyword value for ``--pe-within``.
+_PE_CHOICES = ("envy_free", "equal_throughput", "none")
+_EFFICIENCY_CHOICES = ("none", "envy_free", "equal_throughput", "sharing_incentive")
 
 
 def _print_table(rows: List[dict], stream=None) -> None:
@@ -91,8 +78,8 @@ def _print_table(rows: List[dict], stream=None) -> None:
 # -- commands ---------------------------------------------------------------
 def cmd_allocate(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
-    allocation = _make_scheduler(args.scheduler).allocate(instance)
-    payload = allocation_to_dict(allocation)
+    result = _SERVICE.solve(instance, args.scheduler)
+    payload = allocation_to_dict(result.allocation)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
@@ -105,20 +92,13 @@ def cmd_allocate(args: argparse.Namespace) -> int:
 
 def cmd_audit(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
-    scheduler = _make_scheduler(args.scheduler)
-    pe_within: Optional[str] = None
-    efficiency_constraint = "envy_free"
-    if args.scheduler == "oef-coop":
-        pe_within = "envy_free"
-    elif args.scheduler == "oef-noncoop":
-        pe_within = "equal_throughput"
-        efficiency_constraint = "equal_throughput"
-    report = audit_allocator(
-        scheduler,
-        instance,
-        efficiency_constraint=efficiency_constraint,
-        sp_trials=args.sp_trials,
-        pe_within=pe_within,
+    overrides = {}
+    if args.pe_within is not None:
+        overrides["pe_within"] = None if args.pe_within == "none" else args.pe_within
+    if args.efficiency_constraint is not None:
+        overrides["efficiency_constraint"] = args.efficiency_constraint
+    report = _SERVICE.audit(
+        instance, args.scheduler, sp_trials=args.sp_trials, **overrides
     )
     _print_table([report.as_row()])
     return 0
@@ -126,17 +106,14 @@ def cmd_audit(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
-    rows = compare_allocators(
-        [_make_scheduler(name) for name in sorted(_SCHEDULERS)], instance
-    )
-    _print_table(rows)
+    _print_table(_SERVICE.compare(instance))
     return 0
 
 
 def cmd_frontier(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
     alphas = [float(a) for a in args.alphas.split(",")]
-    points = efficiency_fairness_frontier(instance, alphas=alphas)
+    points = _SERVICE.frontier(instance, alphas=alphas)
     _print_table(
         [
             {
@@ -148,6 +125,11 @@ def cmd_frontier(args: argparse.Namespace) -> int:
             for point in points
         ]
     )
+    return 0
+
+
+def cmd_list_schedulers(args: argparse.Namespace) -> int:
+    _print_table(registry_rows())
     return 0
 
 
@@ -174,20 +156,34 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="OEF: fair + efficient scheduling for heterogeneous GPU clusters",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+    names = scheduler_names()
 
     allocate = sub.add_parser("allocate", help="solve a JSON instance")
     allocate.add_argument("instance", help="path to an instance JSON file")
-    allocate.add_argument(
-        "--scheduler", default="oef-coop", choices=sorted(_SCHEDULERS)
-    )
+    allocate.add_argument("--scheduler", default="oef-coop", choices=names)
     allocate.add_argument("--output", help="write the allocation JSON here")
     allocate.set_defaults(func=cmd_allocate)
 
     audit = sub.add_parser("audit", help="Table-1 property audit")
     audit.add_argument("instance")
-    audit.add_argument("--scheduler", default="oef-coop", choices=sorted(_SCHEDULERS))
+    audit.add_argument("--scheduler", default="oef-coop", choices=names)
     audit.add_argument("--sp-trials", type=int, default=4)
+    audit.add_argument(
+        "--pe-within",
+        choices=_PE_CHOICES,
+        default=None,
+        help="override the registered Pareto-improvement domain",
+    )
+    audit.add_argument(
+        "--efficiency-constraint",
+        choices=_EFFICIENCY_CHOICES,
+        default=None,
+        help="override the registered optimal-efficiency constraint set",
+    )
     audit.set_defaults(func=cmd_audit)
 
     compare = sub.add_parser("compare", help="compare all schedulers")
@@ -198,6 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
     frontier.add_argument("instance")
     frontier.add_argument("--alphas", default="0,0.25,0.5,0.75,0.9,1.0")
     frontier.set_defaults(func=cmd_frontier)
+
+    list_schedulers = sub.add_parser(
+        "list-schedulers", help="show the scheduler registry"
+    )
+    list_schedulers.set_defaults(func=cmd_list_schedulers)
 
     experiments = sub.add_parser("experiments", help="run paper experiments")
     experiments.add_argument("ids", nargs="*", help="experiment ids (default: all)")

@@ -23,6 +23,7 @@ from repro.cluster.schedulers import (
     OEFScheduler,
     SchedulerDecision,
     SingleProfileScheduler,
+    make_fair_share_scheduler,
 )
 from repro.cluster.simulator import ClusterSimulator, SimulationConfig
 from repro.cluster.straggler import StragglerModel, StragglerOutcome
@@ -64,6 +65,7 @@ __all__ = [
     "StragglerModel",
     "StragglerOutcome",
     "Tenant",
+    "make_fair_share_scheduler",
     "make_job",
     "paper_cluster",
     "scaled_cluster",

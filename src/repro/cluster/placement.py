@@ -137,19 +137,37 @@ class Placer:
             if tenant is None:
                 raise PlacementError(f"grant for unknown tenant {tenant_name!r}")
             budget = np.asarray(grant, dtype=int).copy()
+            # pass 1 — decide who runs, in starvation order.  Feasibility
+            # depends only on the remaining device total, never on which
+            # types earlier jobs took, so this fixes the starved set
+            # before any type is chosen.
+            budget_total = int(budget.sum())
+            placed: List[Tuple[Job, int]] = []
             for job in tenant.runnable_queue(now):
                 workers = job.num_workers
                 if job.elastic:
                     # elastic jobs (§8) shrink to whatever remains, down to
                     # their minimum worker count
-                    workers = min(job.num_workers, int(budget.sum()))
+                    workers = min(job.num_workers, budget_total)
                     if workers < job.min_workers:
                         starved.append(job)
                         continue
-                type_counts = self._select_types(workers, budget)
-                if type_counts is None:
+                elif budget_total < workers:
                     starved.append(job)
                     continue
+                budget_total -= workers
+                placed.append((job, workers))
+            # pass 2 — assign GPU types; under the OEF policy large jobs
+            # pick first so a small job cannot fragment the contiguous
+            # fast window a larger job needs (§4.3 adjacency)
+            if self.policy.pack_large_jobs_first:
+                placed.sort(key=lambda pair: (-pair[1], pair[0].job_id))
+            for job, workers in placed:
+                type_counts = self._select_types(workers, budget)
+                if type_counts is None:  # cannot happen: totals checked above
+                    raise PlacementError(
+                        f"internal accounting error placing job {job.job_id}"
+                    )
                 for rank, count in type_counts.items():
                     budget[rank] -= count
                 selections.append((job, type_counts))

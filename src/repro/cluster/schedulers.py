@@ -16,6 +16,10 @@ Two adapters exist:
   the adapter represents each tenant by its *dominant* job type (the one
   with the most active jobs, matching the paper's evaluation setup where
   baseline comparisons use single-type tenants).
+
+:func:`make_fair_share_scheduler` builds either adapter from a registry
+name or alias, so the simulator, experiments, and examples never
+construct adapters by hand.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
@@ -34,6 +38,7 @@ from repro.core.virtual import JobTypeSpec, TenantSpec
 from repro.core.weighted import WeightedOEF
 from repro.cluster.tenant import Tenant
 from repro.exceptions import SimulationError
+from repro.registry import create_scheduler, resolve_scheduler_name
 
 
 @dataclass
@@ -146,9 +151,19 @@ class ElasticOEFScheduler(FairShareScheduler):
 
 
 class SingleProfileScheduler(FairShareScheduler):
-    """Adapter for baselines that take one speedup vector per tenant."""
+    """Adapter for baselines that take one speedup vector per tenant.
 
-    def __init__(self, allocator: Allocator):
+    Accepts either an :class:`Allocator` instance or a registry
+    name/alias (with constructor ``options`` forwarded to the factory).
+    """
+
+    def __init__(self, allocator: Union[Allocator, str], **options):
+        if isinstance(allocator, str):
+            allocator = create_scheduler(allocator, **options)
+        elif options:
+            raise SimulationError(
+                "constructor options require a scheduler name, not an instance"
+            )
         self.allocator = allocator
         self.name = allocator.name
 
@@ -193,3 +208,30 @@ class SingleProfileScheduler(FairShareScheduler):
             tenant_profiles.keys(),
             key=lambda model: (counts.get(model, 0), model),
         )
+
+
+#: Canonical OEF registry names -> the WeightedOEF mode behind the adapter.
+_OEF_MODES = {"oef-noncoop": "noncooperative", "oef-coop": "cooperative"}
+#: Elastic (job-level) adapter names; these are cluster-only personalities
+#: with no instance-level Allocator, so they live outside the registry.
+_ELASTIC_MODES = {
+    "oef-elastic-noncoop": "noncooperative",
+    "oef-elastic-coop": "cooperative",
+}
+
+
+def make_fair_share_scheduler(name: str, **options) -> FairShareScheduler:
+    """Build a round-level scheduler from a registry name or alias.
+
+    OEF names map to :class:`OEFScheduler` (weights + multi-job-type via
+    :class:`~repro.core.weighted.WeightedOEF`), ``oef-elastic-*`` to
+    :class:`ElasticOEFScheduler`, and every other registered allocator to
+    a :class:`SingleProfileScheduler` wrapping it.  ``options`` forward to
+    the chosen constructor.
+    """
+    if name in _ELASTIC_MODES:
+        return ElasticOEFScheduler(mode=_ELASTIC_MODES[name], **options)
+    canonical = resolve_scheduler_name(name)
+    if canonical in _OEF_MODES:
+        return OEFScheduler(mode=_OEF_MODES[canonical], **options)
+    return SingleProfileScheduler(create_scheduler(canonical, **options))

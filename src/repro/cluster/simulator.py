@@ -30,7 +30,11 @@ from repro.cluster.metrics import CompletionRecord, MetricsCollector, RoundMetri
 from repro.cluster.placement import Placer, PlacementPolicy
 from repro.cluster.profiler import ProfilingAgent
 from repro.cluster.rounding import DeviationRounder, NaiveRounder
-from repro.cluster.schedulers import FairShareScheduler, SchedulerDecision
+from repro.cluster.schedulers import (
+    FairShareScheduler,
+    SchedulerDecision,
+    make_fair_share_scheduler,
+)
 from repro.cluster.tenant import Tenant
 from repro.cluster.topology import ClusterTopology
 from repro.exceptions import SimulationError, ValidationError
@@ -73,10 +77,12 @@ class ClusterSimulator:
         self,
         topology: ClusterTopology,
         tenants: Sequence[Tenant],
-        scheduler: FairShareScheduler,
+        scheduler: "FairShareScheduler | str",
         placer: Optional[Placer] = None,
         config: Optional[SimulationConfig] = None,
     ):
+        if isinstance(scheduler, str):
+            scheduler = make_fair_share_scheduler(scheduler)
         names = [tenant.name for tenant in tenants]
         if len(set(names)) != len(names):
             raise ValidationError("tenant names must be unique")

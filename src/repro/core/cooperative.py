@@ -22,6 +22,7 @@ from scipy import sparse
 from repro.core.allocation import Allocation
 from repro.core.base import Allocator
 from repro.core.instance import ProblemInstance
+from repro.registry import register_scheduler
 from repro.solver import LinearProgram, dot, lin_sum
 
 
@@ -39,6 +40,15 @@ def _capacity_rows(num_users: int, num_types: int) -> sparse.coo_matrix:
     )
 
 
+@register_scheduler(
+    aliases=("cooperative", "coop"),
+    family="oef",
+    description="Envy-free OEF (Eq. 10) for cooperative environments",
+    pe_within="envy_free",
+    efficiency_constraint="envy_free",
+    supports_weights=True,
+    supports_job_level=True,
+)
 class CooperativeOEF(Allocator):
     """Envy-free OEF for cooperative environments.
 
@@ -200,6 +210,12 @@ class CooperativeOEF(Allocator):
 
 
 
+@register_scheduler(
+    aliases=("efficiency",),
+    family="bound",
+    description="Pure efficiency maximisation (Eq. 4), the unfair strawman",
+    efficiency_constraint="none",
+)
 class EfficiencyMaxAllocator(Allocator):
     """Pure efficiency maximisation (Eq. 4) — the unfair strawman of §3.1.1.
 

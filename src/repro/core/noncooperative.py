@@ -22,9 +22,19 @@ from scipy import sparse
 from repro.core.allocation import Allocation
 from repro.core.base import Allocator
 from repro.core.instance import ProblemInstance
+from repro.registry import register_scheduler
 from repro.solver import LinearProgram
 
 
+@register_scheduler(
+    aliases=("noncooperative", "noncoop"),
+    family="oef",
+    description="Strategy-proof OEF (Eq. 9) for non-cooperative environments",
+    pe_within="equal_throughput",
+    efficiency_constraint="equal_throughput",
+    supports_weights=True,
+    supports_job_level=True,
+)
 class NonCooperativeOEF(Allocator):
     """Strategy-proof OEF for non-cooperative (competitive) environments."""
 

@@ -34,6 +34,21 @@ class ValidationError(ReproError):
     """User-supplied data (speedup matrices, cluster specs) is invalid."""
 
 
+class RegistrationError(ReproError):
+    """A scheduler was registered incorrectly (duplicate name or alias)."""
+
+
+class UnknownSchedulerError(ValidationError, KeyError):
+    """A scheduler name (or alias) is not present in the registry.
+
+    Also a :class:`KeyError` so call sites that treat the registry as a
+    mapping keep working.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else ""
+
+
 class SimulationError(ReproError):
     """The cluster simulation was configured or driven incorrectly."""
 

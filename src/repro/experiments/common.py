@@ -5,14 +5,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines import GandivaFair, Gavel, MaxMinFairness
 from repro.cluster.placement import Placer, PlacementPolicy
-from repro.cluster.schedulers import (
-    FairShareScheduler,
-    OEFScheduler,
-    SingleProfileScheduler,
-)
+from repro.cluster.schedulers import make_fair_share_scheduler
 from repro.cluster.topology import ClusterTopology
+from repro.registry import resolve_scheduler_name
 
 
 @dataclass
@@ -58,9 +54,20 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+#: Non-default constructor options the evaluation setup (§6.1.3) uses,
+#: keyed by canonical registry name (aliases resolve before lookup).
+#: quarter-GPU trading lots: Gandiva_fair migrates physical devices but
+#: time-slices them, so trades below a fraction of a device cannot
+#: execute and tenants keep mixed residual holdings.
+_BASELINE_OPTIONS: Dict[str, Dict[str, object]] = {
+    "gandiva-fair": {"trade_lot": 0.25},
+    "gavel": {"slack": 0.01},
+}
+
+
 def oef_stack(topology: ClusterTopology, mode: str) -> tuple:
     """OEF's full stack: its evaluator plus its optimised placer."""
-    scheduler = OEFScheduler(mode=mode)
+    scheduler = make_fair_share_scheduler(mode)
     placer = Placer(topology, policy=PlacementPolicy.oef())
     return scheduler, placer
 
@@ -68,17 +75,13 @@ def oef_stack(topology: ClusterTopology, mode: str) -> tuple:
 def baseline_stack(topology: ClusterTopology, name: str) -> tuple:
     """A baseline evaluator paired with the naive placer (§6.1.3).
 
-    The baselines have no placement optimisation, so they run with
-    first-fit placement, no packing, and no adjacency enforcement.
+    ``name`` is any registry name or alias; the baselines have no
+    placement optimisation, so they run with first-fit placement, no
+    packing, and no adjacency enforcement.
     """
-    allocators = {
-        # quarter-GPU trading lots: Gandiva_fair migrates physical devices
-        # but time-slices them, so trades below a fraction of a device
-        # cannot execute and tenants keep mixed residual holdings
-        "gandiva": GandivaFair(trade_lot=0.25),
-        "gavel": Gavel(slack=0.01),
-        "max-min": MaxMinFairness(),
-    }
-    scheduler: FairShareScheduler = SingleProfileScheduler(allocators[name])
+    canonical = resolve_scheduler_name(name)
+    scheduler = make_fair_share_scheduler(
+        canonical, **_BASELINE_OPTIONS.get(canonical, {})
+    )
     placer = Placer(topology, policy=PlacementPolicy.naive())
     return scheduler, placer

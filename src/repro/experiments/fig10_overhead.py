@@ -17,8 +17,9 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.core import CooperativeOEF, NonCooperativeOEF, ProblemInstance
+from repro.core import ProblemInstance
 from repro.experiments.common import ExperimentResult
+from repro.registry import create_scheduler
 from repro.workloads.generator import random_instance, zoo_instance
 from repro.workloads.models import all_models
 
@@ -37,7 +38,10 @@ def run_overhead(
             devices_per_type=float(num_users),
         )
         timings: Dict[str, float] = {}
-        for allocator in (NonCooperativeOEF(), CooperativeOEF()):
+        for allocator in (
+            create_scheduler("oef-noncoop"),
+            create_scheduler("oef-coop"),
+        ):
             start = time.perf_counter()
             allocator.allocate(instance)
             timings[allocator.name] = time.perf_counter() - start
@@ -69,7 +73,7 @@ def _deviation_at_bias(
     operational meaning of Fig. 10(b): how much throughput the cluster
     loses because profiles were off.
     """
-    allocator = NonCooperativeOEF() if mode == "noncooperative" else CooperativeOEF()
+    allocator = create_scheduler(mode)  # "noncooperative"/"cooperative" aliases
     truth = instance.speedups.values
     rng = np.random.default_rng(seed)
 

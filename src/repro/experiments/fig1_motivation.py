@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import MaxMinFairness
-from repro.core import CooperativeOEF, ProblemInstance, SpeedupMatrix
+from repro.core import ProblemInstance, SpeedupMatrix
 from repro.experiments.common import ExperimentResult
+from repro.registry import create_scheduler
 from repro.workloads.models import speedup_vector
 
 
@@ -34,8 +34,8 @@ def run() -> ExperimentResult:
     )
     instance = ProblemInstance(matrix, [1.0, 1.0])
 
-    maxmin = MaxMinFairness().allocate(instance)
-    oef = CooperativeOEF().allocate(instance)
+    maxmin = create_scheduler("max-min").allocate(instance)
+    oef = create_scheduler("oef-coop").allocate(instance)
     for user in range(2):
         result.rows.append(
             {

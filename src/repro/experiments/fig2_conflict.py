@@ -12,13 +12,14 @@ Reproduces both worked conflict examples:
 
 from __future__ import annotations
 
-from repro.core import CooperativeOEF, ProblemInstance, SpeedupMatrix
+from repro.core import ProblemInstance, SpeedupMatrix
 from repro.experiments.common import ExperimentResult
+from repro.registry import create_scheduler
 
 
 def _coop(values) -> tuple:
     instance = ProblemInstance(SpeedupMatrix(values), [1.0, 1.0])
-    allocation = CooperativeOEF().allocate(instance)
+    allocation = create_scheduler("oef-coop").allocate(instance)
     return instance, allocation
 
 

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import CooperativeOEF, check_envy_freeness
+from repro.core import check_envy_freeness
+from repro.registry import create_scheduler
 from repro.workloads.generator import zoo_instance
 from repro.experiments.common import ExperimentResult
 
@@ -18,7 +19,7 @@ MODELS = ["vgg16", "resnet50", "transformer", "lstm"]
 
 def run(models=None, capacities=None) -> ExperimentResult:
     instance = zoo_instance(models or MODELS, capacities=capacities)
-    allocation = CooperativeOEF().allocate(instance)
+    allocation = create_scheduler("oef-coop").allocate(instance)
     cross = allocation.cross_throughput()
 
     result = ExperimentResult("Fig. 6 — cross-evaluated throughput (cooperative OEF)")

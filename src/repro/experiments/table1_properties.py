@@ -20,15 +20,9 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.baselines import GandivaFair, Gavel
-from repro.core import (
-    CooperativeOEF,
-    NonCooperativeOEF,
-    ProblemInstance,
-    SpeedupMatrix,
-    audit_allocator,
-)
+from repro.core import ProblemInstance, SpeedupMatrix
 from repro.experiments.common import ExperimentResult
+from repro.service import SchedulingService
 from repro.workloads.generator import random_instance
 
 
@@ -48,22 +42,23 @@ def audit_instances(num_random: int = 2, seed: int = 7) -> List[ProblemInstance]
     return instances
 
 
+#: Greedy trading is PE only up to small residuals on random instances
+#: (exact on the paper's worked example) — an experiment judgement call,
+#: so it stays here rather than in the registry metadata.
+_PE_TOLERANCE = {"gandiva-fair": 0.02}
+
+
 def run(num_random: int = 2, sp_trials: int = 2) -> ExperimentResult:
-    # (allocator, optimal-efficiency constraint set, PE domain, PE tolerance)
-    allocators = [
-        (Gavel(), "envy_free", None, 1e-5),
-        # greedy trading is PE only up to small residuals on random
-        # instances; exact on the paper's worked example
-        (GandivaFair(), "envy_free", None, 0.02),
-        # Theorem 5.3 proves PE within the scheduler's own feasible domain
-        (CooperativeOEF(), "envy_free", "envy_free", 1e-5),
-        (NonCooperativeOEF(), "equal_throughput", "equal_throughput", 1e-5),
-    ]
+    # pe_within / efficiency_constraint come from each scheduler's
+    # registered audit defaults (Theorem 5.3: PE within the scheduler's
+    # own feasible domain)
+    schedulers = ["gavel", "gandiva-fair", "oef-coop", "oef-noncoop"]
+    service = SchedulingService()
     instances = audit_instances(num_random=num_random)
 
     result = ExperimentResult("Table 1 — properties per scheduler")
     combined_by_name: Dict[str, Dict[str, bool]] = {}
-    for allocator, efficiency_constraint, pe_within, pe_tolerance in allocators:
+    for name in schedulers:
         combined: Dict[str, bool] = {
             "PE": True,
             "EF": True,
@@ -72,22 +67,20 @@ def run(num_random: int = 2, sp_trials: int = 2) -> ExperimentResult:
             "optimal efficiency": True,
         }
         for index, instance in enumerate(instances):
-            report = audit_allocator(
-                allocator,
+            report = service.audit(
                 instance,
-                efficiency_constraint=efficiency_constraint,
+                name,
                 sp_trials=sp_trials,
                 seed=index,
-                pe_within=pe_within,
-                pe_tolerance=pe_tolerance,
+                pe_tolerance=_PE_TOLERANCE.get(name, 1e-5),
             )
             combined["PE"] &= report.pareto_efficiency.satisfied
             combined["EF"] &= report.envy_freeness.satisfied
             combined["SI"] &= report.sharing_incentive.satisfied
             combined["SP"] &= report.strategy_proofness.satisfied
             combined["optimal efficiency"] &= report.optimal_efficiency.satisfied
-        combined_by_name[allocator.name] = combined
-        row: Dict[str, object] = {"scheduler": allocator.name}
+        combined_by_name[name] = combined
+        row: Dict[str, object] = {"scheduler": name}
         row.update({key: ("yes" if value else "no") for key, value in combined.items()})
         result.rows.append(row)
 

@@ -1,0 +1,381 @@
+"""SchedulingService: the stable facade over registry-described schedulers.
+
+One object offers every solve-shaped operation the entry points need —
+``solve`` / ``solve_batch`` for allocations, ``audit`` for the Table-1
+property checks (with per-scheduler defaults pulled from the registry),
+``compare`` for the cross-scheduler summary table, and ``frontier`` for
+the efficiency–fairness sweep — all backed by a content-addressed
+allocation cache.
+
+The cache keys on an *instance fingerprint* (a SHA-256 over user names,
+GPU types, the speedup matrix, and capacities) plus the canonical
+scheduler name and constructor options.  Repeated solves of the same
+instance — the hot path in ``compare``, ``frontier``, property audits,
+and round-based simulation with unchanged tenant sets — return memoized
+allocations; :class:`SolveResult` carries the service's hit/miss counters
+so callers can observe the reuse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.analysis import (
+    FrontierPoint,
+    compare_allocators,
+    efficiency_fairness_frontier,
+)
+from repro.core.base import Allocator
+from repro.core.instance import ProblemInstance
+from repro.core.properties import PropertyReport, audit_allocator
+from repro.registry import REGISTRY, SchedulerRegistry
+
+#: Sentinel: "use the registry default" for audit overrides.
+_USE_REGISTRY_DEFAULT = object()
+
+
+def instance_fingerprint(instance: ProblemInstance) -> str:
+    """Content hash of an instance: identical data ⇒ identical fingerprint.
+
+    Covers user names, GPU-type names, the speedup matrix, and the
+    capacity vector, so two independently constructed but equal instances
+    share cache entries.
+    """
+    digest = hashlib.sha256()
+    digest.update("\x1f".join(map(str, instance.speedups.users)).encode())
+    digest.update(b"\x1e")
+    digest.update("\x1f".join(map(str, instance.speedups.gpu_types)).encode())
+    digest.update(b"\x1e")
+    digest.update(np.ascontiguousarray(instance.speedups.values, dtype=np.float64).tobytes())
+    digest.update(np.ascontiguousarray(instance.capacities, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def _freeze(value: object) -> object:
+    """A hashable, content-based stand-in for one option value.
+
+    repr() would truncate numpy arrays and embed reusable memory
+    addresses for plain objects — colliding or unstable cache keys that
+    could silently return the wrong cached allocation.  Only values whose
+    content defines equality are accepted.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, np.ndarray):
+        return (value.shape, str(value.dtype), value.tobytes())
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, Mapping):
+        return tuple(
+            sorted((str(key), _freeze(item)) for key, item in value.items())
+        )
+    raise TypeError(
+        f"scheduler option of type {type(value).__name__!r} cannot be cached "
+        "by content; pass primitives/arrays, or solve with use_cache=False"
+    )
+
+
+def _options_key(options: Mapping[str, object]) -> Tuple[Tuple[str, object], ...]:
+    """Hashable, order-insensitive cache key for constructor options."""
+    return tuple(sorted((str(key), _freeze(value)) for key, value in options.items()))
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One unit of work for :meth:`SchedulingService.solve_batch`."""
+
+    instance: ProblemInstance
+    scheduler: str = "oef-coop"
+    #: Constructor options forwarded to the scheduler factory.
+    options: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """An allocation plus provenance and cache telemetry."""
+
+    scheduler: str
+    allocation: Allocation
+    fingerprint: str
+    from_cache: bool
+    #: LP time for this call (0.0 when served from cache).
+    solve_seconds: float
+    #: Service-wide counters at the time this result was produced.
+    cache_hits: int
+    cache_misses: int
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of the service's allocation-cache counters."""
+
+    hits: int
+    misses: int
+    entries: int
+    max_entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _ServiceAllocator(Allocator):
+    """Allocator adapter that routes ``allocate()`` through a service cache.
+
+    Handed to :func:`audit_allocator` / :func:`compare_allocators` so the
+    honest solve — and every perturbed strategy-proofness solve — is
+    memoized across audits, comparisons, and plain ``solve`` calls.
+    """
+
+    def __init__(self, service: "SchedulingService", scheduler: str, options=None):
+        self._service = service
+        self._options = dict(options or {})
+        self.name = service.registry.resolve(scheduler)
+
+    def allocate(self, instance: ProblemInstance) -> Allocation:
+        return self._service.solve(
+            instance, self.name, options=self._options
+        ).allocation
+
+
+class SchedulingService:
+    """Cached, batchable scheduling solves behind one facade.
+
+    ``registry`` defaults to the process-wide scheduler registry;
+    ``max_cache_entries`` bounds the *combined* size of the LRU
+    allocation and frontier caches.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[SchedulerRegistry] = None,
+        max_cache_entries: int = 4096,
+    ):
+        if max_cache_entries < 1:
+            raise ValueError("max_cache_entries must be >= 1")
+        self.registry = registry if registry is not None else REGISTRY
+        self.max_cache_entries = max_cache_entries
+        # (fingerprint, scheduler, options) -> (matrix, allocator_name)
+        self._cache: "OrderedDict[tuple, Tuple[np.ndarray, str]]" = OrderedDict()
+        # (fingerprint, alphas, backend) -> [FrontierPoint, ...]
+        self._frontier_cache: "OrderedDict[tuple, List[FrontierPoint]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # -- solving -----------------------------------------------------------
+    def solve(
+        self,
+        instance: Union[ProblemInstance, SolveRequest],
+        scheduler: str = "oef-coop",
+        *,
+        options: Optional[Mapping[str, object]] = None,
+        use_cache: bool = True,
+    ) -> SolveResult:
+        """Solve one instance with one scheduler (memoized).
+
+        Accepts either a bare :class:`ProblemInstance` plus a scheduler
+        name/alias, or a :class:`SolveRequest` carrying both.
+        """
+        if isinstance(instance, SolveRequest):
+            scheduler = instance.scheduler
+            options = instance.options
+            instance = instance.instance
+        options = dict(options or {})
+        name = self.registry.resolve(scheduler)
+        fingerprint = instance_fingerprint(instance)
+        key = (
+            (fingerprint, name, _options_key(options)) if use_cache else None
+        )
+
+        if use_cache and key in self._cache:
+            self._cache.move_to_end(key)
+            matrix, allocator_name = self._cache[key]
+            self._hits += 1
+            # rebind a fresh matrix so callers cannot poison the cache
+            allocation = Allocation(
+                matrix.copy(), instance, allocator_name=allocator_name
+            )
+            return SolveResult(
+                scheduler=name,
+                allocation=allocation,
+                fingerprint=fingerprint,
+                from_cache=True,
+                solve_seconds=0.0,
+                cache_hits=self._hits,
+                cache_misses=self._misses,
+            )
+
+        self._misses += 1
+        allocator = self.registry.create(name, **options)
+        start = time.perf_counter()
+        allocation = allocator.allocate(instance)
+        elapsed = time.perf_counter() - start
+        if use_cache:
+            self._cache[key] = (
+                allocation.matrix.copy(),
+                allocation.allocator_name or name,
+            )
+            self._trim(self._cache)
+        return SolveResult(
+            scheduler=name,
+            allocation=allocation,
+            fingerprint=fingerprint,
+            from_cache=False,
+            solve_seconds=elapsed,
+            cache_hits=self._hits,
+            cache_misses=self._misses,
+        )
+
+    def solve_batch(
+        self,
+        instances: Union[
+            ProblemInstance,
+            SolveRequest,
+            Sequence[Union[ProblemInstance, SolveRequest]],
+        ],
+        schedulers: Union[str, Sequence[str], None] = None,
+        *,
+        options: Optional[Mapping[str, object]] = None,
+        use_cache: bool = True,
+    ) -> List[SolveResult]:
+        """Solve many instances and/or many schedulers in one call.
+
+        ``instances`` may mix :class:`ProblemInstance` and
+        :class:`SolveRequest` items; for plain instances the cross product
+        with ``schedulers`` (default ``"oef-coop"``) is solved,
+        instance-major.  Requests carry their own scheduler and ignore
+        ``schedulers``/``options``.
+        """
+        if isinstance(instances, (ProblemInstance, SolveRequest)):
+            instances = [instances]
+        if schedulers is None:
+            scheduler_list: List[str] = ["oef-coop"]
+        elif isinstance(schedulers, str):
+            scheduler_list = [schedulers]
+        else:
+            scheduler_list = list(schedulers)
+
+        results: List[SolveResult] = []
+        for item in instances:
+            if isinstance(item, SolveRequest):
+                results.append(self.solve(item, use_cache=use_cache))
+            else:
+                for name in scheduler_list:
+                    results.append(
+                        self.solve(
+                            item, name, options=options, use_cache=use_cache
+                        )
+                    )
+        return results
+
+    def allocator(self, scheduler: str, **options) -> Allocator:
+        """A cache-backed :class:`Allocator` view of one scheduler."""
+        return _ServiceAllocator(self, scheduler, options)
+
+    # -- audits and summaries ----------------------------------------------
+    def audit(
+        self,
+        instance: ProblemInstance,
+        scheduler: str = "oef-coop",
+        *,
+        sp_trials: int = 4,
+        seed: int = 0,
+        backend: str = "auto",
+        pe_within=_USE_REGISTRY_DEFAULT,
+        efficiency_constraint=_USE_REGISTRY_DEFAULT,
+        pe_tolerance: float = 1e-5,
+        options: Optional[Mapping[str, object]] = None,
+    ) -> PropertyReport:
+        """Table-1 property audit with registry-sourced policy defaults.
+
+        ``pe_within`` / ``efficiency_constraint`` default to the
+        scheduler's registered audit configuration; explicit arguments
+        (including ``None`` for an unconstrained PE domain) win.
+        """
+        info = self.registry.info(scheduler)
+        if pe_within is _USE_REGISTRY_DEFAULT:
+            pe_within = info.pe_within
+        if efficiency_constraint is _USE_REGISTRY_DEFAULT:
+            efficiency_constraint = info.efficiency_constraint
+        return audit_allocator(
+            self.allocator(info.name, **(options or {})),
+            instance,
+            efficiency_constraint=efficiency_constraint,
+            sp_trials=sp_trials,
+            backend=backend,
+            seed=seed,
+            pe_within=pe_within,
+            pe_tolerance=pe_tolerance,
+        )
+
+    def compare(
+        self,
+        instance: ProblemInstance,
+        schedulers: Optional[Iterable[str]] = None,
+    ) -> List[Dict[str, object]]:
+        """One summary row per scheduler (default: every registered one)."""
+        names = list(schedulers) if schedulers is not None else self.registry.names()
+        return compare_allocators(
+            [self.allocator(name) for name in names], instance
+        )
+
+    def frontier(
+        self,
+        instance: ProblemInstance,
+        alphas: Iterable[float] = (0.0, 0.25, 0.5, 0.75, 0.9, 1.0),
+        backend: str = "auto",
+    ) -> List[FrontierPoint]:
+        """The efficiency–fairness frontier sweep (memoized per alpha grid)."""
+        alpha_key = tuple(float(alpha) for alpha in alphas)
+        key = (instance_fingerprint(instance), alpha_key, backend)
+        if key in self._frontier_cache:
+            self._frontier_cache.move_to_end(key)
+            self._hits += 1
+            return list(self._frontier_cache[key])
+        self._misses += 1
+        points = efficiency_fairness_frontier(
+            instance, alphas=alpha_key, backend=backend
+        )
+        self._frontier_cache[key] = list(points)
+        self._trim(self._frontier_cache)
+        return points
+
+    # -- cache management --------------------------------------------------
+    def cache_info(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            entries=len(self._cache) + len(self._frontier_cache),
+            max_entries=self.max_cache_entries,
+        )
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self._frontier_cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def _trim(self, cache: OrderedDict) -> None:
+        # evict from the cache just inserted into until the combined size
+        # fits the bound again (inserts grow by one, so this suffices)
+        while (
+            len(self._cache) + len(self._frontier_cache) > self.max_cache_entries
+            and cache
+        ):
+            cache.popitem(last=False)
+
+    def __repr__(self) -> str:
+        stats = self.cache_info()
+        return (
+            f"SchedulingService(schedulers={len(self.registry)}, "
+            f"cache={stats.entries}/{stats.max_entries}, "
+            f"hits={stats.hits}, misses={stats.misses})"
+        )

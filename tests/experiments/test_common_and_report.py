@@ -52,6 +52,15 @@ class TestStacks:
         with pytest.raises(KeyError):
             baseline_stack(paper_cluster(), "fifo")
 
+    def test_baseline_stack_options_follow_canonical_name(self):
+        # the §6.1.3 options must apply however the scheduler is spelled
+        topology = paper_cluster()
+        for spelling in ("gandiva", "gandiva-fair"):
+            scheduler, _ = baseline_stack(topology, spelling)
+            assert scheduler.allocator.trade_lot == 0.25
+        scheduler, _ = baseline_stack(topology, "gavel")
+        assert scheduler.allocator.slack == 0.01
+
 
 class TestReport:
     def test_markdown_table_shape(self):

@@ -85,6 +85,29 @@ class TestAudit:
         )
         assert "max-min" in capsys.readouterr().out
 
+    def test_audit_policy_overrides_win(self, instance_path, capsys):
+        # registry default for oef-noncoop is the equal-throughput optimum
+        # (satisfied); against the unconstrained bound it must fail
+        assert (
+            main(
+                [
+                    "audit",
+                    instance_path,
+                    "--scheduler",
+                    "oef-noncoop",
+                    "--sp-trials",
+                    "1",
+                    "--efficiency-constraint",
+                    "none",
+                    "--pe-within",
+                    "none",
+                ]
+            )
+            == 0
+        )
+        row = capsys.readouterr().out.splitlines()[1]
+        assert row.strip().endswith("no")
+
 
 class TestCompareAndFrontier:
     def test_compare(self, instance_path, capsys):
@@ -107,6 +130,28 @@ class TestDemo:
         payload = json.loads(output.read_text())
         assert payload["schema"] == "repro/instance-v1"
         assert len(payload["speedups"]) == 4
+
+
+class TestListSchedulers:
+    def test_lists_every_registered_scheduler(self, capsys):
+        from repro import scheduler_names
+
+        assert main(["list-schedulers"]) == 0
+        out = capsys.readouterr().out
+        for name in scheduler_names():
+            assert name in out
+        for header in ("name", "family", "aliases", "pe domain"):
+            assert header in out
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
 
 
 class TestErrors:

@@ -122,21 +122,32 @@ class TestPlacerInvariants:
     @_SETTINGS
     @given(placement_scenarios())
     def test_adjacency_under_oef_policy(self, scenario):
+        # The OEF policy serves a tenant's jobs largest-first; a job's
+        # placement must be contiguous whenever a contiguous window of
+        # the budget *remaining at its turn* could cover it.  (Checking
+        # against the whole original grant per job is unsatisfiable: two
+        # jobs can each have an original-grant window yet be impossible
+        # to place contiguously at once, e.g. workers 4+2 on [5, 0, 1].)
         tenants, grants, _policy = scenario
         topology = paper_cluster()
         placer = Placer(topology, policy=PlacementPolicy.oef())
         result = placer.place_round(grants, tenants, 0.0)
+        by_tenant: dict = {}
         for placement in result.placements:
-            ranks = sorted(placement.type_counts)
-            grant = grants[placement.job.tenant]
-            # if a contiguous window of the grant could cover the job, the
-            # chosen placement must itself be contiguous
-            workers = len(placement.devices)
-            window_exists = any(
-                grant[low : high + 1].sum() >= workers
-                and np.all(grant[low : high + 1] > 0)
-                for low in range(3)
-                for high in range(low, 3)
-            )
-            if window_exists:
-                assert ranks == list(range(ranks[0], ranks[-1] + 1))
+            by_tenant.setdefault(placement.job.tenant, []).append(placement)
+        for tenant, placements in by_tenant.items():
+            budget = np.asarray(grants[tenant], dtype=int).copy()
+            placements.sort(key=lambda p: (-len(p.devices), p.job.job_id))
+            for placement in placements:
+                ranks = sorted(placement.type_counts)
+                workers = len(placement.devices)
+                window_exists = any(
+                    budget[low : high + 1].sum() >= workers
+                    and np.all(budget[low : high + 1] > 0)
+                    for low in range(3)
+                    for high in range(low, 3)
+                )
+                if window_exists:
+                    assert ranks == list(range(ranks[0], ranks[-1] + 1))
+                for rank, count in placement.type_counts.items():
+                    budget[rank] -= count

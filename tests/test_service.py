@@ -1,0 +1,285 @@
+"""SchedulingService: caching, batch solves, and registry-driven audits."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CooperativeOEF,
+    ProblemInstance,
+    SpeedupMatrix,
+    audit_allocator,
+    compare_allocators,
+    efficiency_fairness_frontier,
+)
+from repro.registry import scheduler_names
+from repro.service import (
+    SchedulingService,
+    SolveRequest,
+    SolveResult,
+    instance_fingerprint,
+)
+
+
+@pytest.fixture
+def service() -> SchedulingService:
+    return SchedulingService()
+
+
+class TestFingerprint:
+    def test_equal_content_equal_fingerprint(self, paper_instance):
+        twin = ProblemInstance(SpeedupMatrix([[1, 2], [1, 3], [1, 4]]), [1.0, 1.0])
+        assert instance_fingerprint(paper_instance) == instance_fingerprint(twin)
+
+    def test_speedups_change_fingerprint(self, paper_instance, fig2_instance):
+        assert instance_fingerprint(paper_instance) != instance_fingerprint(
+            fig2_instance
+        )
+
+    def test_capacities_change_fingerprint(self, paper_instance):
+        other = ProblemInstance(paper_instance.speedups, [2.0, 1.0])
+        assert instance_fingerprint(paper_instance) != instance_fingerprint(other)
+
+    def test_user_names_change_fingerprint(self):
+        a = ProblemInstance(
+            SpeedupMatrix([[1, 2]], users=["alice"]), [1.0, 1.0]
+        )
+        b = ProblemInstance(SpeedupMatrix([[1, 2]], users=["bob"]), [1.0, 1.0])
+        assert instance_fingerprint(a) != instance_fingerprint(b)
+
+
+class TestSolveCaching:
+    def test_miss_then_hit(self, service, paper_instance):
+        first = service.solve(paper_instance, "oef-coop")
+        second = service.solve(paper_instance, "oef-coop")
+        assert not first.from_cache and second.from_cache
+        assert second.cache_hits == 1 and second.cache_misses == 1
+        assert second.fingerprint == first.fingerprint
+
+    def test_cached_allocation_matches_fresh_solve(self, service, paper_instance):
+        cached = service.solve(paper_instance, "oef-coop")
+        cached = service.solve(paper_instance, "oef-coop")
+        fresh = CooperativeOEF().allocate(paper_instance)
+        np.testing.assert_allclose(cached.allocation.matrix, fresh.matrix)
+        assert cached.allocation.allocator_name == fresh.allocator_name
+
+    def test_alias_and_canonical_share_entries(self, service, paper_instance):
+        service.solve(paper_instance, "cooperative")
+        assert service.solve(paper_instance, "oef-coop").from_cache
+
+    def test_different_schedulers_do_not_collide(self, service, paper_instance):
+        coop = service.solve(paper_instance, "oef-coop")
+        noncoop = service.solve(paper_instance, "oef-noncoop")
+        assert not noncoop.from_cache
+        assert not np.allclose(coop.allocation.matrix, noncoop.allocation.matrix)
+
+    def test_options_partition_the_cache(self, service, paper_instance):
+        service.solve(paper_instance, "gavel", options={"slack": 0.02})
+        other = service.solve(paper_instance, "gavel", options={"slack": 0.5})
+        assert not other.from_cache
+        assert service.solve(
+            paper_instance, "gavel", options={"slack": 0.5}
+        ).from_cache
+
+    def test_mutating_a_result_does_not_poison_the_cache(
+        self, service, paper_instance
+    ):
+        service.solve(paper_instance, "max-min")
+        hit = service.solve(paper_instance, "max-min")
+        hit.allocation.matrix[:] = 0.0
+        clean = service.solve(paper_instance, "max-min")
+        assert clean.allocation.total_efficiency() > 0
+
+    def test_array_options_key_by_content(self):
+        from repro.service import _options_key
+
+        assert _options_key({"weights": np.array([1.0, 2.0])}) == _options_key(
+            {"weights": np.array([1.0, 2.0])}
+        )
+        # large arrays must not collide via a truncated repr
+        assert _options_key({"weights": np.arange(4000.0)}) != _options_key(
+            {"weights": np.arange(4000.0) + 1.0}
+        )
+        assert _options_key({"nested": {"a": [1, 2]}}) == _options_key(
+            {"nested": {"a": (1, 2)}}
+        )
+
+    def test_uncacheable_option_values_are_rejected(self, service, paper_instance):
+        with pytest.raises(TypeError, match="cannot be cached"):
+            service.solve(paper_instance, "max-min", options={"rng": object()})
+        # the documented escape hatch still solves
+        result = service.solve(
+            paper_instance, "max-min", options={}, use_cache=False
+        )
+        assert not result.from_cache
+
+    def test_use_cache_false_bypasses(self, service, paper_instance):
+        service.solve(paper_instance, "max-min", use_cache=False)
+        result = service.solve(paper_instance, "max-min", use_cache=False)
+        assert not result.from_cache and result.cache_hits == 0
+
+    def test_solve_seconds_positive_on_miss_zero_on_hit(
+        self, service, paper_instance
+    ):
+        miss = service.solve(paper_instance, "oef-coop")
+        hit = service.solve(paper_instance, "oef-coop")
+        assert miss.solve_seconds > 0.0
+        assert hit.solve_seconds == 0.0
+
+    def test_lru_eviction(self, paper_instance, fig2_instance, eq6_instance):
+        service = SchedulingService(max_cache_entries=2)
+        for instance in (paper_instance, fig2_instance, eq6_instance):
+            service.solve(instance, "max-min")
+        # the oldest entry (paper_instance) was evicted
+        assert not service.solve(paper_instance, "max-min").from_cache
+        assert service.solve(eq6_instance, "max-min").from_cache
+
+    def test_allocation_and_frontier_caches_share_the_bound(
+        self, paper_instance, fig2_instance, eq6_instance
+    ):
+        service = SchedulingService(max_cache_entries=2)
+        service.solve(paper_instance, "max-min")
+        service.solve(fig2_instance, "max-min")
+        service.frontier(eq6_instance, [0.0])
+        stats = service.cache_info()
+        assert stats.entries <= stats.max_entries == 2
+
+    def test_clear_cache(self, service, paper_instance):
+        service.solve(paper_instance)
+        service.clear_cache()
+        stats = service.cache_info()
+        assert stats.entries == 0 and stats.hits == 0 and stats.misses == 0
+
+
+class TestSolveBatch:
+    def test_cross_product_instance_major(
+        self, service, paper_instance, fig2_instance
+    ):
+        results = service.solve_batch(
+            [paper_instance, fig2_instance], ["max-min", "oef-coop"]
+        )
+        assert [result.scheduler for result in results] == [
+            "max-min",
+            "oef-coop",
+            "max-min",
+            "oef-coop",
+        ]
+        assert results[0].fingerprint == results[1].fingerprint
+        assert results[0].fingerprint != results[2].fingerprint
+
+    def test_single_instance_many_schedulers(self, service, paper_instance):
+        results = service.solve_batch(paper_instance, scheduler_names())
+        assert len(results) == len(scheduler_names())
+        assert all(isinstance(result, SolveResult) for result in results)
+
+    def test_requests_carry_their_own_scheduler(self, service, paper_instance):
+        requests = [
+            SolveRequest(paper_instance, "max-min"),
+            SolveRequest(paper_instance, "gavel", options={"slack": 0.01}),
+        ]
+        results = service.solve_batch(requests)
+        assert [result.scheduler for result in results] == ["max-min", "gavel"]
+
+    def test_repeated_batch_is_all_hits(self, service, paper_instance):
+        names = ["max-min", "oef-coop", "drf"]
+        service.solve_batch(paper_instance, names)
+        again = service.solve_batch(paper_instance, names)
+        assert all(result.from_cache for result in again)
+
+
+class TestAudit:
+    def test_defaults_match_direct_audit(self, service, paper_instance):
+        via_service = service.audit(paper_instance, "oef-coop", sp_trials=1)
+        direct = audit_allocator(
+            CooperativeOEF(),
+            paper_instance,
+            efficiency_constraint="envy_free",
+            sp_trials=1,
+            pe_within="envy_free",
+        )
+        assert via_service.as_row() == direct.as_row()
+
+    def test_noncoop_defaults_from_registry(self, service, paper_instance):
+        report = service.audit(paper_instance, "oef-noncoop", sp_trials=1)
+        # equal-throughput domain: the audited optimum equals the
+        # equal-throughput optimum, so optimal efficiency holds
+        assert report.as_row()["optimal efficiency"] == "yes"
+        assert report.as_row()["SP"] == "yes"
+
+    def test_overrides_win(self, service, paper_instance):
+        defaulted = service.audit(paper_instance, "oef-noncoop", sp_trials=1)
+        overridden = service.audit(
+            paper_instance,
+            "oef-noncoop",
+            sp_trials=1,
+            efficiency_constraint="none",
+        )
+        assert defaulted.optimal_efficiency.satisfied
+        # vs the unconstrained bound, equal-throughput OEF leaves slack
+        assert not overridden.optimal_efficiency.satisfied
+
+    def test_explicit_none_pe_domain_wins(
+        self, service, paper_instance, monkeypatch
+    ):
+        import repro.service as service_module
+
+        seen = {}
+
+        def spy(allocator, instance, **kwargs):
+            seen.update(kwargs)
+            return "sentinel"
+
+        monkeypatch.setattr(service_module, "audit_allocator", spy)
+        # registry default for oef-noncoop is pe_within="equal_throughput";
+        # an explicit None must override it rather than be treated as unset
+        assert service.audit(paper_instance, "oef-noncoop", pe_within=None) == "sentinel"
+        assert seen["pe_within"] is None
+        assert seen["efficiency_constraint"] == "equal_throughput"
+
+    def test_audit_reuses_cached_solves(self, service, paper_instance):
+        service.solve(paper_instance, "oef-coop")
+        service.audit(paper_instance, "oef-coop", sp_trials=1)
+        assert service.cache_info().hits > 0
+
+
+class TestCompareAndFrontier:
+    def test_compare_matches_direct(self, service, paper_instance):
+        via_service = service.compare(paper_instance, ["max-min", "oef-coop"])
+        from repro.baselines import MaxMinFairness
+
+        direct = compare_allocators(
+            [MaxMinFairness(), CooperativeOEF()], paper_instance
+        )
+        assert via_service == direct
+
+    def test_compare_defaults_to_all_registered(self, service, paper_instance):
+        rows = service.compare(paper_instance)
+        assert [row["scheduler"] for row in rows] == scheduler_names()
+
+    def test_repeated_compare_hits_cache(self, service, paper_instance):
+        service.compare(paper_instance)
+        before = service.cache_info()
+        service.compare(paper_instance)
+        after = service.cache_info()
+        assert after.hits >= before.hits + len(scheduler_names())
+
+    def test_frontier_cached_and_correct(self, service, paper_instance):
+        points = service.frontier(paper_instance, [0.0, 1.0])
+        direct = efficiency_fairness_frontier(paper_instance, alphas=[0.0, 1.0])
+        assert points == direct
+        before = service.cache_info().hits
+        again = service.frontier(paper_instance, [0.0, 1.0])
+        assert again == points
+        assert service.cache_info().hits == before + 1
+
+
+class TestCacheStats:
+    def test_hit_rate(self, service, paper_instance):
+        assert service.cache_info().hit_rate == 0.0
+        service.solve(paper_instance)
+        service.solve(paper_instance)
+        assert service.cache_info().hit_rate == pytest.approx(0.5)
+
+    def test_repr_mentions_counters(self, service, paper_instance):
+        service.solve(paper_instance)
+        text = repr(service)
+        assert "hits=0" in text and "misses=1" in text

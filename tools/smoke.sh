@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# End-to-end CLI smoke test, suitable as a CI gate:
+#   demo -> allocate -> audit -> compare -> frontier -> list-schedulers
+# runs against a temp dir and fails on the first broken command.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+PY="${PYTHON:-python}"
+
+echo "== repro --version =="
+"$PY" -m repro --version
+
+echo "== repro demo =="
+"$PY" -m repro demo --output "$TMP/instance.json"
+test -s "$TMP/instance.json"
+
+echo "== repro allocate =="
+"$PY" -m repro allocate "$TMP/instance.json" --scheduler oef-coop \
+    --output "$TMP/allocation.json"
+test -s "$TMP/allocation.json"
+grep -q '"allocator": "oef-coop"' "$TMP/allocation.json"
+
+echo "== repro audit (registry audit defaults) =="
+"$PY" -m repro audit "$TMP/instance.json" --scheduler oef-coop --sp-trials 1 \
+    | tee "$TMP/audit.txt"
+grep -q "oef-coop" "$TMP/audit.txt"
+
+echo "== repro compare =="
+"$PY" -m repro compare "$TMP/instance.json" | tee "$TMP/compare.txt"
+grep -q "oef-noncoop" "$TMP/compare.txt"
+grep -q "gavel" "$TMP/compare.txt"
+
+echo "== repro frontier =="
+"$PY" -m repro frontier "$TMP/instance.json" --alphas 0,0.5,1 \
+    | tee "$TMP/frontier.txt"
+grep -q "alpha" "$TMP/frontier.txt"
+
+echo "== repro list-schedulers =="
+"$PY" -m repro list-schedulers | tee "$TMP/schedulers.txt"
+for name in oef-coop oef-noncoop max-min gandiva-fair gavel drf \
+        nash-welfare efficiency-max; do
+    grep -q "$name" "$TMP/schedulers.txt"
+done
+
+echo "smoke OK"
