@@ -67,10 +67,37 @@ def run(scheduler, label: str, seed: int = 42) -> None:
     )
 
 
+def build_simulator(seed: int) -> ClusterSimulator:
+    """Module-level factory so `run_sweep` can ship it to process workers."""
+    topology = paper_cluster()
+    return ClusterSimulator(
+        topology,
+        build_tenants(seed),
+        make_fair_share_scheduler("oef-coop"),
+        placer=Placer(topology, policy=PlacementPolicy.oef()),
+        config=SimulationConfig(num_rounds=96, stop_when_idle=True),
+    )
+
+
+def monte_carlo(seeds=range(4)) -> None:
+    """Seed-sweep the OEF stack across cores (`backend="auto"`)."""
+    collectors = ClusterSimulator.run_sweep(build_simulator, seeds, backend="auto")
+    throughputs = [m.mean_total_actual() for m in collectors]
+    mean = sum(throughputs) / len(throughputs)
+    spread = max(throughputs) - min(throughputs)
+    print(
+        f"--- Monte-Carlo over {len(throughputs)} seeds ---\n"
+        f"  mean cluster throughput {mean:.2f} "
+        f"(min {min(throughputs):.2f}, max {max(throughputs):.2f}, "
+        f"spread {spread:.2f})"
+    )
+
+
 def main() -> None:
     # registry names (or aliases) are all a caller needs
     run(make_fair_share_scheduler("oef-coop"), "cooperative OEF + OEF placer")
     run(make_fair_share_scheduler("max-min"), "Max-Min + naive placer")
+    monte_carlo()
 
 
 if __name__ == "__main__":

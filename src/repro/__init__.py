@@ -54,6 +54,14 @@ from repro.core import (
     check_strategy_proofness,
     optimal_efficiency_upper_bound,
 )
+from repro.parallel import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+    parallel_map,
+)
 from repro.registry import (
     SchedulerInfo,
     SchedulerRegistry,
@@ -72,7 +80,7 @@ from repro.service import (
     instance_fingerprint,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Allocation",
@@ -80,19 +88,23 @@ __all__ = [
     "CacheStats",
     "CooperativeOEF",
     "EfficiencyMaxAllocator",
+    "ExecutionBackend",
     "GandivaFair",
     "Gavel",
     "JobTypeSpec",
     "MaxMinFairness",
     "NonCooperativeOEF",
     "ProblemInstance",
+    "ProcessBackend",
     "PropertyReport",
     "SchedulerInfo",
     "SchedulerRegistry",
     "SchedulingService",
+    "SerialBackend",
     "SolveRequest",
     "SolveResult",
     "SpeedupMatrix",
+    "ThreadBackend",
     "TenantSpec",
     "VirtualUserExpansion",
     "WeightedOEF",
@@ -102,8 +114,10 @@ __all__ = [
     "check_sharing_incentive",
     "check_strategy_proofness",
     "create_scheduler",
+    "get_backend",
     "instance_fingerprint",
     "optimal_efficiency_upper_bound",
+    "parallel_map",
     "register_scheduler",
     "registry_rows",
     "resolve_scheduler_name",

@@ -7,8 +7,13 @@ Commands
 ``compare``          efficiency/fairness summary of all schedulers on an instance
 ``frontier``         print the efficiency-fairness frontier of an instance
 ``list-schedulers``  render the scheduler registry (name, family, capabilities)
-``experiments``      run the paper experiments (all or a subset)
+``experiments``      run the paper experiments (all or a subset, ``--jobs N``)
+``bench``            time a batch of solves serial vs parallel backends
 ``demo``             write a demo instance JSON to get started
+
+``compare``, ``frontier``, ``experiments``, and ``bench`` accept
+``--backend {auto,serial,thread,process}`` and ``--jobs N`` to fan
+independent solves out through :mod:`repro.parallel`.
 
 ``repro --version`` prints the package version.
 
@@ -37,6 +42,7 @@ from repro.core import (
     instance_to_dict,
     load_instance,
 )
+from repro.parallel import BACKEND_NAMES
 from repro.registry import registry_rows, scheduler_names
 from repro.service import SchedulingService
 
@@ -106,14 +112,18 @@ def cmd_audit(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
-    _print_table(_SERVICE.compare(instance))
+    _print_table(
+        _SERVICE.compare(instance, backend=args.backend, max_workers=args.jobs)
+    )
     return 0
 
 
 def cmd_frontier(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
     alphas = [float(a) for a in args.alphas.split(",")]
-    points = _SERVICE.frontier(instance, alphas=alphas)
+    points = _SERVICE.frontier(
+        instance, alphas=alphas, backend=args.backend, max_workers=args.jobs
+    )
     _print_table(
         [
             {
@@ -134,10 +144,75 @@ def cmd_list_schedulers(args: argparse.Namespace) -> int:
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
-    from repro.experiments.__main__ import main as run_experiments
+    from repro.experiments.runner import run_suite, suite_ok
 
-    run_experiments(args.ids)
-    return 0
+    outcomes = run_suite(
+        args.ids, backend=args.backend or "auto", jobs=args.jobs
+    )
+    return 0 if suite_ok(outcomes) else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Time a batch of solves on each requested backend and report speedup."""
+    import time as _time
+
+    import numpy as np
+
+    from repro.service import SolveRequest
+    from repro.workloads.generator import random_instance
+
+    instances = [
+        random_instance(args.users, args.gpu_types, seed=args.seed + index)
+        for index in range(args.instances)
+    ]
+    requests = [
+        SolveRequest(instance, scheduler)
+        for instance in instances
+        for scheduler in args.schedulers
+    ]
+
+    baseline = None
+    rows = []
+    backends = ["serial", *(b for b in args.backends if b != "serial")]
+    for backend_name in backends:
+        service = SchedulingService()
+        start = _time.perf_counter()
+        results = service.solve_batch(
+            requests, backend=None if backend_name == "serial" else backend_name,
+            max_workers=args.jobs,
+        )
+        elapsed = _time.perf_counter() - start
+        matrices = [result.allocation.matrix for result in results]
+        if baseline is None:
+            baseline = (elapsed, matrices)
+        identical = all(
+            np.allclose(matrix, reference, atol=1e-8)
+            for matrix, reference in zip(matrices, baseline[1])
+        )
+        # repeat the batch: the merged cache must serve it entirely
+        before_repeat = service.cache_info()
+        service.solve_batch(
+            requests, backend=None if backend_name == "serial" else backend_name,
+            max_workers=args.jobs,
+        )
+        stats = service.cache_info()
+        repeat_hits = stats.hits - before_repeat.hits
+        rows.append(
+            {
+                "backend": backend_name,
+                "seconds": elapsed,
+                "speedup": baseline[0] / elapsed if elapsed > 0 else float("inf"),
+                "matches serial": "yes" if identical else "NO",
+                "repeat hit rate": f"{repeat_hits / len(requests):.0%}",
+            }
+        )
+    print(
+        f"{len(requests)} solves "
+        f"({args.instances} instances x {len(args.schedulers)} schedulers, "
+        f"{args.users} users x {args.gpu_types} GPU types)"
+    )
+    _print_table(rows)
+    return 0 if all(row["matches serial"] == "yes" for row in rows) else 1
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -186,13 +261,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     audit.set_defaults(func=cmd_audit)
 
+    def add_parallel_flags(command, default_backend=None):
+        command.add_argument(
+            "--backend",
+            choices=BACKEND_NAMES,
+            default=default_backend,
+            help="execution backend for independent solves "
+            f"(default: {default_backend or 'serial'})",
+        )
+        command.add_argument(
+            "--jobs",
+            "-j",
+            type=int,
+            default=None,
+            help="max concurrent workers (default: one per core)",
+        )
+
     compare = sub.add_parser("compare", help="compare all schedulers")
     compare.add_argument("instance")
+    add_parallel_flags(compare)
     compare.set_defaults(func=cmd_compare)
 
     frontier = sub.add_parser("frontier", help="efficiency-fairness frontier")
     frontier.add_argument("instance")
     frontier.add_argument("--alphas", default="0,0.25,0.5,0.75,0.9,1.0")
+    add_parallel_flags(frontier)
     frontier.set_defaults(func=cmd_frontier)
 
     list_schedulers = sub.add_parser(
@@ -202,7 +295,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiments = sub.add_parser("experiments", help="run paper experiments")
     experiments.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    add_parallel_flags(experiments, default_backend="auto")
     experiments.set_defaults(func=cmd_experiments)
+
+    bench = sub.add_parser(
+        "bench", help="time a solve batch on serial vs parallel backends"
+    )
+    bench.add_argument("--instances", type=int, default=16)
+    bench.add_argument("--users", type=int, default=12)
+    bench.add_argument("--gpu-types", type=int, default=6)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--schedulers",
+        nargs="+",
+        default=["oef-coop"],
+        choices=names,
+        help="schedulers to solve each instance with",
+    )
+    bench.add_argument(
+        "--backends",
+        nargs="+",
+        choices=BACKEND_NAMES,
+        default=["thread", "process"],
+        help="backends to time against the serial baseline",
+    )
+    bench.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="max concurrent workers (default: one per core)",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     demo = sub.add_parser("demo", help="write a demo instance JSON")
     demo.add_argument("--output", default="instance.json")

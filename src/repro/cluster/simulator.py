@@ -20,8 +20,9 @@ algorithms from :mod:`repro.core` and :mod:`repro.baselines`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -38,6 +39,23 @@ from repro.cluster.schedulers import (
 from repro.cluster.tenant import Tenant
 from repro.cluster.topology import ClusterTopology
 from repro.exceptions import SimulationError, ValidationError
+from repro.parallel import (
+    BackendSpec,
+    ProcessBackend,
+    ThreadBackend,
+    get_backend,
+    probe_picklable,
+)
+
+
+def _run_sweep_entry(payload: tuple) -> MetricsCollector:
+    """Worker entry for :meth:`ClusterSimulator.run_sweep`.
+
+    Builds a fresh simulator from ``factory(seed)`` inside the worker, so
+    no mutable simulation state is ever shared between seeds.
+    """
+    factory, seed = payload
+    return factory(seed).run()
 
 
 @dataclass
@@ -100,6 +118,36 @@ class ClusterSimulator:
         )
         self._capacities = topology.capacities()
         self._recorded_completions: set = set()
+
+    # -- Monte-Carlo sweeps ----------------------------------------------------
+    @staticmethod
+    def run_sweep(
+        factory: Callable[[int], "ClusterSimulator"],
+        seeds: Sequence[int],
+        *,
+        backend: BackendSpec = "auto",
+        max_workers: Optional[int] = None,
+    ) -> List[MetricsCollector]:
+        """Run ``factory(seed).run()`` for every seed, fanned out to workers.
+
+        ``factory`` builds one fresh, independent simulator per seed
+        (topology, tenants, scheduler, config); it must be a module-level
+        callable for the process backend, and the sweep degrades to
+        threads with a :class:`RuntimeWarning` when it is not picklable.
+        Results come back in seed order, one
+        :class:`~repro.cluster.metrics.MetricsCollector` each.
+        """
+        payloads = [(factory, int(seed)) for seed in seeds]
+        resolved = get_backend(backend, max_workers, task_count=len(payloads))
+        if isinstance(resolved, ProcessBackend) and not probe_picklable(payloads):
+            warnings.warn(
+                "sweep factory is not picklable; falling back to the thread "
+                "backend (define the factory at module level to use processes)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            resolved = ThreadBackend(resolved.max_workers)
+        return resolved.map(_run_sweep_entry, payloads)
 
     # -- main loop -------------------------------------------------------------
     def run(self) -> MetricsCollector:

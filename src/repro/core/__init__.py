@@ -11,6 +11,7 @@ from repro.core.analysis import (
     FrontierPoint,
     compare_allocators,
     efficiency_fairness_frontier,
+    frontier_point,
     jain_index,
     min_max_ratio,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "allocation_to_dict",
     "compare_allocators",
     "efficiency_fairness_frontier",
+    "frontier_point",
     "instance_from_dict",
     "instance_to_dict",
     "jain_index",

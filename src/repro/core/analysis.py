@@ -61,6 +61,46 @@ class FrontierPoint:
     jain: float
 
 
+def frontier_point(
+    instance: ProblemInstance,
+    alpha: float,
+    backend: str = "auto",
+) -> FrontierPoint:
+    """One epsilon-constraint solve: max efficiency with fairness floor ``alpha``.
+
+    A single, self-contained LP — the unit of work
+    :func:`efficiency_fairness_frontier` sweeps over, exposed so batch
+    runners can fan independent alphas out to worker threads/processes.
+    """
+    speedups = instance.speedups.values
+    num_users, num_types = speedups.shape
+    fair = instance.equal_split_throughput()
+
+    lp = LinearProgram(f"frontier-{alpha}")
+    shares = lp.new_variable_array("x", (num_users, num_types), lower=0.0)
+    flat = list(shares.ravel())
+    for type_index in range(num_types):
+        row = np.zeros((1, num_users * num_types))
+        row[0, type_index::num_types] = 1.0
+        lp.add_matrix_constraints(
+            row, flat, "<=", float(instance.capacities[type_index])
+        )
+    for user in range(num_users):
+        lp.add_constraint(
+            dot(speedups[user], shares[user]) >= float(alpha * fair[user])
+        )
+    lp.set_objective(dot(speedups.ravel(), flat), sense="max")
+    solution = lp.solve(backend=backend)
+    matrix = np.clip(solution.value(shares), 0.0, None)
+    throughputs = np.einsum("lj,lj->l", speedups, matrix)
+    return FrontierPoint(
+        alpha=float(alpha),
+        total_efficiency=float(throughputs.sum()),
+        min_throughput=float(throughputs.min()),
+        jain=jain_index(throughputs),
+    )
+
+
 def efficiency_fairness_frontier(
     instance: ProblemInstance,
     alphas: Iterable[float] = (0.0, 0.25, 0.5, 0.75, 0.9, 1.0),
@@ -70,38 +110,7 @@ def efficiency_fairness_frontier(
 
     Monotone non-increasing in ``alpha``: fairness floors cost efficiency.
     """
-    speedups = instance.speedups.values
-    num_users, num_types = speedups.shape
-    fair = instance.equal_split_throughput()
-
-    points: List[FrontierPoint] = []
-    for alpha in alphas:
-        lp = LinearProgram(f"frontier-{alpha}")
-        shares = lp.new_variable_array("x", (num_users, num_types), lower=0.0)
-        flat = list(shares.ravel())
-        for type_index in range(num_types):
-            row = np.zeros((1, num_users * num_types))
-            row[0, type_index::num_types] = 1.0
-            lp.add_matrix_constraints(
-                row, flat, "<=", float(instance.capacities[type_index])
-            )
-        for user in range(num_users):
-            lp.add_constraint(
-                dot(speedups[user], shares[user]) >= float(alpha * fair[user])
-            )
-        lp.set_objective(dot(speedups.ravel(), flat), sense="max")
-        solution = lp.solve(backend=backend)
-        matrix = np.clip(solution.value(shares), 0.0, None)
-        throughputs = np.einsum("lj,lj->l", speedups, matrix)
-        points.append(
-            FrontierPoint(
-                alpha=float(alpha),
-                total_efficiency=float(throughputs.sum()),
-                min_throughput=float(throughputs.min()),
-                jain=jain_index(throughputs),
-            )
-        )
-    return points
+    return [frontier_point(instance, alpha, backend) for alpha in alphas]
 
 
 def compare_allocators(

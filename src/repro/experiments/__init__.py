@@ -33,4 +33,22 @@ ALL_EXPERIMENTS = [
     ("fig10", fig10_overhead),
 ]
 
-__all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]
+# imported after ALL_EXPERIMENTS exists: the runner resolves experiment
+# modules through this table (lazily, so the import is cycle-free)
+from repro.experiments.runner import (  # noqa: E402
+    ExperimentOutcome,
+    experiment_ids,
+    run_experiment,
+    run_suite,
+    suite_ok,
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentOutcome",
+    "ExperimentResult",
+    "experiment_ids",
+    "run_experiment",
+    "run_suite",
+    "suite_ok",
+]

@@ -1,19 +1,57 @@
-"""Run every paper experiment and print its table (``python -m repro.experiments``)."""
+"""Run paper experiments, optionally in parallel.
+
+``python -m repro.experiments``                  run everything serially-ordered
+``python -m repro.experiments fig1 table1``      run a subset
+``python -m repro.experiments --jobs 4``         fan out to 4 workers
+``python -m repro.experiments --backend thread`` pick the execution backend
+
+Output order is canonical regardless of backend; the run closes with a
+per-experiment pass/fail and timing summary, and the exit code is
+non-zero when any experiment failed.
+"""
 
 from __future__ import annotations
 
+import argparse
 import sys
+from typing import List, Optional
 
-from repro.experiments import ALL_EXPERIMENTS
+from repro.parallel import BACKEND_NAMES
+from repro.experiments.runner import experiment_ids, run_suite, suite_ok
 
 
-def main(selected: list) -> None:
-    for name, module in ALL_EXPERIMENTS:
-        if selected and name not in selected:
-            continue
-        print(f"\n########## {name} ##########")
-        module.main()
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="run the paper experiments (all or a subset)",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="id",
+        help=f"experiment ids (default: all of {', '.join(experiment_ids())})",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="max concurrent experiments (default: one per core)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="auto",
+        help="execution backend for the fan-out (default: auto)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    outcomes = run_suite(args.ids, backend=args.backend, jobs=args.jobs)
+    return 0 if suite_ok(outcomes) else 1
 
 
 if __name__ == "__main__":
-    main(sys.argv[1:])
+    raise SystemExit(main(sys.argv[1:]))

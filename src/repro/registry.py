@@ -66,6 +66,27 @@ class SchedulerInfo:
     supports_weights: bool = False
     #: Has a job-level (elastic) variant (via JobLevelOEF).
     supports_job_level: bool = False
+    #: Safe to solve concurrently from multiple threads of one process.
+    #: Irrelevant under a process pool, where every worker is an isolated
+    #: single-threaded process.
+    parallel_safe: bool = True
+    #: Instances/options survive a process boundary (pickle), so batch
+    #: solves may ship this scheduler's work to a process pool.  Set to
+    #: False for schedulers with unpicklable state; the service then
+    #: degrades to threads (or serial when also not ``parallel_safe``).
+    picklable: bool = True
+
+    @property
+    def max_isolation(self) -> str:
+        """Strongest execution backend this scheduler supports.
+
+        Process pools only need picklability (workers are isolated, so
+        thread-safety never enters into it); thread pools additionally
+        need ``parallel_safe``.
+        """
+        if self.picklable:
+            return "process"
+        return "thread" if self.parallel_safe else "serial"
 
     def as_row(self) -> Dict[str, object]:
         """One printable table row for ``repro list-schedulers``."""
@@ -77,6 +98,7 @@ class SchedulerInfo:
             "efficiency vs": self.efficiency_constraint,
             "weights": "yes" if self.supports_weights else "no",
             "job-level": "yes" if self.supports_job_level else "no",
+            "parallel": self.max_isolation,
             "description": self.description,
         }
 
@@ -189,6 +211,8 @@ def register_scheduler(
     efficiency_constraint: str = "envy_free",
     supports_weights: bool = False,
     supports_job_level: bool = False,
+    parallel_safe: bool = True,
+    picklable: bool = True,
     registry: Optional[SchedulerRegistry] = None,
 ) -> Callable[[type], type]:
     """Class decorator: register an :class:`Allocator` subclass.
@@ -219,6 +243,8 @@ def register_scheduler(
             efficiency_constraint=efficiency_constraint,
             supports_weights=supports_weights,
             supports_job_level=supports_job_level,
+            parallel_safe=parallel_safe,
+            picklable=picklable,
         )
         # explicit "is not None": an empty registry is falsy via __len__
         target = registry if registry is not None else REGISTRY

@@ -19,10 +19,22 @@ so callers can observe the reuse.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -30,11 +42,19 @@ from repro.core.allocation import Allocation
 from repro.core.analysis import (
     FrontierPoint,
     compare_allocators,
-    efficiency_fairness_frontier,
+    frontier_point,
 )
 from repro.core.base import Allocator
 from repro.core.instance import ProblemInstance
 from repro.core.properties import PropertyReport, audit_allocator
+from repro.parallel import (
+    BackendSpec,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+    probe_picklable,
+)
 from repro.registry import REGISTRY, SchedulerRegistry
 
 #: Sentinel: "use the registry default" for audit overrides.
@@ -85,6 +105,32 @@ def _freeze(value: object) -> object:
 def _options_key(options: Mapping[str, object]) -> Tuple[Tuple[str, object], ...]:
     """Hashable, order-insensitive cache key for constructor options."""
     return tuple(sorted((str(key), _freeze(value)) for key, value in options.items()))
+
+
+def _solve_payload(
+    payload: Tuple[ProblemInstance, Callable[..., Allocator], Dict[str, object]],
+) -> Tuple[np.ndarray, Optional[str], float]:
+    """Worker-side solve: construct the scheduler and run one allocation.
+
+    Module-level (and fed only picklable payloads) so it can cross a
+    process boundary; thread and serial lanes reuse it unchanged.  Only
+    the allocation matrix travels back — the parent re-wraps it in an
+    :class:`Allocation` against its own instance object and merges it
+    into the shared cache.
+    """
+    instance, factory, options = payload
+    start = time.perf_counter()
+    allocation = factory(**options).allocate(instance)
+    elapsed = time.perf_counter() - start
+    return allocation.matrix, allocation.allocator_name, elapsed
+
+
+def _frontier_payload(
+    payload: Tuple[ProblemInstance, float, str],
+) -> FrontierPoint:
+    """Worker-side frontier solve: one epsilon-constraint LP."""
+    instance, alpha, lp_backend = payload
+    return frontier_point(instance, alpha, backend=lp_backend)
 
 
 @dataclass(frozen=True)
@@ -165,10 +211,14 @@ class SchedulingService:
         self.max_cache_entries = max_cache_entries
         # (fingerprint, scheduler, options) -> (matrix, allocator_name)
         self._cache: "OrderedDict[tuple, Tuple[np.ndarray, str]]" = OrderedDict()
-        # (fingerprint, alphas, backend) -> [FrontierPoint, ...]
+        # (fingerprint, alphas, lp_backend) -> [FrontierPoint, ...]
         self._frontier_cache: "OrderedDict[tuple, List[FrontierPoint]]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        # guards both caches and both counters: lookups, inserts, LRU
+        # reordering, and trims happen under this lock; the LP solves
+        # themselves run outside it so concurrent solves overlap
+        self._lock = threading.RLock()
 
     # -- solving -----------------------------------------------------------
     def solve(
@@ -195,43 +245,51 @@ class SchedulingService:
             (fingerprint, name, _options_key(options)) if use_cache else None
         )
 
-        if use_cache and key in self._cache:
-            self._cache.move_to_end(key)
-            matrix, allocator_name = self._cache[key]
-            self._hits += 1
-            # rebind a fresh matrix so callers cannot poison the cache
-            allocation = Allocation(
-                matrix.copy(), instance, allocator_name=allocator_name
-            )
-            return SolveResult(
-                scheduler=name,
-                allocation=allocation,
-                fingerprint=fingerprint,
-                from_cache=True,
-                solve_seconds=0.0,
-                cache_hits=self._hits,
-                cache_misses=self._misses,
-            )
+        if use_cache:
+            with self._lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    matrix, allocator_name = cached
+                    self._hits += 1
+                    hits, misses = self._hits, self._misses
+            if cached is not None:
+                # rebind a fresh matrix so callers cannot poison the cache
+                allocation = Allocation(
+                    matrix.copy(), instance, allocator_name=allocator_name
+                )
+                return SolveResult(
+                    scheduler=name,
+                    allocation=allocation,
+                    fingerprint=fingerprint,
+                    from_cache=True,
+                    solve_seconds=0.0,
+                    cache_hits=hits,
+                    cache_misses=misses,
+                )
 
-        self._misses += 1
+        with self._lock:
+            self._misses += 1
         allocator = self.registry.create(name, **options)
         start = time.perf_counter()
         allocation = allocator.allocate(instance)
         elapsed = time.perf_counter() - start
-        if use_cache:
-            self._cache[key] = (
-                allocation.matrix.copy(),
-                allocation.allocator_name or name,
-            )
-            self._trim(self._cache)
+        with self._lock:
+            if use_cache:
+                self._cache[key] = (
+                    allocation.matrix.copy(),
+                    allocation.allocator_name or name,
+                )
+                self._trim(self._cache)
+            hits, misses = self._hits, self._misses
         return SolveResult(
             scheduler=name,
             allocation=allocation,
             fingerprint=fingerprint,
             from_cache=False,
             solve_seconds=elapsed,
-            cache_hits=self._hits,
-            cache_misses=self._misses,
+            cache_hits=hits,
+            cache_misses=misses,
         )
 
     def solve_batch(
@@ -245,6 +303,8 @@ class SchedulingService:
         *,
         options: Optional[Mapping[str, object]] = None,
         use_cache: bool = True,
+        backend: Optional[BackendSpec] = None,
+        max_workers: Optional[int] = None,
     ) -> List[SolveResult]:
         """Solve many instances and/or many schedulers in one call.
 
@@ -253,7 +313,36 @@ class SchedulingService:
         with ``schedulers`` (default ``"oef-coop"``) is solved,
         instance-major.  Requests carry their own scheduler and ignore
         ``schedulers``/``options``.
+
+        ``backend`` selects an execution backend (``"serial"`` /
+        ``"thread"`` / ``"process"`` / ``"auto"`` or an
+        :class:`~repro.parallel.ExecutionBackend` instance) that fans the
+        *cache-missing* solves out to workers; results merge back into the
+        parent cache, so a repeated batch still hits ~100%.  Work that
+        cannot reach the requested backend — schedulers registered with
+        ``picklable=False`` / ``parallel_safe=False``, or payloads that
+        fail a pickle probe — degrades to threads or serial with a
+        :class:`RuntimeWarning` instead of crashing.  ``backend=None``
+        preserves the serial in-line path exactly.
         """
+        requests = self._normalise_batch(instances, schedulers, options)
+        resolved = (
+            None
+            if backend is None
+            else get_backend(backend, max_workers, task_count=len(requests))
+        )
+        if resolved is None or isinstance(resolved, SerialBackend):
+            return [
+                self.solve(instance, name, options=opts, use_cache=use_cache)
+                for instance, name, opts in requests
+            ]
+        return self._solve_batch_parallel(requests, resolved, use_cache)
+
+    @staticmethod
+    def _normalise_batch(
+        instances, schedulers, options
+    ) -> List[Tuple[ProblemInstance, str, Dict[str, object]]]:
+        """Expand the batch arguments into ordered (instance, name, options)."""
         if isinstance(instances, (ProblemInstance, SolveRequest)):
             instances = [instances]
         if schedulers is None:
@@ -262,19 +351,232 @@ class SchedulingService:
             scheduler_list = [schedulers]
         else:
             scheduler_list = list(schedulers)
-
-        results: List[SolveResult] = []
+        requests: List[Tuple[ProblemInstance, str, Dict[str, object]]] = []
         for item in instances:
             if isinstance(item, SolveRequest):
-                results.append(self.solve(item, use_cache=use_cache))
+                requests.append((item.instance, item.scheduler, dict(item.options)))
             else:
                 for name in scheduler_list:
-                    results.append(
-                        self.solve(
-                            item, name, options=options, use_cache=use_cache
-                        )
+                    requests.append((item, name, dict(options or {})))
+        return requests
+
+    def _solve_batch_parallel(
+        self,
+        requests: List[Tuple[ProblemInstance, str, Dict[str, object]]],
+        backend,
+        use_cache: bool,
+    ) -> List[SolveResult]:
+        """Fan cache-missing solves out to ``backend``, then merge back.
+
+        Three lanes, chosen per scheduler capability: the requested pool
+        (process or thread), a thread fallback for unpicklable work under
+        a process backend, and in-line serial for schedulers that are not
+        ``parallel_safe``.  Duplicate requests inside the batch solve
+        once; the extra occurrences count as cache hits, mirroring the
+        serial path.
+        """
+        # resolve names/fingerprints up front (raises on unknown
+        # schedulers or uncacheable options exactly like the serial path)
+        plan = []
+        for instance, scheduler, opts in requests:
+            name = self.registry.resolve(scheduler)
+            fingerprint = instance_fingerprint(instance)
+            key = (
+                (fingerprint, name, _options_key(opts)) if use_cache else None
+            )
+            plan.append((instance, name, opts, fingerprint, key))
+
+        # pick the work that actually needs solving, deduplicated by key
+        pending: "OrderedDict[object, Tuple[ProblemInstance, str, Dict[str, object]]]"
+        pending = OrderedDict()
+        if use_cache:
+            with self._lock:
+                for instance, name, opts, _, key in plan:
+                    if key not in self._cache and key not in pending:
+                        pending[key] = (instance, name, opts)
+        else:
+            for index, (instance, name, opts, _, _) in enumerate(plan):
+                pending[index] = (instance, name, opts)
+
+        solved = self._execute_pending(pending, backend)
+
+        # merge worker results into the parent cache and snapshot one
+        # (matrix, allocator_name, elapsed, from_cache, hits, misses)
+        # tuple per request, in order; duplicates of one solved key read
+        # the merged entry and count as hits, mirroring the serial
+        # miss-then-hit behaviour.  Only bookkeeping happens under the
+        # lock — Allocation construction and any re-solves stay outside.
+        assembled: List[Optional[tuple]] = []
+        evicted: List[int] = []
+        first_seen: set = set()
+        with self._lock:
+            if use_cache:
+                for key, (matrix, allocator_name, _) in solved.items():
+                    # key = (fingerprint, name, options); fall back to the
+                    # canonical name exactly like the serial insert path
+                    self._cache[key] = (matrix.copy(), allocator_name or key[1])
+                    self._trim(self._cache)
+            for index, (instance, name, opts, fingerprint, key) in enumerate(plan):
+                lookup = key if use_cache else index
+                if lookup in solved and lookup not in first_seen:
+                    first_seen.add(lookup)
+                    matrix, allocator_name, elapsed = solved[lookup]
+                    self._misses += 1
+                    assembled.append(
+                        (matrix, allocator_name, elapsed, False,
+                         self._hits, self._misses)
                     )
-        return results
+                elif use_cache:
+                    entry = self._cache.get(key)
+                    if entry is None:
+                        # a tiny LRU bound can evict a pre-existing entry
+                        # while the worker results merge in; re-solve it
+                        # outside the lock below
+                        evicted.append(index)
+                        assembled.append(None)
+                    else:
+                        matrix, allocator_name = entry
+                        self._cache.move_to_end(key)
+                        self._hits += 1
+                        assembled.append(
+                            (matrix.copy(), allocator_name, 0.0, True,
+                             self._hits, self._misses)
+                        )
+                else:  # pragma: no cover - every uncached index is unique
+                    raise AssertionError("uncached request missing its result")
+
+        for index in evicted:
+            instance, name, opts, _, _ = plan[index]
+            matrix, allocator_name, elapsed = _solve_payload(
+                (instance, self.registry.info(name).factory, opts)
+            )
+            with self._lock:
+                self._misses += 1
+                assembled[index] = (
+                    matrix, allocator_name, elapsed, False,
+                    self._hits, self._misses,
+                )
+
+        return [
+            SolveResult(
+                scheduler=name,
+                allocation=Allocation(
+                    matrix, instance, allocator_name=allocator_name
+                ),
+                fingerprint=fingerprint,
+                from_cache=from_cache,
+                solve_seconds=elapsed,
+                cache_hits=hits,
+                cache_misses=misses,
+            )
+            for (instance, name, opts, fingerprint, key),
+                (matrix, allocator_name, elapsed, from_cache, hits, misses)
+            in zip(plan, assembled)
+        ]
+
+    def _execute_pending(
+        self,
+        pending: "OrderedDict[object, Tuple[ProblemInstance, str, Dict[str, object]]]",
+        backend,
+    ) -> Dict[object, Tuple[np.ndarray, Optional[str], float]]:
+        """Run the deduplicated work through capability-matched lanes.
+
+        Lane choice per scheduler: a process pool needs only a picklable
+        payload (workers are isolated single-threaded processes, so
+        ``parallel_safe`` is irrelevant there); a thread pool needs
+        ``parallel_safe``; everything else runs serially in the parent.
+        The fallback lanes execute *concurrently* with the requested
+        pool, so a mixed batch still overlaps all its work.
+        """
+        pool_lane: List[Tuple[object, tuple]] = []
+        thread_lane: List[Tuple[object, tuple]] = []
+        serial_lane: List[Tuple[object, tuple]] = []
+        wants_processes = isinstance(backend, ProcessBackend)
+        warned: set = set()
+
+        def warn_once(name: str, message: str) -> None:
+            if name not in warned:
+                warned.add(name)
+                warnings.warn(message, RuntimeWarning, stacklevel=5)
+
+        # memoize the (expensive) instance pickle probe by object identity
+        # — batches typically repeat instances across schedulers — and
+        # probe the (factory, options) part separately; it is tiny.
+        instance_probe: Dict[int, bool] = {}
+
+        def payload_picklable(payload: tuple) -> bool:
+            instance, factory, opts = payload
+            ok = instance_probe.get(id(instance))
+            if ok is None:
+                ok = probe_picklable(instance)
+                instance_probe[id(instance)] = ok
+            return ok and probe_picklable((factory, opts))
+
+        for lookup, (instance, name, opts) in pending.items():
+            info = self.registry.info(name)
+            payload = (instance, info.factory, opts)
+            if wants_processes and info.picklable and payload_picklable(payload):
+                pool_lane.append((lookup, payload))
+            elif not info.parallel_safe:
+                warn_once(
+                    name,
+                    f"scheduler {name!r} is registered parallel_safe=False "
+                    "and cannot reach process isolation; solving it "
+                    "serially in the parent process",
+                )
+                serial_lane.append((lookup, payload))
+            elif wants_processes:
+                warn_once(
+                    name,
+                    f"scheduler {name!r} cannot cross a process boundary "
+                    "(picklable=False or unpicklable payload); falling "
+                    "back to the thread backend for this work",
+                )
+                thread_lane.append((lookup, payload))
+            else:
+                pool_lane.append((lookup, payload))
+
+        solved: Dict[object, Tuple[np.ndarray, Optional[str], float]] = {}
+        fallback_results: Dict[object, Tuple[np.ndarray, Optional[str], float]] = {}
+        fallback_errors: List[BaseException] = []
+
+        def run_fallback_lanes() -> None:
+            try:
+                if thread_lane:
+                    fallback = ThreadBackend(backend.max_workers)
+                    outputs = fallback.map(
+                        _solve_payload, [p for _, p in thread_lane]
+                    )
+                    fallback_results.update(
+                        zip((k for k, _ in thread_lane), outputs)
+                    )
+                # the serial lane runs alone (after the thread-pool map has
+                # drained), honouring parallel_safe=False within this thread
+                for lookup, payload in serial_lane:
+                    fallback_results[lookup] = _solve_payload(payload)
+            except BaseException as exc:  # re-raised in the parent below
+                fallback_errors.append(exc)
+
+        # overlap the fallback lanes with the pool only when the pool's
+        # workers are separate *processes*: under a thread pool, an
+        # overlapped serial lane would solve concurrently with in-process
+        # pool threads — exactly what parallel_safe=False forbids.
+        fallback_worker: Optional[threading.Thread] = None
+        if thread_lane or serial_lane:
+            if pool_lane and wants_processes:
+                fallback_worker = threading.Thread(target=run_fallback_lanes)
+                fallback_worker.start()
+            else:
+                run_fallback_lanes()
+        if pool_lane:
+            outputs = backend.map(_solve_payload, [p for _, p in pool_lane])
+            solved.update(zip((k for k, _ in pool_lane), outputs))
+        if fallback_worker is not None:
+            fallback_worker.join()
+        if fallback_errors:
+            raise fallback_errors[0]
+        solved.update(fallback_results)
+        return solved
 
     def allocator(self, scheduler: str, **options) -> Allocator:
         """A cache-backed :class:`Allocator` view of one scheduler."""
@@ -320,9 +622,22 @@ class SchedulingService:
         self,
         instance: ProblemInstance,
         schedulers: Optional[Iterable[str]] = None,
+        *,
+        backend: Optional[BackendSpec] = None,
+        max_workers: Optional[int] = None,
     ) -> List[Dict[str, object]]:
-        """One summary row per scheduler (default: every registered one)."""
+        """One summary row per scheduler (default: every registered one).
+
+        With ``backend`` set, the per-scheduler solves — the dominant cost
+        — run through :meth:`solve_batch` on that backend first; the row
+        assembly then reads every allocation straight from the warmed
+        cache, so parallel and serial comparisons produce identical rows.
+        """
         names = list(schedulers) if schedulers is not None else self.registry.names()
+        if backend is not None:
+            self.solve_batch(
+                instance, names, backend=backend, max_workers=max_workers
+            )
         return compare_allocators(
             [self.allocator(name) for name in names], instance
         )
@@ -331,37 +646,66 @@ class SchedulingService:
         self,
         instance: ProblemInstance,
         alphas: Iterable[float] = (0.0, 0.25, 0.5, 0.75, 0.9, 1.0),
-        backend: str = "auto",
+        backend: Optional[BackendSpec] = None,
+        *,
+        max_workers: Optional[int] = None,
+        lp_backend: str = "auto",
     ) -> List[FrontierPoint]:
-        """The efficiency–fairness frontier sweep (memoized per alpha grid)."""
+        """The efficiency–fairness frontier sweep (memoized per alpha grid).
+
+        Each alpha is an independent epsilon-constraint LP, so with
+        ``backend`` set the sweep fans out through an execution backend;
+        the memoized result is keyed only on the instance/alphas/LP
+        solver, never on how it was executed.  (``backend`` used to name
+        the LP solver; that now lives in ``lp_backend``.)
+        """
         alpha_key = tuple(float(alpha) for alpha in alphas)
-        key = (instance_fingerprint(instance), alpha_key, backend)
-        if key in self._frontier_cache:
-            self._frontier_cache.move_to_end(key)
-            self._hits += 1
-            return list(self._frontier_cache[key])
-        self._misses += 1
-        points = efficiency_fairness_frontier(
-            instance, alphas=alpha_key, backend=backend
+        key = (instance_fingerprint(instance), alpha_key, lp_backend)
+        with self._lock:
+            cached = self._frontier_cache.get(key)
+            if cached is not None:
+                self._frontier_cache.move_to_end(key)
+                self._hits += 1
+                return list(cached)
+            self._misses += 1
+        payloads = [(instance, alpha, lp_backend) for alpha in alpha_key]
+        resolved = get_backend(
+            backend if backend is not None else "serial",
+            max_workers,
+            task_count=len(payloads),
         )
-        self._frontier_cache[key] = list(points)
-        self._trim(self._frontier_cache)
+        if isinstance(resolved, ProcessBackend) and not probe_picklable(
+            payloads
+        ):
+            warnings.warn(
+                "frontier payload is not picklable; falling back to the "
+                "thread backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            resolved = ThreadBackend(resolved.max_workers)
+        points = resolved.map(_frontier_payload, payloads)
+        with self._lock:
+            self._frontier_cache[key] = list(points)
+            self._trim(self._frontier_cache)
         return points
 
     # -- cache management --------------------------------------------------
     def cache_info(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            entries=len(self._cache) + len(self._frontier_cache),
-            max_entries=self.max_cache_entries,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                entries=len(self._cache) + len(self._frontier_cache),
+                max_entries=self.max_cache_entries,
+            )
 
     def clear_cache(self) -> None:
-        self._cache.clear()
-        self._frontier_cache.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._lock:
+            self._cache.clear()
+            self._frontier_cache.clear()
+            self._hits = 0
+            self._misses = 0
 
     def _trim(self, cache: OrderedDict) -> None:
         # evict from the cache just inserted into until the combined size

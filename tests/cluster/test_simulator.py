@@ -184,3 +184,44 @@ class TestSchedulerIntegration:
     def test_solver_seconds_tracked(self):
         metrics = _simulator().run()
         assert metrics.mean_solver_seconds() > 0
+
+
+def _sweep_factory(seed: int) -> ClusterSimulator:
+    """Module-level so the process backend can pickle it."""
+    return _simulator(tenants=_population(seed=seed))
+
+
+class TestRunSweep:
+    def test_seed_order_and_determinism(self):
+        serial = ClusterSimulator.run_sweep(
+            _sweep_factory, [0, 1, 2], backend="serial"
+        )
+        assert len(serial) == 3
+        # distinct seeds produce distinct populations, same seed agrees
+        repeat = ClusterSimulator.run_sweep(
+            _sweep_factory, [0], backend="serial"
+        )
+        assert repeat[0].mean_total_actual() == pytest.approx(
+            serial[0].mean_total_actual()
+        )
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_matches_serial(self, backend):
+        seeds = [0, 1]
+        serial = ClusterSimulator.run_sweep(_sweep_factory, seeds, backend="serial")
+        parallel = ClusterSimulator.run_sweep(
+            _sweep_factory, seeds, backend=backend, max_workers=2
+        )
+        for a, b in zip(serial, parallel):
+            assert b.mean_total_actual() == pytest.approx(a.mean_total_actual())
+            assert len(b.rounds) == len(a.rounds)
+            assert len(b.completions) == len(a.completions)
+
+    def test_unpicklable_factory_degrades_to_threads(self):
+        local_factory = lambda seed: _simulator()  # noqa: E731
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            collectors = ClusterSimulator.run_sweep(
+                local_factory, [0, 1], backend="process", max_workers=2
+            )
+        assert len(collectors) == 2
+        assert all(c.mean_total_actual() > 0 for c in collectors)

@@ -29,6 +29,9 @@ from repro.core import (
 )
 from repro.solver import LinearProgram, dot
 
+
+#: hypothesis-heavy: deselect with `pytest -m 'not slow'`
+pytestmark = pytest.mark.slow
 _SETTINGS = settings(
     max_examples=25,
     deadline=None,

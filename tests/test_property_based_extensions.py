@@ -25,6 +25,9 @@ from repro.core import (
 from repro.core.instance import ProblemInstance
 from repro.core.speedup import SpeedupMatrix
 
+
+#: hypothesis-heavy: deselect with `pytest -m 'not slow'`
+pytestmark = pytest.mark.slow
 _SETTINGS = settings(
     max_examples=20,
     deadline=None,

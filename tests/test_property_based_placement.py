@@ -19,6 +19,9 @@ from hypothesis import strategies as st
 
 from repro.cluster import Placer, PlacementPolicy, Tenant, make_job, paper_cluster
 
+
+#: hypothesis-heavy: deselect with `pytest -m 'not slow'`
+pytestmark = pytest.mark.slow
 _SETTINGS = settings(
     max_examples=30,
     deadline=None,

@@ -40,6 +40,21 @@ echo "== repro frontier =="
     | tee "$TMP/frontier.txt"
 grep -q "alpha" "$TMP/frontier.txt"
 
+echo "== repro frontier (thread backend) =="
+"$PY" -m repro frontier "$TMP/instance.json" --alphas 0,0.5,1 \
+    --backend thread --jobs 2 | tee "$TMP/frontier_thread.txt"
+diff "$TMP/frontier.txt" "$TMP/frontier_thread.txt"
+
+echo "== repro bench =="
+"$PY" -m repro bench --instances 4 --users 6 --gpu-types 3 \
+    --backends thread --jobs 2 | tee "$TMP/bench.txt"
+grep -q "matches serial" "$TMP/bench.txt"
+
+echo "== repro experiments (2 jobs) =="
+"$PY" -m repro experiments fig1 fig6 --jobs 2 --backend thread \
+    | tee "$TMP/experiments.txt"
+grep -q "2/2 passed" "$TMP/experiments.txt"
+
 echo "== repro list-schedulers =="
 "$PY" -m repro list-schedulers | tee "$TMP/schedulers.txt"
 for name in oef-coop oef-noncoop max-min gandiva-fair gavel drf \
