@@ -30,6 +30,9 @@ The public API re-exports the pieces a downstream user needs:
   :class:`GandivaFair`, :class:`Gavel`);
 * fairness auditors -- :func:`audit_allocator` and the individual property
   checkers;
+* dynamic workloads -- :class:`Scenario`, :class:`ScenarioRunner`,
+  :class:`ScenarioResult`, :func:`make_scenario`, :func:`scenario_names`,
+  :func:`run_scenario`, :func:`scenario_sweep` (see :mod:`repro.scenarios`);
 * the cluster runtime lives in :mod:`repro.cluster`, workload generators in
   :mod:`repro.workloads`, and paper experiments in :mod:`repro.experiments`.
 """
@@ -72,6 +75,15 @@ from repro.registry import (
     scheduler_info,
     scheduler_names,
 )
+from repro.scenarios import (
+    Scenario,
+    ScenarioResult,
+    ScenarioRunner,
+    make_scenario,
+    run_scenario,
+    scenario_names,
+    scenario_sweep,
+)
 from repro.service import (
     CacheStats,
     SchedulingService,
@@ -80,7 +92,7 @@ from repro.service import (
     instance_fingerprint,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Allocation",
@@ -97,6 +109,9 @@ __all__ = [
     "ProblemInstance",
     "ProcessBackend",
     "PropertyReport",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRunner",
     "SchedulerInfo",
     "SchedulerRegistry",
     "SchedulingService",
@@ -116,11 +131,15 @@ __all__ = [
     "create_scheduler",
     "get_backend",
     "instance_fingerprint",
+    "make_scenario",
     "optimal_efficiency_upper_bound",
     "parallel_map",
     "register_scheduler",
     "registry_rows",
     "resolve_scheduler_name",
+    "run_scenario",
+    "scenario_names",
+    "scenario_sweep",
     "scheduler_info",
     "scheduler_names",
 ]

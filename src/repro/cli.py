@@ -7,6 +7,8 @@ Commands
 ``compare``          efficiency/fairness summary of all schedulers on an instance
 ``frontier``         print the efficiency-fairness frontier of an instance
 ``list-schedulers``  render the scheduler registry (name, family, capabilities)
+``simulate``         replay a named dynamic scenario through the simulator
+``list-scenarios``   render the scenario library (name, defaults, description)
 ``experiments``      run the paper experiments (all or a subset, ``--jobs N``)
 ``bench``            time a batch of solves serial vs parallel backends
 ``demo``             write a demo instance JSON to get started
@@ -140,6 +142,48 @@ def cmd_frontier(args: argparse.Namespace) -> int:
 
 def cmd_list_schedulers(args: argparse.Namespace) -> int:
     _print_table(registry_rows())
+    return 0
+
+
+def cmd_list_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import scenario_rows
+
+    _print_table(scenario_rows())
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Replay one named scenario under one or more schedulers."""
+    from repro.scenarios import (
+        ScenarioRunner,
+        make_scenario,
+        scenario_sweep,
+        sweep_summary,
+    )
+
+    scenario = make_scenario(
+        args.scenario, seed=args.seed, rounds=args.rounds
+    )
+    rows = []
+    for scheduler in args.schedulers:
+        if args.seeds:
+            results = scenario_sweep(
+                scenario,
+                args.seeds,
+                scheduler=scheduler,
+                backend=args.backend or "auto",
+                max_workers=args.jobs,
+            )
+            rows.append(sweep_summary(results))
+        else:
+            rows.append(
+                ScenarioRunner(scenario, scheduler=scheduler).run().summary_row()
+            )
+    print(
+        f"scenario {scenario.name!r}: {scenario.num_rounds} rounds x "
+        f"{scenario.round_duration:.0f}s ({scenario.description})"
+    )
+    _print_table(rows)
     return 0
 
 
@@ -292,6 +336,45 @@ def build_parser() -> argparse.ArgumentParser:
         "list-schedulers", help="show the scheduler registry"
     )
     list_schedulers.set_defaults(func=cmd_list_schedulers)
+
+    from repro.scenarios import scenario_names
+
+    simulate = sub.add_parser(
+        "simulate", help="replay a named dynamic-workload scenario"
+    )
+    simulate.add_argument(
+        "--scenario",
+        required=True,
+        choices=scenario_names(),
+        help="named scenario from the library (see `repro list-scenarios`)",
+    )
+    simulate.add_argument(
+        "--rounds", type=int, default=None,
+        help="scheduling rounds to simulate (default: the scenario's own)",
+    )
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--scheduler",
+        dest="schedulers",
+        nargs="+",
+        default=["oef-coop"],
+        help="scheduler name(s)/alias(es) to replay the scenario under",
+    )
+    simulate.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=None,
+        help="run a multi-seed sweep instead of one replay "
+        "(aggregated row per scheduler; uses --backend/--jobs)",
+    )
+    add_parallel_flags(simulate)
+    simulate.set_defaults(func=cmd_simulate)
+
+    list_scenarios = sub.add_parser(
+        "list-scenarios", help="show the scenario library"
+    )
+    list_scenarios.set_defaults(func=cmd_list_scenarios)
 
     experiments = sub.add_parser("experiments", help="run paper experiments")
     experiments.add_argument("ids", nargs="*", help="experiment ids (default: all)")

@@ -16,13 +16,27 @@ The simulator substitutes the paper's 24-GPU testbed: every reported
 metric (normalised throughput, JCT, straggler counts, solver overhead) is
 a function of scheduling decisions, which are bit-for-bit the real
 algorithms from :mod:`repro.core` and :mod:`repro.baselines`.
+
+Dynamic workloads
+-----------------
+Beyond the static config knobs (``device_failures`` / ``device_repairs``),
+the simulator accepts a *timed event stream*: any object with a ``time``
+attribute (seconds) and an ``apply(simulator, now)`` method can be passed
+via the ``events`` constructor argument or :meth:`ClusterSimulator.schedule_event`.
+Due events are drained at the start of each round, before capacities are
+re-read and the active tenant set is computed, so an event may add or
+remove tenants, inject jobs, or fail/repair devices mid-simulation.  The
+concrete event vocabulary (tenant churn, job bursts, trace replay) lives
+in :mod:`repro.scenarios`; the simulator only knows the protocol, which
+keeps the dependency pointing from scenarios to cluster, never back.
 """
 
 from __future__ import annotations
 
+import heapq
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -48,11 +62,16 @@ from repro.parallel import (
 )
 
 
-def _run_sweep_entry(payload: tuple) -> MetricsCollector:
+def _run_sweep_entry(payload: tuple) -> Any:
     """Worker entry for :meth:`ClusterSimulator.run_sweep`.
 
-    Builds a fresh simulator from ``factory(seed)`` inside the worker, so
-    no mutable simulation state is ever shared between seeds.
+    Builds a fresh runnable from ``factory(seed)`` inside the worker, so
+    no mutable simulation state is ever shared between seeds.  The
+    factory may return anything with a ``run()`` method — a
+    :class:`ClusterSimulator` (yielding a
+    :class:`~repro.cluster.metrics.MetricsCollector`) or a
+    :class:`~repro.scenarios.runner.ScenarioRunner` (yielding a
+    :class:`~repro.scenarios.runner.ScenarioResult`).
     """
     factory, seed = payload
     return factory(seed).run()
@@ -98,6 +117,7 @@ class ClusterSimulator:
         scheduler: "FairShareScheduler | str",
         placer: Optional[Placer] = None,
         config: Optional[SimulationConfig] = None,
+        events: Optional[Sequence[Any]] = None,
     ):
         if isinstance(scheduler, str):
             scheduler = make_fair_share_scheduler(scheduler)
@@ -118,6 +138,72 @@ class ClusterSimulator:
         )
         self._capacities = topology.capacities()
         self._recorded_completions: set = set()
+        # timed event stream: a min-heap of (time, sequence, event) so
+        # simultaneous events fire in scheduling order
+        self._event_heap: List[tuple] = []
+        self._event_seq = 0
+        self.events_applied = 0
+        for event in events or ():
+            self.schedule_event(event)
+
+    # -- dynamic-workload hooks ------------------------------------------------
+    def schedule_event(self, event: Any) -> None:
+        """Queue a timed event (``.time`` seconds, ``.apply(simulator, now)``).
+
+        Events fire at the start of the first round whose start time is
+        ``>= event.time``; events scheduled mid-run for a time that has
+        already passed fire at the next round boundary.  An event due
+        after the *final* round's start can never fire — :meth:`run`
+        finishes with a :class:`RuntimeWarning` naming how many such
+        events were left unapplied (scenario builders clamp their
+        event times to the horizon to avoid this).
+        """
+        time = float(event.time)
+        if time < 0:
+            raise ValidationError("event time must be >= 0")
+        heapq.heappush(self._event_heap, (time, self._event_seq, event))
+        self._event_seq += 1
+
+    def pending_events(self) -> int:
+        """Number of events still waiting to fire."""
+        return len(self._event_heap)
+
+    def add_tenant(self, tenant: Tenant) -> None:
+        """Admit a new tenant mid-simulation (scenario tenant churn)."""
+        if tenant.name in self.tenants:
+            raise ValidationError(
+                f"tenant {tenant.name!r} already exists; tenant names must "
+                "stay unique for the whole simulation"
+            )
+        self.tenants[tenant.name] = tenant
+
+    def remove_tenant(self, name: str, now: float) -> None:
+        """Force a tenant's departure at ``now`` (unfinished jobs are dropped)."""
+        try:
+            tenant = self.tenants[name]
+        except KeyError:
+            raise ValidationError(f"unknown tenant {name!r}") from None
+        if tenant.departure_time is None or tenant.departure_time > now:
+            tenant.departure_time = now
+        self._rounder.forget(name)
+
+    def add_job(self, tenant_name: str, job: Job) -> None:
+        """Submit one more job to an existing tenant (demand spike)."""
+        try:
+            tenant = self.tenants[tenant_name]
+        except KeyError:
+            raise ValidationError(f"unknown tenant {tenant_name!r}") from None
+        tenant.add_job(job)
+
+    def _drain_events(self, now: float) -> int:
+        """Apply every event due at or before ``now``; returns the count."""
+        fired = 0
+        while self._event_heap and self._event_heap[0][0] <= now:
+            _, _, event = heapq.heappop(self._event_heap)
+            event.apply(self, now)
+            fired += 1
+        self.events_applied += fired
+        return fired
 
     # -- Monte-Carlo sweeps ----------------------------------------------------
     @staticmethod
@@ -127,15 +213,21 @@ class ClusterSimulator:
         *,
         backend: BackendSpec = "auto",
         max_workers: Optional[int] = None,
-    ) -> List[MetricsCollector]:
+    ) -> List[Any]:
         """Run ``factory(seed).run()`` for every seed, fanned out to workers.
 
-        ``factory`` builds one fresh, independent simulator per seed
-        (topology, tenants, scheduler, config); it must be a module-level
-        callable for the process backend, and the sweep degrades to
-        threads with a :class:`RuntimeWarning` when it is not picklable.
-        Results come back in seed order, one
-        :class:`~repro.cluster.metrics.MetricsCollector` each.
+        ``factory`` builds one fresh, independent runnable per seed —
+        usually a simulator (topology, tenants, scheduler, config), but
+        any object with a ``run()`` method works, so scenario sweeps pass
+        a :class:`~repro.scenarios.runner.ScenarioRunner` factory (see
+        :func:`repro.scenarios.scenario_sweep`).  It must be a
+        module-level callable (or :func:`functools.partial` of one) for
+        the process backend, and the sweep degrades to threads with a
+        :class:`RuntimeWarning` when it is not picklable.  Results come
+        back in seed order, one ``factory(seed).run()`` value each —
+        :class:`~repro.cluster.metrics.MetricsCollector` for simulators,
+        :class:`~repro.scenarios.runner.ScenarioResult` for scenario
+        runners.
         """
         payloads = [(factory, int(seed)) for seed in seeds]
         resolved = get_backend(backend, max_workers, task_count=len(payloads))
@@ -151,20 +243,42 @@ class ClusterSimulator:
 
     # -- main loop -------------------------------------------------------------
     def run(self) -> MetricsCollector:
+        # events drain at round starts, so nothing after the final round's
+        # start can ever fire: such events must neither hold the idle-stop
+        # hostage nor vanish silently
+        final_start = (self.config.num_rounds - 1) * self.config.round_duration
         for round_index in range(self.config.num_rounds):
             now = round_index * self.config.round_duration
             if round_index in self.config.device_repairs:
                 self.topology.repair_devices(self.config.device_repairs[round_index])
             if round_index in self.config.device_failures:
                 self.topology.fail_devices(self.config.device_failures[round_index])
+            # dynamic events may mutate tenants *and* topology, so they
+            # drain before capacities and the active set are computed
+            self._drain_events(now)
             self._capacities = self.topology.capacities()
             active = self._active_tenants(now)
             if not active:
-                if self.config.stop_when_idle and self._all_work_done(now):
+                fireable = (
+                    self._event_heap and self._event_heap[0][0] <= final_start
+                )
+                if (
+                    self.config.stop_when_idle
+                    and self._all_work_done(now)
+                    and not fireable
+                ):
                     break
                 self.metrics.record_round(RoundMetrics(round_index, now))
                 continue
             self._run_round(round_index, now, active)
+        if self._event_heap:
+            warnings.warn(
+                f"{len(self._event_heap)} scheduled event(s) fall after the "
+                f"final round start (t={final_start:g}s) and were never "
+                "applied; extend num_rounds or move the events earlier",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return self.metrics
 
     def _run_round(self, round_index: int, now: float, active: List[Tenant]) -> None:

@@ -71,6 +71,12 @@ def frontier_point(
     A single, self-contained LP — the unit of work
     :func:`efficiency_fairness_frontier` sweeps over, exposed so batch
     runners can fan independent alphas out to worker threads/processes.
+
+    ``backend`` here names the *LP solver* (``"auto"``/``"scipy"``/
+    ``"simplex"``), not an execution backend: this layer sits below the
+    fan-out machinery.  :meth:`repro.service.SchedulingService.frontier`
+    exposes the same knob as ``lp_backend=`` and reserves ``backend=``
+    for the :mod:`repro.parallel` execution backend.
     """
     speedups = instance.speedups.values
     num_users, num_types = speedups.shape
@@ -109,6 +115,10 @@ def efficiency_fairness_frontier(
     """Max total throughput s.t. ``E_l >= alpha * (W_l . m/n)`` per alpha.
 
     Monotone non-increasing in ``alpha``: fairness floors cost efficiency.
+    ``backend`` names the LP solver (see :func:`frontier_point`); for a
+    parallel sweep over the alphas use
+    :meth:`repro.service.SchedulingService.frontier` with ``backend=``
+    (execution) and ``lp_backend=`` (LP solver).
     """
     return [frontier_point(instance, alpha, backend) for alpha in alphas]
 

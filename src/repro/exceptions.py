@@ -10,6 +10,24 @@ and from simulation misconfiguration.
 from __future__ import annotations
 
 
+def unknown_name_message(kind: str, name: str, known, choices=None) -> str:
+    """``"unknown <kind> '<name>'; choose from [...]"`` with a did-you-mean.
+
+    Shared by every registry-shaped lookup (schedulers, scenarios) so the
+    suggestion format stays uniform.  ``known`` feeds the close-match
+    search; ``choices`` (default: sorted ``known``) is the list shown —
+    the registry matches against aliases but displays canonical names.
+    """
+    import difflib
+
+    known = sorted(known)
+    message = f"unknown {kind} {name!r}; choose from {choices or known}"
+    close = difflib.get_close_matches(name, known, n=1)
+    if close:
+        message += f" (did you mean {close[0]!r}?)"
+    return message
+
+
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 

@@ -14,6 +14,7 @@ from repro.experiments import (
     fig8_coop_throughput,
     fig9_jct,
     fig10_overhead,
+    scenario_comparison,
     straggler_ablation,
     table1_properties,
 )
@@ -31,6 +32,7 @@ ALL_EXPERIMENTS = [
     ("fig9", fig9_jct),
     ("straggler", straggler_ablation),
     ("fig10", fig10_overhead),
+    ("scenarios", scenario_comparison),
 ]
 
 # imported after ALL_EXPERIMENTS exists: the runner resolves experiment

@@ -27,6 +27,37 @@ Process pools need picklable payloads.  :func:`probe_picklable` lets
 callers test a payload up front and degrade gracefully — that is how
 :meth:`SchedulingService.solve_batch` falls back to threads for
 schedulers that cannot cross a process boundary instead of crashing.
+
+Execution contract
+------------------
+* **Ordering** — ``map`` and ``imap`` always return/yield results in
+  input order, whatever order the workers finish in; callers can zip
+  results against inputs on every backend.
+* **Errors** — a raising work item propagates its exception to the
+  caller (from ``map`` on collection, from ``imap`` at the failing
+  item's position); remaining futures are cancelled or drained by the
+  pool's context manager, never leaked.
+* **Sizing** — ``max_workers`` defaults to one worker per usable core
+  (CPU-affinity aware), and pools never start more workers than items;
+  single-item maps run inline with zero pool overhead.
+* **State** — backends are stateless between calls: each ``map`` builds
+  and tears down its own executor, so a backend instance may be shared
+  freely across threads.
+
+Usage::
+
+    from repro.parallel import get_backend, parallel_map
+
+    backend = get_backend("process", max_workers=4)
+    results = backend.map(solve_one, instances)          # input order
+    squares = parallel_map(lambda x: x * x, range(8))    # one-shot "auto"
+
+Thread-safety of the *work itself* is the caller's contract: the
+scheduler registry's ``parallel_safe`` flag marks work that must not
+run concurrently inside one process (thread pools), and ``picklable``
+marks work that can cross to a process pool — see
+:mod:`repro.registry` and the lane selection in
+:meth:`repro.service.SchedulingService.solve_batch`.
 """
 
 from __future__ import annotations

@@ -17,20 +17,49 @@ them.  Adding a new scheduler is one decorator::
 
 and every consumer — ``repro list-schedulers``, ``repro compare``, the
 service facade, the simulator — picks it up without modification.
+Lookup is by canonical name or any alias::
+
+    from repro.registry import create_scheduler, scheduler_info
+
+    allocator = create_scheduler("cooperative")      # alias of "oef-coop"
+    info = scheduler_info("gavel")
+    info.max_isolation                               # "process"
 
 The default registry lazily imports the built-in allocator modules on
 first lookup, so ``import repro.registry`` stays cheap and free of
 import cycles.
+
+Capability flags and concurrency
+--------------------------------
+``SchedulerInfo`` carries two flags the parallel engine reads when it
+plans a batch (:meth:`repro.service.SchedulingService.solve_batch`):
+
+* ``parallel_safe`` — instances may solve concurrently from several
+  *threads* of one process.  Set it to ``False`` for allocators with
+  shared mutable module/class state; their work then runs serially (or
+  in isolated processes, where thread-safety is irrelevant).
+* ``picklable`` — instances/options survive a process boundary, so the
+  work may ship to a *process* pool.  ``max_isolation`` derives the
+  strongest backend from the two flags.
+
+Registration itself is an import-time, single-threaded affair (module
+import holds the interpreter's import lock); lookups afterwards are
+read-only and safe from any thread.  ``create()`` constructs a fresh
+allocator per call, so callers never share allocator instances unless
+they choose to.
 """
 
 from __future__ import annotations
 
-import difflib
 import importlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.exceptions import RegistrationError, UnknownSchedulerError
+from repro.exceptions import (
+    RegistrationError,
+    UnknownSchedulerError,
+    unknown_name_message,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.base import Allocator
@@ -188,12 +217,11 @@ class SchedulerRegistry:
             raise
 
     def _unknown(self, name: str) -> UnknownSchedulerError:
-        known = sorted(self._aliases)
-        message = f"unknown scheduler {name!r}; choose from {self.names()}"
-        close = difflib.get_close_matches(name, known, n=1)
-        if close:
-            message += f" (did you mean {close[0]!r}?)"
-        return UnknownSchedulerError(message)
+        return UnknownSchedulerError(
+            unknown_name_message(
+                "scheduler", name, self._aliases, choices=self.names()
+            )
+        )
 
 
 #: The process-wide default registry every entry point shares.

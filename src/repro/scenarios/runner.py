@@ -1,0 +1,335 @@
+"""ScenarioRunner: drive one scenario through the cluster simulator.
+
+The runner materialises a :class:`~repro.scenarios.scenario.Scenario`
+recipe, builds a :class:`~repro.cluster.simulator.ClusterSimulator`
+with the scenario's event stream attached, runs it, and distils the raw
+:class:`~repro.cluster.metrics.MetricsCollector` into a
+:class:`ScenarioResult`: per-round records (throughput, utilisation,
+Jain fairness, an envy proxy, starvation) plus the aggregate summary row
+the CLI, the scenario-comparison experiment, and
+``experiments/report.py`` consume.
+
+Scheduler/placement pairing follows the paper's evaluation setup
+(§6.1.3): OEF evaluators run with the optimised placer and the
+min-demand rounding rule; baselines run with the naive placer and plain
+deviation rounding.  That keeps ``ScenarioRunner(scenario, s).run()``
+an apples-to-apples replay of the same event stream under scheduler
+``s``.
+
+Multi-seed sweeps ride the PR 2 parallel backends unchanged:
+:func:`scenario_sweep` hands :meth:`ClusterSimulator.run_sweep` a
+picklable runner factory, so ``backend="process"`` fans whole scenario
+replays out across cores and the per-seed results come back in seed
+order.  Determinism contract: for a fixed (scenario, seed, scheduler),
+the summary row is identical on every backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cluster.metrics import MetricsCollector
+from repro.cluster.placement import Placer, PlacementPolicy
+from repro.cluster.schedulers import make_fair_share_scheduler
+from repro.cluster.simulator import ClusterSimulator
+from repro.core.analysis import jain_index
+from repro.exceptions import ValidationError
+from repro.parallel import BackendSpec
+from repro.registry import REGISTRY
+from repro.scenarios.library import make_scenario
+from repro.scenarios.scenario import Scenario, ScenarioScript
+
+
+@dataclass(frozen=True)
+class ScenarioRoundRecord:
+    """One round's distilled scenario metrics."""
+
+    round_index: int
+    time: float
+    active_tenants: int
+    total_throughput: float
+    #: Devices granted this round / devices in the cluster at t=0.
+    utilization: float
+    #: Jain's fairness index over active tenants' delivered throughput.
+    jain: float
+    #: Worst-case weighted-throughput shortfall in [0, 1]:
+    #: ``(max_i T_i/w_i - min_i T_i/w_i) / max_i T_i/w_i`` over active
+    #: tenants.  0 = perfectly envy-free in the weighted sense; 1 = some
+    #: active tenant got nothing while another ran.
+    envy: float
+    starved_jobs: int
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced, aggregates included."""
+
+    scenario_name: str
+    scheduler: str
+    seed: int
+    num_rounds: int
+    num_events: int
+    metrics: MetricsCollector
+    records: List[ScenarioRoundRecord] = field(default_factory=list)
+
+    # -- aggregates -----------------------------------------------------------
+    @property
+    def completed_jobs(self) -> int:
+        return len(self.metrics.completions)
+
+    @property
+    def mean_jct(self) -> float:
+        return self.metrics.mean_jct()
+
+    @property
+    def makespan(self) -> float:
+        return self.metrics.makespan()
+
+    @property
+    def mean_utilization(self) -> float:
+        values = [r.utilization for r in self.records if r.active_tenants]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def mean_jain(self) -> float:
+        values = [r.jain for r in self.records if r.active_tenants]
+        return float(np.mean(values)) if values else 1.0
+
+    @property
+    def mean_envy(self) -> float:
+        values = [r.envy for r in self.records if r.active_tenants]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def total_starvation(self) -> int:
+        return sum(r.starved_jobs for r in self.records)
+
+    def summary_row(self) -> Dict[str, object]:
+        """One comparison-table row; also the determinism probe for sweeps."""
+        return {
+            "scenario": self.scenario_name,
+            "scheduler": self.scheduler,
+            "seed": self.seed,
+            "rounds": self.num_rounds,
+            "events": self.num_events,
+            "jobs done": self.completed_jobs,
+            "mean JCT (h)": self.mean_jct / 3600.0,
+            "utilization": self.mean_utilization,
+            "jain": self.mean_jain,
+            "envy": self.mean_envy,
+            "starvation": self.total_starvation,
+        }
+
+    def to_experiment_result(self):
+        """This run as an :class:`~repro.experiments.common.ExperimentResult`.
+
+        Lazily imported so ``repro.scenarios`` never drags the whole
+        experiments package (which itself imports scenarios for the
+        comparison experiment) into its import graph.
+        """
+        from repro.experiments.common import ExperimentResult
+
+        return ExperimentResult(
+            experiment=f"scenario {self.scenario_name} / {self.scheduler}",
+            rows=[self.summary_row()],
+            series={
+                "total_throughput": [
+                    r.total_throughput for r in self.records
+                ],
+                "utilization": [r.utilization for r in self.records],
+                "jain": [r.jain for r in self.records],
+            },
+        )
+
+
+def _weighted_envy(throughputs: Sequence[float], weights: Sequence[float]) -> float:
+    """Normalised spread of weighted throughput: 0 = envy-free proxy holds."""
+    weighted = [t / w for t, w in zip(throughputs, weights)]
+    top = max(weighted, default=0.0)
+    if top <= 0.0:
+        return 0.0
+    return (top - min(weighted)) / top
+
+
+class ScenarioRunner:
+    """Replays one scenario recipe under one scheduler.
+
+    ``scheduler`` is any registry name or alias (``"oef-coop"``,
+    ``"cooperative"``, ``"gavel"``, ...) or an elastic mode name
+    understood by
+    :func:`~repro.cluster.schedulers.make_fair_share_scheduler`.  Every
+    ``run()`` call re-materialises the recipe, so one runner can be run
+    repeatedly — and two runners replaying the same recipe under
+    different schedulers see byte-identical event streams.
+    """
+
+    def __init__(
+        self,
+        scenario: Union[Scenario, str],
+        scheduler: str = "oef-coop",
+        *,
+        scheduler_options: Optional[Dict[str, object]] = None,
+        config_overrides: Optional[Dict[str, object]] = None,
+    ):
+        if isinstance(scenario, str):
+            scenario = make_scenario(scenario)
+        self.scenario = scenario
+        self.scheduler = scheduler
+        self.scheduler_options = dict(scheduler_options or {})
+        self.config_overrides = dict(config_overrides or {})
+
+    # -- construction ---------------------------------------------------------
+    def _is_oef(self) -> bool:
+        """OEF stacks get the optimised placer + min-demand rule (§6.1.3)."""
+        name = self.scheduler
+        if name in REGISTRY:
+            name = REGISTRY.resolve(name)
+        return name.startswith("oef") or name in ("cooperative", "noncooperative")
+
+    def build_simulator(self, script: Optional[ScenarioScript] = None) -> ClusterSimulator:
+        """A fresh, event-loaded simulator for one replay of the recipe."""
+        script = script if script is not None else self.scenario.materialize()
+        oef = self._is_oef()
+        scheduler = make_fair_share_scheduler(
+            self.scheduler, **self.scheduler_options
+        )
+        placer = Placer(
+            script.topology,
+            policy=PlacementPolicy.oef() if oef else PlacementPolicy.naive(),
+        )
+        overrides = {"use_min_demand_rule": oef, **self.config_overrides}
+        return ClusterSimulator(
+            script.topology,
+            list(script.initial_tenants),
+            scheduler,
+            placer=placer,
+            config=self.scenario.simulation_config(overrides),
+            events=script.events,
+        )
+
+    # -- execution ------------------------------------------------------------
+    def run(self) -> ScenarioResult:
+        script = self.scenario.materialize()
+        weights = {t.name: t.weight for t in script.initial_tenants}
+        for event in script.events:
+            tenant = getattr(event, "tenant", None)
+            if tenant is not None:
+                weights[tenant.name] = tenant.weight
+        total_devices = script.topology.num_devices
+        simulator = self.build_simulator(script)
+        metrics = simulator.run()
+
+        records: List[ScenarioRoundRecord] = []
+        for round_metrics in metrics.rounds:
+            active = sorted(round_metrics.estimated)
+            throughputs = [
+                float(round_metrics.actual.get(name, 0.0)) for name in active
+            ]
+            records.append(
+                ScenarioRoundRecord(
+                    round_index=round_metrics.round_index,
+                    time=round_metrics.time,
+                    active_tenants=len(active),
+                    total_throughput=float(sum(throughputs)),
+                    utilization=(
+                        round_metrics.devices_used / total_devices
+                        if total_devices
+                        else 0.0
+                    ),
+                    jain=jain_index(throughputs) if active else 1.0,
+                    envy=_weighted_envy(
+                        throughputs, [weights.get(name, 1.0) for name in active]
+                    ),
+                    starved_jobs=round_metrics.starved_jobs,
+                )
+            )
+        return ScenarioResult(
+            scenario_name=self.scenario.name,
+            scheduler=self.scheduler,
+            seed=self.scenario.seed,
+            num_rounds=len(metrics.rounds),
+            num_events=simulator.events_applied,
+            metrics=metrics,
+            records=records,
+        )
+
+
+def run_scenario(
+    name: str,
+    *,
+    scheduler: str = "oef-coop",
+    seed: int = 0,
+    rounds: Optional[int] = None,
+    round_duration: float = 300.0,
+    **params: object,
+) -> ScenarioResult:
+    """One-shot convenience: build the recipe, replay it, return the result."""
+    scenario = make_scenario(
+        name, seed=seed, rounds=rounds, round_duration=round_duration, **params
+    )
+    return ScenarioRunner(scenario, scheduler=scheduler).run()
+
+
+def _sweep_runner_factory(seed: int, *, scenario: Scenario, scheduler: str) -> ScenarioRunner:
+    """Module-level (hence picklable) ``factory(seed)`` for scenario sweeps."""
+    return ScenarioRunner(scenario.with_seed(seed), scheduler=scheduler)
+
+
+def scenario_sweep(
+    scenario: Union[Scenario, str],
+    seeds: Sequence[int],
+    *,
+    scheduler: str = "oef-coop",
+    backend: BackendSpec = "auto",
+    max_workers: Optional[int] = None,
+) -> List[ScenarioResult]:
+    """Replay one scenario under many seeds, fanned out across workers.
+
+    Rides :meth:`ClusterSimulator.run_sweep`, so ``backend`` accepts the
+    usual ``"serial"`` / ``"thread"`` / ``"process"`` / ``"auto"`` names
+    (or an :class:`~repro.parallel.ExecutionBackend` instance).  Results
+    arrive in seed order and are backend-independent: aggregate metrics
+    from a serial sweep match a thread or process sweep bit for bit.
+    """
+    if not seeds:
+        raise ValidationError("scenario_sweep needs at least one seed")
+    if isinstance(scenario, str):
+        scenario = make_scenario(scenario)
+    factory = partial(
+        _sweep_runner_factory, scenario=scenario, scheduler=scheduler
+    )
+    return ClusterSimulator.run_sweep(
+        factory, list(seeds), backend=backend, max_workers=max_workers
+    )
+
+
+def sweep_summary(results: Sequence[ScenarioResult]) -> Dict[str, object]:
+    """Aggregate one sweep: per-seed means reduced to a single row."""
+    if not results:
+        raise ValidationError("no results to summarise")
+    return {
+        "scenario": results[0].scenario_name,
+        "scheduler": results[0].scheduler,
+        "seeds": len(results),
+        "mean jobs done": float(np.mean([r.completed_jobs for r in results])),
+        "mean JCT (h)": float(np.mean([r.mean_jct for r in results])) / 3600.0,
+        "mean utilization": float(
+            np.mean([r.mean_utilization for r in results])
+        ),
+        "mean jain": float(np.mean([r.mean_jain for r in results])),
+        "mean envy": float(np.mean([r.mean_envy for r in results])),
+    }
+
+
+__all__ = [
+    "ScenarioResult",
+    "ScenarioRoundRecord",
+    "ScenarioRunner",
+    "run_scenario",
+    "scenario_sweep",
+    "sweep_summary",
+]

@@ -1,0 +1,122 @@
+"""The :class:`Scenario` abstraction: a reproducible dynamic-workload spec.
+
+A scenario is a *recipe*, not a materialised population: it carries the
+generator parameters (name, seed, horizon, shape knobs) plus a
+module-level builder callable, and :meth:`Scenario.materialize` expands
+it into a :class:`ScenarioScript` — fresh topology, fresh initial
+tenants, and a fresh timed event stream.  Recipes are frozen and
+picklable, so multi-seed scenario sweeps ship them straight through the
+process backend; scripts are built once per run, so two runs of the same
+scenario never share mutable job state.
+
+Determinism contract: ``materialize()`` is a pure function of the recipe
+— same name + seed + params ⇒ byte-identical event streams (compare with
+:meth:`ScenarioScript.fingerprint`) and, for a fixed scheduler,
+identical metrics regardless of the execution backend that fanned the
+runs out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.cluster.simulator import SimulationConfig
+from repro.cluster.tenant import Tenant
+from repro.cluster.topology import ClusterTopology
+from repro.exceptions import ValidationError
+from repro.scenarios.events import ScenarioEvent, _tenant_signature
+
+
+@dataclass(frozen=True)
+class ScenarioScript:
+    """One materialised timeline: safe to hand to exactly one simulator run."""
+
+    topology: ClusterTopology
+    initial_tenants: Tuple[Tenant, ...]
+    events: Tuple[ScenarioEvent, ...]
+
+    def __post_init__(self) -> None:
+        times = [event.time for event in self.events]
+        if times != sorted(times):
+            raise ValidationError("scenario events must be sorted by time")
+
+    def fingerprint(self) -> str:
+        """SHA-256 over tenant and event signatures: the determinism probe."""
+        digest = hashlib.sha256()
+        for tenant in self.initial_tenants:
+            digest.update(repr(_tenant_signature(tenant)).encode())
+        for event in self.events:
+            digest.update(repr(event.signature()).encode())
+        return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seeded dynamic-workload recipe.
+
+    ``builder`` must be a module-level callable ``builder(scenario) ->
+    ScenarioScript`` (picklability is what lets scenario sweeps ride the
+    process backend); ``params`` holds the scenario's shape knobs as a
+    sorted tuple of pairs so the recipe stays hashable and frozen.
+    """
+
+    name: str
+    builder: Callable[["Scenario"], ScenarioScript]
+    seed: int = 0
+    num_rounds: int = 24
+    round_duration: float = 300.0
+    params: Tuple[Tuple[str, object], ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_rounds < 1:
+            raise ValidationError("num_rounds must be >= 1")
+        if self.round_duration <= 0:
+            raise ValidationError("round_duration must be positive")
+
+    @property
+    def horizon(self) -> float:
+        """Total simulated seconds: ``num_rounds * round_duration``."""
+        return self.num_rounds * self.round_duration
+
+    @property
+    def last_round_start(self) -> float:
+        """Start time of the final round — the last instant an event can fire.
+
+        Builders clamp generated event times to this so a recipe's whole
+        timeline stays observable at any ``rounds`` setting.
+        """
+        return (self.num_rounds - 1) * self.round_duration
+
+    @property
+    def options(self) -> Dict[str, object]:
+        """The shape knobs as a plain dict (builders read them from here)."""
+        return dict(self.params)
+
+    def param(self, key: str, default: object = None) -> object:
+        return self.options.get(key, default)
+
+    def with_seed(self, seed: int) -> "Scenario":
+        """The same recipe under a different random seed."""
+        return replace(self, seed=int(seed))
+
+    def materialize(self) -> ScenarioScript:
+        """Expand the recipe into a fresh, single-use timeline."""
+        return self.builder(self)
+
+    def simulation_config(
+        self, overrides: Optional[Mapping[str, object]] = None
+    ) -> SimulationConfig:
+        """A :class:`SimulationConfig` matching this scenario's horizon."""
+        options: Dict[str, object] = {
+            "num_rounds": self.num_rounds,
+            "round_duration": self.round_duration,
+            "stop_when_idle": True,
+        }
+        options.update(overrides or {})
+        return SimulationConfig(**options)  # type: ignore[arg-type]
+
+
+__all__ = ["Scenario", "ScenarioScript"]

@@ -14,6 +14,44 @@ instance — the hot path in ``compare``, ``frontier``, property audits,
 and round-based simulation with unchanged tenant sets — return memoized
 allocations; :class:`SolveResult` carries the service's hit/miss counters
 so callers can observe the reuse.
+
+Caching contract
+----------------
+* Keys are *content-based*: two independently constructed but equal
+  instances share entries (see :func:`instance_fingerprint`), and
+  scheduler aliases resolve to one canonical key.  Options must freeze
+  to content (primitives, arrays, mappings); anything
+  identity-compared raises ``TypeError`` rather than risking a wrong
+  cached allocation.
+* Cached matrices are copied on both insert and lookup, so callers can
+  never poison the cache by mutating a returned allocation.
+* One LRU bound (``max_cache_entries``) covers the allocation and
+  frontier caches combined; eviction is least-recently-used.
+
+Threading contract
+------------------
+One lock guards both caches and both counters; lookups, inserts, LRU
+reordering, and trims happen under it, while the LP solves themselves
+run *outside* it so concurrent solves overlap.  Every public method is
+safe to call from multiple threads of one process; parallel
+``solve_batch`` workers merge their results back under the same lock,
+which is why a repeated batch is ~100% hits on any backend.  The
+degradation ladder for work that cannot reach the requested backend is
+process → thread → serial, each step announced with a
+:class:`RuntimeWarning`, never a crash.
+
+Usage::
+
+    from repro import SchedulingService, SolveRequest
+
+    service = SchedulingService()
+    result = service.solve(instance, "cooperative")      # alias ok
+    batch = service.solve_batch(
+        [instance], ["oef-coop", "max-min"],
+        backend="process", max_workers=4,
+    )
+    service.solve_batch([instance], ["oef-coop", "max-min"])  # all hits
+    print(service.cache_info().hit_rate)
 """
 
 from __future__ import annotations
@@ -590,7 +628,7 @@ class SchedulingService:
         *,
         sp_trials: int = 4,
         seed: int = 0,
-        backend: str = "auto",
+        lp_backend: str = "auto",
         pe_within=_USE_REGISTRY_DEFAULT,
         efficiency_constraint=_USE_REGISTRY_DEFAULT,
         pe_tolerance: float = 1e-5,
@@ -601,6 +639,10 @@ class SchedulingService:
         ``pe_within`` / ``efficiency_constraint`` default to the
         scheduler's registered audit configuration; explicit arguments
         (including ``None`` for an unconstrained PE domain) win.
+        ``lp_backend`` names the LP solver the audit's verification LPs
+        use (``"auto"``/``"scipy"``/``"simplex"``), matching
+        :meth:`frontier`'s naming; the honest solve itself is memoized
+        through the service cache.
         """
         info = self.registry.info(scheduler)
         if pe_within is _USE_REGISTRY_DEFAULT:
@@ -612,7 +654,7 @@ class SchedulingService:
             instance,
             efficiency_constraint=efficiency_constraint,
             sp_trials=sp_trials,
-            backend=backend,
+            backend=lp_backend,
             seed=seed,
             pe_within=pe_within,
             pe_tolerance=pe_tolerance,

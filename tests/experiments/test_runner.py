@@ -76,7 +76,8 @@ class TestRunSuite:
             run_suite(["fig1", "nope"], stream=io.StringIO())
 
     def test_default_runs_everything(self):
-        assert len(experiment_ids()) == 11
+        assert len(experiment_ids()) == 12
+        assert "scenarios" in experiment_ids()
 
     def test_failed_experiment_reported_in_summary(self, monkeypatch):
         class _Boom:

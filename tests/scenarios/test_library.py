@@ -1,0 +1,178 @@
+"""Scenario library: registration, validation, and event-stream determinism."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.scenarios import (
+    Scenario,
+    ScenarioScript,
+    TenantArrival,
+    make_scenario,
+    scenario_names,
+    scenario_rows,
+)
+from repro.scenarios.events import JobArrival, TenantDeparture
+
+EXPECTED = ["bursty", "diurnal", "philly-replay", "steady", "tenant-churn"]
+
+
+class TestRegistry:
+    def test_library_names(self):
+        assert scenario_names() == EXPECTED
+
+    def test_rows_are_printable(self):
+        rows = scenario_rows()
+        assert [row["name"] for row in rows] == EXPECTED
+        assert all(row["description"] for row in rows)
+
+    def test_unknown_scenario_suggests_close_match(self):
+        with pytest.raises(ValidationError, match="did you mean 'bursty'"):
+            make_scenario("burstyy")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValidationError, match="unknown 'bursty' scenario"):
+            make_scenario("bursty", num_burstz=4)
+
+    def test_parameter_override_lands_in_recipe(self):
+        scenario = make_scenario("bursty", num_bursts=5, rounds=10)
+        assert scenario.param("num_bursts") == 5
+        assert scenario.num_rounds == 10
+        script = scenario.materialize()
+        assert sum(isinstance(e, JobArrival) for e in script.events) == 5 * 4
+
+    def test_invalid_recipe_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            make_scenario("steady", rounds=0)
+
+    def test_unsorted_event_stream_rejected(self):
+        steady = make_scenario("steady").materialize()
+        churn = make_scenario("tenant-churn").materialize()
+        out_of_order = (churn.events[-1], churn.events[0])
+        with pytest.raises(ValidationError, match="sorted"):
+            ScenarioScript(steady.topology, steady.initial_tenants, out_of_order)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", EXPECTED)
+    def test_same_seed_same_stream(self, name):
+        recipe = make_scenario(name, seed=11, rounds=12)
+        first, second = recipe.materialize(), recipe.materialize()
+        assert first.fingerprint() == second.fingerprint()
+        assert [e.signature() for e in first.events] == [
+            e.signature() for e in second.events
+        ]
+
+    @pytest.mark.parametrize("name", EXPECTED)
+    def test_different_seed_different_stream(self, name):
+        base = make_scenario(name, seed=11, rounds=12).materialize()
+        other = make_scenario(name, seed=12, rounds=12).materialize()
+        assert base.fingerprint() != other.fingerprint()
+
+    def test_with_seed_returns_new_frozen_recipe(self):
+        recipe = make_scenario("bursty", seed=1)
+        reseeded = recipe.with_seed(2)
+        assert recipe.seed == 1 and reseeded.seed == 2
+        assert reseeded.params == recipe.params
+
+
+class TestScenarioShapes:
+    def test_steady_has_no_events(self):
+        script = make_scenario("steady", rounds=8).materialize()
+        assert script.events == ()
+        assert len(script.initial_tenants) == 4
+
+    def test_bursty_spikes_target_existing_tenants(self):
+        script = make_scenario("bursty", seed=5, rounds=12).materialize()
+        tenant_names = {tenant.name for tenant in script.initial_tenants}
+        arrivals = [e for e in script.events if isinstance(e, JobArrival)]
+        assert arrivals
+        assert all(event.tenant_name in tenant_names for event in arrivals)
+        assert all(event.job.submit_time == event.time for event in arrivals)
+
+    def test_tenant_churn_pairs_arrival_with_departure(self):
+        script = make_scenario("tenant-churn", seed=2, rounds=12).materialize()
+        arrivals = {
+            e.tenant.name: e.time
+            for e in script.events
+            if isinstance(e, TenantArrival)
+        }
+        departures = {
+            e.tenant_name: e.time
+            for e in script.events
+            if isinstance(e, TenantDeparture)
+        }
+        assert set(arrivals) == set(departures) != set()
+        assert all(departures[name] > arrivals[name] for name in arrivals)
+
+    def test_philly_replay_enters_through_events(self):
+        recipe = make_scenario("philly-replay", seed=7, rounds=20)
+        script = recipe.materialize()
+        arrivals = [e for e in script.events if isinstance(e, TenantArrival)]
+        assert arrivals, "late tenants must arrive through the event queue"
+        total = len(script.initial_tenants) + len(arrivals)
+        assert total == 8  # the scenario's num_tenants default
+        assert all(
+            e.time == min(e.tenant.arrival_time, recipe.last_round_start)
+            for e in arrivals
+        )
+
+    def test_philly_replay_single_round_drops_no_arrivals(self):
+        script = make_scenario("philly-replay", seed=7, rounds=1).materialize()
+        assert all(event.time == 0.0 for event in script.events)
+
+    def test_diurnal_rate_follows_the_wave(self):
+        recipe = make_scenario(
+            "diurnal", seed=3, rounds=24, base_rate=2.0, amplitude=1.0
+        )
+        script = recipe.materialize()
+        # split arrivals into the high half-period and the low half-period
+        high = low = 0
+        for event in script.events:
+            round_index = event.time / recipe.round_duration
+            phase = (2.0 * round_index / recipe.num_rounds) % 1.0
+            if phase < 0.5:
+                high += 1
+            else:
+                low += 1
+        assert high > low
+
+
+class TestHorizonClamping:
+    """Library timelines stay fully observable at reduced round counts."""
+
+    @pytest.mark.parametrize("name", EXPECTED)
+    @pytest.mark.parametrize("rounds", [3, 8])
+    def test_every_library_event_fires_within_the_horizon(self, name, rounds):
+        recipe = make_scenario(name, seed=5, rounds=rounds)
+        script = recipe.materialize()
+        assert all(
+            event.time <= recipe.last_round_start for event in script.events
+        )
+
+    def test_truncated_churn_still_applies_all_events(self):
+        import warnings
+
+        from repro.scenarios import ScenarioRunner
+
+        recipe = make_scenario("tenant-churn", seed=5, rounds=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            result = ScenarioRunner(recipe).run()
+        assert result.num_events == len(recipe.materialize().events)
+
+
+class TestScenarioRecipe:
+    def test_recipe_is_picklable(self):
+        import pickle
+
+        recipe = make_scenario("tenant-churn", seed=9)
+        clone = pickle.loads(pickle.dumps(recipe))
+        assert isinstance(clone, Scenario)
+        assert clone.materialize().fingerprint() == recipe.materialize().fingerprint()
+
+    def test_simulation_config_matches_horizon(self):
+        recipe = make_scenario("steady", rounds=7, round_duration=120.0)
+        config = recipe.simulation_config()
+        assert config.num_rounds == 7
+        assert config.round_duration == 120.0
+        assert recipe.horizon == 840.0

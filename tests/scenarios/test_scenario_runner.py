@@ -1,0 +1,148 @@
+"""ScenarioRunner, sweeps across backends, and the CLI simulate command."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.exceptions import ValidationError
+from repro.scenarios import (
+    ScenarioResult,
+    ScenarioRunner,
+    make_scenario,
+    run_scenario,
+    scenario_sweep,
+    sweep_summary,
+)
+
+ROUNDS = 6
+
+
+class TestScenarioRunner:
+    def test_end_to_end_result_shape(self):
+        result = ScenarioRunner(
+            make_scenario("bursty", seed=7, rounds=ROUNDS)
+        ).run()
+        assert isinstance(result, ScenarioResult)
+        assert result.scenario_name == "bursty"
+        assert result.scheduler == "oef-coop"
+        assert 0 < result.num_rounds <= ROUNDS
+        assert result.num_events > 0
+        assert result.completed_jobs > 0
+        assert len(result.records) == result.num_rounds
+        for record in result.records:
+            assert 0.0 <= record.utilization <= 1.0
+            assert 0.0 <= record.jain <= 1.0
+            assert 0.0 <= record.envy <= 1.0
+
+    def test_runner_accepts_scenario_name_string(self):
+        result = ScenarioRunner("steady", scheduler="gavel").run()
+        assert result.scenario_name == "steady"
+        assert result.scheduler == "gavel"
+
+    def test_repeated_runs_are_identical(self):
+        runner = ScenarioRunner(make_scenario("tenant-churn", seed=4, rounds=ROUNDS))
+        assert runner.run().summary_row() == runner.run().summary_row()
+
+    def test_same_stream_under_two_schedulers(self):
+        scenario = make_scenario("bursty", seed=3, rounds=ROUNDS)
+        oef = ScenarioRunner(scenario, scheduler="oef-coop").run()
+        gavel = ScenarioRunner(scenario, scheduler="gavel").run()
+        # identical workload (events), different scheduling outcomes allowed
+        assert oef.num_events == gavel.num_events
+        assert oef.seed == gavel.seed
+
+    def test_run_scenario_convenience(self):
+        result = run_scenario(
+            "bursty", scheduler="max-min", seed=1, rounds=ROUNDS, num_bursts=1
+        )
+        assert result.scheduler == "max-min"
+        assert result.num_events == 4  # one burst x burst_jobs default
+
+    def test_summary_row_keys(self):
+        row = run_scenario("steady", rounds=4).summary_row()
+        assert set(row) == {
+            "scenario", "scheduler", "seed", "rounds", "events", "jobs done",
+            "mean JCT (h)", "utilization", "jain", "envy", "starvation",
+        }
+
+    def test_to_experiment_result(self):
+        result = run_scenario("steady", rounds=4)
+        experiment = result.to_experiment_result()
+        assert "steady" in experiment.experiment
+        assert experiment.rows == [result.summary_row()]
+        assert len(experiment.series["utilization"]) == result.num_rounds
+        assert experiment.format()  # renders without blowing up
+
+
+class TestSweepDeterminism:
+    """Same scenario + seeds => identical metrics on every backend."""
+
+    def test_serial_and_thread_backends_agree(self):
+        seeds = [1, 2, 3]
+        serial = scenario_sweep(
+            "bursty", seeds, scheduler="oef-coop", backend="serial"
+        )
+        threaded = scenario_sweep(
+            "bursty", seeds, scheduler="oef-coop", backend="thread", max_workers=3
+        )
+        assert [r.summary_row() for r in serial] == [
+            r.summary_row() for r in threaded
+        ]
+        assert sweep_summary(serial) == sweep_summary(threaded)
+
+    def test_process_backend_agrees_without_degrading(self):
+        import warnings
+
+        seeds = [1, 2]
+        serial = scenario_sweep("tenant-churn", seeds, backend="serial")
+        # recipes must be picklable: no thread-degradation RuntimeWarning
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            processed = scenario_sweep(
+                "tenant-churn", seeds, backend="process", max_workers=2
+            )
+        assert [r.summary_row() for r in serial] == [
+            r.summary_row() for r in processed
+        ]
+
+    def test_results_come_back_in_seed_order(self):
+        results = scenario_sweep("steady", [5, 3, 9], backend="thread")
+        assert [r.seed for r in results] == [5, 3, 9]
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValidationError, match="at least one seed"):
+            scenario_sweep("steady", [])
+
+
+class TestCLISimulate:
+    def _run(self, *argv):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = cli_main(list(argv))
+        return code, buffer.getvalue()
+
+    def test_single_replay(self):
+        code, out = self._run(
+            "simulate", "--scenario", "bursty", "--rounds", "3", "--seed", "7"
+        )
+        assert code == 0
+        assert "bursty" in out and "oef-coop" in out
+        assert "jobs done" in out
+
+    def test_multi_scheduler_multi_seed_sweep(self):
+        code, out = self._run(
+            "simulate", "--scenario", "steady", "--rounds", "3",
+            "--scheduler", "oef-coop", "gavel",
+            "--seeds", "1", "2", "--backend", "thread", "--jobs", "2",
+        )
+        assert code == 0
+        assert "gavel" in out
+        assert "mean jobs done" in out  # aggregated sweep rows
+
+    def test_list_scenarios(self):
+        code, out = self._run("list-scenarios")
+        assert code == 0
+        for name in ("steady", "bursty", "diurnal", "tenant-churn", "philly-replay"):
+            assert name in out

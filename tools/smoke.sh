@@ -55,6 +55,18 @@ echo "== repro experiments (2 jobs) =="
     | tee "$TMP/experiments.txt"
 grep -q "2/2 passed" "$TMP/experiments.txt"
 
+echo "== repro simulate (scenario smoke) =="
+"$PY" -m repro simulate --scenario bursty --rounds 3 \
+    | tee "$TMP/simulate.txt"
+grep -q "bursty" "$TMP/simulate.txt"
+grep -q "jobs done" "$TMP/simulate.txt"
+
+echo "== repro list-scenarios =="
+"$PY" -m repro list-scenarios | tee "$TMP/scenarios.txt"
+for name in steady bursty diurnal tenant-churn philly-replay; do
+    grep -q "$name" "$TMP/scenarios.txt"
+done
+
 echo "== repro list-schedulers =="
 "$PY" -m repro list-schedulers | tee "$TMP/schedulers.txt"
 for name in oef-coop oef-noncoop max-min gandiva-fair gavel drf \
