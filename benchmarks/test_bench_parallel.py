@@ -21,6 +21,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.benchio import bench_output_path, bench_stats, write_bench_json
 from repro.experiments.runner import run_suite, suite_ok
 from repro.parallel import cpu_count
 from repro.service import SchedulingService
@@ -81,6 +82,26 @@ def test_bench_solve_batch_parallel(benchmark):
     benchmark.extra_info["cores"] = CORES
     benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
     benchmark.extra_info["speedup"] = round(speedup, 2)
+    # machine-readable perf record, tracked between PRs (repro/bench-v1)
+    write_bench_json(
+        bench_output_path("BENCH_parallel.json"),
+        "parallel",
+        [
+            {"name": "serial", **bench_stats([serial_seconds])},
+            {
+                "name": "process",
+                **bench_stats([parallel_seconds]),
+                "speedup_vs_serial": round(speedup, 2),
+            },
+        ],
+        meta={
+            "cores": CORES,
+            "workers": WORKERS,
+            "instances": NUM_INSTANCES,
+            "users": USERS,
+            "gpu_types": GPU_TYPES,
+        },
+    )
     floor = _speedup_floor()
     if floor:
         assert speedup >= floor, (

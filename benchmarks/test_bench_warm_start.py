@@ -1,0 +1,134 @@
+"""Warm-start speedup benchmark: incremental vs cold round-based replay.
+
+The acceptance bar of the incremental solve engine: replaying the
+``steady`` and ``diurnal`` scenarios with warm-started rounds must be
+**>= 3x faster** than ``--cold`` while staying **bit-identical** — every
+per-round record, every per-round scheduler estimate, and the final
+:meth:`~repro.scenarios.runner.ScenarioResult.fingerprint` must match the
+cold replay exactly (not to a tolerance).
+
+The scenario shapes are scaled so the allocation LP dominates wall time
+(12 tenants → O(n^2) envy rows for cooperative OEF) and the tenant set
+stays stable across rounds (long-running base jobs), i.e. the sequential
+production pattern the engine targets.  Job arrivals still fire every
+round in ``diurnal`` — arrivals of an already-profiled model change the
+*rounding and placement* inputs but not the scheduler's question, which
+is exactly why the decision memo keeps hitting.
+
+Unlike the parallel benchmarks this speedup buys cached work with cache
+lookups, not cores with pools, so the >=3x floor holds on any machine —
+including a single-core CI runner.  Each mode is timed ``REPEATS`` times
+per scenario and the medians compared; per-mode stats for both scenarios
+land in one ``BENCH_warm_start.json`` record (see :mod:`repro.benchio`)
+so the perf trajectory is tracked between PRs.
+"""
+
+import time
+
+from repro.benchio import bench_output_path, bench_stats, write_bench_json
+from repro.scenarios import ScenarioRunner, make_scenario
+
+REPEATS = 3
+ROUNDS = 24
+SPEEDUP_FLOOR = 3.0
+
+#: Scenario shapes where the LP is the hot path and rounds repeat —
+#: the workload the incremental engine exists for.
+SCENARIOS = {
+    "steady": dict(num_tenants=12, jobs_per_tenant=3, duration_fraction=3.0),
+    "diurnal": dict(
+        num_tenants=12,
+        base_rate=2.0,
+        job_duration_fraction=2.0,
+        initial_duration_fraction=2.0,
+    ),
+}
+
+
+def _timed_replays(scenario, warm: bool):
+    """(seconds per run, last result) over REPEATS fresh replays."""
+    samples = []
+    result = None
+    for _ in range(REPEATS):
+        runner = ScenarioRunner(scenario, scheduler="oef-coop", warm=warm)
+        start = time.perf_counter()
+        result = runner.run()
+        samples.append(time.perf_counter() - start)
+    return samples, result
+
+
+def _assert_bit_identical(warm_result, cold_result):
+    """Every scheduling outcome must match exactly — no tolerances."""
+    assert warm_result.fingerprint() == cold_result.fingerprint()
+    assert warm_result.records == cold_result.records
+    assert len(warm_result.metrics.rounds) == len(cold_result.metrics.rounds)
+    for warm_round, cold_round in zip(
+        warm_result.metrics.rounds, cold_result.metrics.rounds
+    ):
+        # the estimated map is the scheduler decision's direct output;
+        # == on the dicts compares every float bit-for-bit
+        assert warm_round.estimated == cold_round.estimated
+        assert warm_round.actual == cold_round.actual
+    assert warm_result.summary_row() == cold_result.summary_row()
+
+
+def test_bench_warm_start_replay(benchmark):
+    scenarios = {
+        name: make_scenario(name, seed=0, rounds=ROUNDS, **params)
+        for name, params in SCENARIOS.items()
+    }
+
+    cold = {name: _timed_replays(sc, warm=False) for name, sc in scenarios.items()}
+
+    timing = {}
+
+    def run_warm():
+        outcomes = {}
+        for name, scenario in scenarios.items():
+            samples, result = _timed_replays(scenario, warm=True)
+            timing[name] = samples
+            outcomes[name] = result
+        return outcomes
+
+    warm_results = benchmark.pedantic(run_warm, rounds=1, iterations=1)
+
+    rows = []
+    meta = {"rounds": ROUNDS, "scheduler": "oef-coop", "repeats": REPEATS}
+    failures = []
+    for name, scenario in scenarios.items():
+        cold_samples, cold_result = cold[name]
+        warm_result = warm_results[name]
+        warm_samples = timing[name]
+
+        _assert_bit_identical(warm_result, cold_result)
+        total_rounds = warm_result.warm_hits + warm_result.cold_solves
+        assert warm_result.warm_hits > 0, f"{name}: warm engine never fired"
+        assert cold_result.warm_hits == 0, f"{name}: --cold must not reuse decisions"
+
+        warm_stats = bench_stats(warm_samples)
+        cold_stats = bench_stats(cold_samples)
+        speedup = cold_stats["p50"] / warm_stats["p50"]
+        rows.append({"name": f"{name}/warm", **warm_stats})
+        rows.append({"name": f"{name}/cold", **cold_stats})
+        meta[name] = {
+            "params": SCENARIOS[name],
+            "speedup": round(speedup, 2),
+            "warm_hits": warm_result.warm_hits,
+            "total_rounds": total_rounds,
+            "fingerprint": warm_result.fingerprint(),
+        }
+        benchmark.extra_info[f"{name}_speedup"] = round(speedup, 2)
+        benchmark.extra_info[f"{name}_warm_hits"] = (
+            f"{warm_result.warm_hits}/{total_rounds}"
+        )
+        if speedup < SPEEDUP_FLOOR:
+            failures.append(
+                f"warm {name} replay only {speedup:.2f}x faster than cold "
+                f"(expected >= {SPEEDUP_FLOOR}x; warm p50 "
+                f"{warm_stats['p50']:.3f}s vs cold p50 {cold_stats['p50']:.3f}s)"
+            )
+
+    write_bench_json(
+        bench_output_path("BENCH_warm_start.json"), "warm_start", rows, meta=meta
+    )
+    assert not failures, "; ".join(failures)

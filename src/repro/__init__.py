@@ -18,7 +18,8 @@ policy, capability flags) via :func:`repro.registry.register_scheduler`;
 
 The public API re-exports the pieces a downstream user needs:
 
-* facade -- :class:`SchedulingService`, :class:`SolveRequest`,
+* facade -- :class:`SchedulingService` (``solve`` / ``solve_batch`` /
+  ``resolve`` for incremental warm-started re-solves), :class:`SolveRequest`,
   :class:`SolveResult`, :class:`CacheStats`;
 * registry -- :func:`create_scheduler`, :func:`scheduler_names`,
   :func:`scheduler_info`, :func:`register_scheduler`,
@@ -90,9 +91,11 @@ from repro.service import (
     SolveRequest,
     SolveResult,
     instance_fingerprint,
+    structural_fingerprint,
 )
+from repro.solver.warm import WarmStartState
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Allocation",
@@ -122,6 +125,7 @@ __all__ = [
     "ThreadBackend",
     "TenantSpec",
     "VirtualUserExpansion",
+    "WarmStartState",
     "WeightedOEF",
     "audit_allocator",
     "check_envy_freeness",
@@ -142,4 +146,5 @@ __all__ = [
     "scenario_sweep",
     "scheduler_info",
     "scheduler_names",
+    "structural_fingerprint",
 ]

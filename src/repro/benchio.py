@@ -1,0 +1,92 @@
+"""Machine-readable benchmark records (``BENCH_*.json``).
+
+The benchmark suite and ``repro bench`` used to report timings only in
+pytest/stdout output, which made the performance trajectory between PRs
+unrecoverable.  This module gives both a single tiny format: one JSON
+document per benchmark with mean/p50/p95 seconds per row (a row is
+usually one backend or one warm/cold mode), written with
+:func:`write_bench_json` and stable enough to diff across commits or
+plot from CI artifacts.
+
+Schema (``repro/bench-v1``)::
+
+    {
+      "schema": "repro/bench-v1",
+      "benchmark": "warm_start",
+      "created_unix": 1722300000.0,
+      "meta": {...},                       # free-form context
+      "rows": [
+        {"name": "steady/warm", "mean": 0.02, "p50": 0.02, "p95": 0.03,
+         "samples": 5, ...},               # extra keys pass through
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+SCHEMA = "repro/bench-v1"
+
+#: Environment variable overriding where ``BENCH_*.json`` files land.
+OUTPUT_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+def bench_stats(seconds: Sequence[float]) -> Dict[str, float]:
+    """mean/p50/p95 (and the sample count) over repeated timings."""
+    samples = np.asarray(list(seconds), dtype=float)
+    if samples.size == 0:
+        raise ValueError("bench_stats needs at least one sample")
+    return {
+        "mean": float(samples.mean()),
+        "p50": float(np.percentile(samples, 50)),
+        "p95": float(np.percentile(samples, 95)),
+        "samples": int(samples.size),
+    }
+
+
+def bench_output_path(filename: str, directory: Optional[str] = None) -> str:
+    """Where a ``BENCH_*.json`` file belongs.
+
+    Explicit ``directory`` wins, then ``$REPRO_BENCH_DIR``, then the
+    current working directory — so local runs drop records next to the
+    invocation and CI redirects everything to one artifact folder.
+    """
+    base = directory or os.environ.get(OUTPUT_DIR_ENV) or "."
+    os.makedirs(base, exist_ok=True)
+    return os.path.join(base, filename)
+
+
+def write_bench_json(
+    path: str,
+    benchmark: str,
+    rows: List[Dict[str, object]],
+    meta: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Write one benchmark record; returns the path written."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    payload = {
+        "schema": SCHEMA,
+        "benchmark": benchmark,
+        "created_unix": time.time(),
+        "meta": dict(meta or {}),
+        "rows": rows,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+__all__ = [
+    "OUTPUT_DIR_ENV",
+    "SCHEMA",
+    "bench_output_path",
+    "bench_stats",
+    "write_bench_json",
+]

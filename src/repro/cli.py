@@ -8,9 +8,11 @@ Commands
 ``frontier``         print the efficiency-fairness frontier of an instance
 ``list-schedulers``  render the scheduler registry (name, family, capabilities)
 ``simulate``         replay a named dynamic scenario through the simulator
+                     (warm-started rounds by default; ``--cold`` disables)
 ``list-scenarios``   render the scenario library (name, defaults, description)
 ``experiments``      run the paper experiments (all or a subset, ``--jobs N``)
 ``bench``            time a batch of solves serial vs parallel backends
+                     (``--json`` writes a ``BENCH_parallel.json`` record)
 ``demo``             write a demo instance JSON to get started
 
 ``compare``, ``frontier``, ``experiments``, and ``bench`` accept
@@ -164,7 +166,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     scenario = make_scenario(
         args.scenario, seed=args.seed, rounds=args.rounds
     )
+    warm = not args.cold
     rows = []
+    warm_notes = []
     for scheduler in args.schedulers:
         if args.seeds:
             results = scenario_sweep(
@@ -173,17 +177,27 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 scheduler=scheduler,
                 backend=args.backend or "auto",
                 max_workers=args.jobs,
+                warm=warm,
             )
             rows.append(sweep_summary(results))
         else:
-            rows.append(
-                ScenarioRunner(scenario, scheduler=scheduler).run().summary_row()
+            result = ScenarioRunner(
+                scenario, scheduler=scheduler, warm=warm
+            ).run()
+            rows.append(result.summary_row())
+            total = result.warm_hits + result.cold_solves
+            warm_notes.append(
+                f"{scheduler}: {result.warm_hits}/{total} rounds warm-started"
             )
     print(
         f"scenario {scenario.name!r}: {scenario.num_rounds} rounds x "
         f"{scenario.round_duration:.0f}s ({scenario.description})"
     )
     _print_table(rows)
+    if args.cold:
+        print("warm-start disabled (--cold): every round solved from scratch")
+    elif warm_notes:
+        print("; ".join(warm_notes))
     return 0
 
 
@@ -202,6 +216,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     import numpy as np
 
+    from repro.benchio import bench_stats, write_bench_json
     from repro.service import SolveRequest
     from repro.workloads.generator import random_instance
 
@@ -217,18 +232,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     baseline = None
     rows = []
+    json_rows = []
     backends = ["serial", *(b for b in args.backends if b != "serial")]
     for backend_name in backends:
         service = SchedulingService()
-        start = _time.perf_counter()
-        results = service.solve_batch(
-            requests, backend=None if backend_name == "serial" else backend_name,
-            max_workers=args.jobs,
-        )
-        elapsed = _time.perf_counter() - start
+        samples = []
+        results = None
+        for _ in range(max(1, args.repeat)):
+            service.clear_cache()
+            start = _time.perf_counter()
+            results = service.solve_batch(
+                requests,
+                backend=None if backend_name == "serial" else backend_name,
+                max_workers=args.jobs,
+            )
+            samples.append(_time.perf_counter() - start)
+        stats = bench_stats(samples)
         matrices = [result.allocation.matrix for result in results]
         if baseline is None:
-            baseline = (elapsed, matrices)
+            baseline = (stats["p50"], matrices)
         identical = all(
             np.allclose(matrix, reference, atol=1e-8)
             for matrix, reference in zip(matrices, baseline[1])
@@ -239,15 +261,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
             requests, backend=None if backend_name == "serial" else backend_name,
             max_workers=args.jobs,
         )
-        stats = service.cache_info()
-        repeat_hits = stats.hits - before_repeat.hits
+        cache = service.cache_info()
+        repeat_hits = cache.hits - before_repeat.hits
+        speedup = baseline[0] / stats["p50"] if stats["p50"] > 0 else float("inf")
         rows.append(
             {
                 "backend": backend_name,
-                "seconds": elapsed,
-                "speedup": baseline[0] / elapsed if elapsed > 0 else float("inf"),
+                "seconds": stats["p50"],
+                "speedup": speedup,
                 "matches serial": "yes" if identical else "NO",
                 "repeat hit rate": f"{repeat_hits / len(requests):.0%}",
+            }
+        )
+        json_rows.append(
+            {
+                "name": backend_name,
+                **stats,
+                "speedup_vs_serial": speedup,
+                "matches_serial": bool(identical),
             }
         )
     print(
@@ -256,6 +287,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"{args.users} users x {args.gpu_types} GPU types)"
     )
     _print_table(rows)
+    if args.json:
+        path = write_bench_json(
+            args.json,
+            "parallel",
+            json_rows,
+            meta={
+                "instances": args.instances,
+                "users": args.users,
+                "gpu_types": args.gpu_types,
+                "schedulers": list(args.schedulers),
+                "repeat": max(1, args.repeat),
+            },
+        )
+        print(f"wrote {path}")
     return 0 if all(row["matches serial"] == "yes" for row in rows) else 1
 
 
@@ -368,6 +413,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a multi-seed sweep instead of one replay "
         "(aggregated row per scheduler; uses --backend/--jobs)",
     )
+    simulate.add_argument(
+        "--cold",
+        action="store_true",
+        help="disable warm-started rounds: re-solve the allocation LP "
+        "from scratch every round (warm replay is bit-identical, so "
+        "this exists for benchmarking and differential testing)",
+    )
     add_parallel_flags(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
@@ -405,6 +457,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--jobs", "-j", type=int, default=None,
         help="max concurrent workers (default: one per core)",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=1,
+        help="timing repetitions per backend (mean/p50/p95 in --json output)",
+    )
+    bench.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write a machine-readable BENCH_parallel.json record here",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -25,9 +25,10 @@ construct adapters by hand.
 from __future__ import annotations
 
 import abc
+import hashlib
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -69,6 +70,24 @@ class FairShareScheduler(abc.ABC):
         vector (already normalised, slowest type first).
         """
 
+    def decision_key(
+        self,
+        tenants: Sequence[Tenant],
+        profiles: Dict[str, Dict[str, np.ndarray]],
+        capacities: np.ndarray,
+    ) -> Optional[bytes]:
+        """Content key over *everything* :meth:`shares` reads, or ``None``.
+
+        The simulator's warm-start path memoizes :class:`SchedulerDecision`
+        objects by this key: a repeat key is served from the previous
+        solve instead of re-running the LP, which is sound exactly
+        because the key covers every input the decision depends on and
+        :meth:`shares` is deterministic.  Return ``None`` (the default)
+        when the decision depends on state beyond the three arguments —
+        e.g. job-level scheduling — so every round solves cold.
+        """
+        return None
+
 
 class OEFScheduler(FairShareScheduler):
     """OEF fair-share evaluator (either environment)."""
@@ -109,6 +128,20 @@ class OEFScheduler(FairShareScheduler):
             },
         )
 
+    def decision_key(self, tenants, profiles, capacities) -> Optional[bytes]:
+        # shares() is a pure function of (name, weight, profiles) per
+        # tenant in order, plus capacities — hash exactly those
+        digest = hashlib.sha256()
+        for tenant in tenants:
+            digest.update(tenant.name.encode())
+            digest.update(repr(float(tenant.weight)).encode())
+            for model_name, vector in sorted(profiles[tenant.name].items()):
+                digest.update(model_name.encode())
+                digest.update(np.ascontiguousarray(vector, dtype=float).tobytes())
+            digest.update(b"\x1e")
+        digest.update(np.ascontiguousarray(capacities, dtype=float).tobytes())
+        return digest.digest()
+
 
 class ElasticOEFScheduler(FairShareScheduler):
     """Job-level OEF for elastic workloads (§8 extension).
@@ -148,6 +181,10 @@ class ElasticOEFScheduler(FairShareScheduler):
             estimated=dict(allocation.tenant_throughput),
             solver_seconds=elapsed,
         )
+
+    # job-level scheduling reads the tenants' live job objects, which the
+    # three decision_key arguments cannot capture — inherit the ``None``
+    # default so every round solves cold (warm replay stays correct)
 
 
 class SingleProfileScheduler(FairShareScheduler):
@@ -197,6 +234,26 @@ class SingleProfileScheduler(FairShareScheduler):
         return SchedulerDecision(
             tenant_shares=shares, estimated=estimated, solver_seconds=elapsed
         )
+
+    def decision_key(self, tenants, profiles, capacities) -> Optional[bytes]:
+        # the baseline adapter reads one row per tenant — the *dominant*
+        # job type's profile, which shifts with active-job counts — so
+        # the key hashes the selected (model, row) pairs, not the raw
+        # profile dict: count changes that keep the dominant type fixed
+        # still reuse the decision, count changes that flip it do not
+        digest = hashlib.sha256()
+        for tenant in tenants:
+            dominant = self._dominant_job_type(tenant, profiles[tenant.name])
+            digest.update(tenant.name.encode())
+            digest.update(dominant.encode())
+            digest.update(
+                np.ascontiguousarray(
+                    profiles[tenant.name][dominant], dtype=float
+                ).tobytes()
+            )
+            digest.update(b"\x1e")
+        digest.update(np.ascontiguousarray(capacities, dtype=float).tobytes())
+        return digest.digest()
 
     @staticmethod
     def _dominant_job_type(

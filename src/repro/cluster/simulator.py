@@ -29,12 +29,31 @@ remove tenants, inject jobs, or fail/repair devices mid-simulation.  The
 concrete event vocabulary (tenant churn, job bursts, trace replay) lives
 in :mod:`repro.scenarios`; the simulator only knows the protocol, which
 keeps the dependency pointing from scenarios to cluster, never back.
+
+Incremental (warm-started) rounds
+---------------------------------
+Sequential replay is the hot path, and most consecutive rounds pose the
+scheduler the *same* question: same tenants, same measured profiles, same
+capacities.  With ``config.warm_start`` (the default) the simulator
+memoizes :class:`~repro.cluster.schedulers.SchedulerDecision` objects by
+the scheduler's own content key
+(:meth:`~repro.cluster.schedulers.FairShareScheduler.decision_key`) —
+a repeat round reuses the previous solution instead of re-running the LP.
+Because the key covers every input the decision depends on and the
+schedulers are deterministic, a warm replay is **bit-identical** to a
+cold one; anything that changes the instance — tenant churn, device
+failure/repair, profile drift, misreports — changes the key and solves
+cold.  Shape-changing mutations additionally flush the memo outright
+(:meth:`ClusterSimulator.invalidate_warm_cache`).  ``warm_stats``
+reports the hit/solve split; pass ``warm_start=False`` (CLI:
+``repro simulate --cold``) to disable reuse entirely.
 """
 
 from __future__ import annotations
 
 import heapq
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -99,6 +118,10 @@ class SimulationConfig:
     device_failures: Dict[int, List[int]] = field(default_factory=dict)
     # round index -> device ids repaired at the start of that round
     device_repairs: Dict[int, List[int]] = field(default_factory=dict)
+    # reuse the previous solution when a round poses the scheduler an
+    # identical question (see "Incremental rounds" in the module docs);
+    # False forces a cold LP solve every round
+    warm_start: bool = True
 
     def __post_init__(self) -> None:
         if self.round_duration <= 0:
@@ -107,8 +130,47 @@ class SimulationConfig:
             raise ValidationError("num_rounds must be >= 1")
 
 
+@dataclass
+class WarmStats:
+    """How the warm-start engine split a run's scheduling rounds."""
+
+    #: Rounds served from a memoized decision (no LP ran).
+    warm_hits: int = 0
+    #: Rounds that ran the scheduler (cold solves).
+    cold_solves: int = 0
+    #: Times the decision memo was flushed by a shape-changing mutation.
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.warm_hits + self.cold_solves
+        return self.warm_hits / total if total else 0.0
+
+
+def _copy_decision(
+    decision: SchedulerDecision, solver_seconds: Optional[float] = None
+) -> SchedulerDecision:
+    """Deep-copy a decision so memoized arrays can never be mutated."""
+    return SchedulerDecision(
+        tenant_shares={
+            name: share.copy() for name, share in decision.tenant_shares.items()
+        },
+        estimated=dict(decision.estimated),
+        solver_seconds=(
+            decision.solver_seconds if solver_seconds is None else solver_seconds
+        ),
+        job_type_shares={
+            tenant: {jt: share.copy() for jt, share in by_type.items()}
+            for tenant, by_type in decision.job_type_shares.items()
+        },
+    )
+
+
 class ClusterSimulator:
     """Drives one scheduler over one topology and tenant population."""
+
+    #: Bound on memoized round decisions (content-keyed LRU).
+    DECISION_CACHE_MAX = 64
 
     def __init__(
         self,
@@ -138,6 +200,9 @@ class ClusterSimulator:
         )
         self._capacities = topology.capacities()
         self._recorded_completions: set = set()
+        # warm-start engine: content key -> memoized SchedulerDecision
+        self._decision_cache: "OrderedDict[bytes, SchedulerDecision]" = OrderedDict()
+        self.warm_stats = WarmStats()
         # timed event stream: a min-heap of (time, sequence, event) so
         # simultaneous events fire in scheduling order
         self._event_heap: List[tuple] = []
@@ -176,6 +241,7 @@ class ClusterSimulator:
                 "stay unique for the whole simulation"
             )
         self.tenants[tenant.name] = tenant
+        self.invalidate_warm_cache()
 
     def remove_tenant(self, name: str, now: float) -> None:
         """Force a tenant's departure at ``now`` (unfinished jobs are dropped)."""
@@ -186,6 +252,30 @@ class ClusterSimulator:
         if tenant.departure_time is None or tenant.departure_time > now:
             tenant.departure_time = now
         self._rounder.forget(name)
+        self.invalidate_warm_cache()
+
+    def fail_devices(self, device_ids: Sequence[int]) -> None:
+        """Fail devices mid-simulation; flushes the warm-start memo."""
+        self.topology.fail_devices(list(device_ids))
+        self.invalidate_warm_cache()
+
+    def repair_devices(self, device_ids: Sequence[int]) -> None:
+        """Repair devices mid-simulation; flushes the warm-start memo."""
+        self.topology.repair_devices(list(device_ids))
+        self.invalidate_warm_cache()
+
+    def invalidate_warm_cache(self) -> None:
+        """Drop every memoized decision (shape-changing mutation fallback).
+
+        Correctness never depends on this — the content keys already
+        force a cold solve whenever any scheduler input changed — but
+        shape changes (tenant churn, device failure/repair) make the old
+        entries unreachable dead weight, so the mutation hooks flush
+        them eagerly.
+        """
+        if self._decision_cache:
+            self._decision_cache.clear()
+            self.warm_stats.invalidations += 1
 
     def add_job(self, tenant_name: str, job: Job) -> None:
         """Submit one more job to an existing tenant (demand spike)."""
@@ -250,9 +340,9 @@ class ClusterSimulator:
         for round_index in range(self.config.num_rounds):
             now = round_index * self.config.round_duration
             if round_index in self.config.device_repairs:
-                self.topology.repair_devices(self.config.device_repairs[round_index])
+                self.repair_devices(self.config.device_repairs[round_index])
             if round_index in self.config.device_failures:
-                self.topology.fail_devices(self.config.device_failures[round_index])
+                self.fail_devices(self.config.device_failures[round_index])
             # dynamic events may mutate tenants *and* topology, so they
             # drain before capacities and the active set are computed
             self._drain_events(now)
@@ -283,7 +373,7 @@ class ClusterSimulator:
 
     def _run_round(self, round_index: int, now: float, active: List[Tenant]) -> None:
         profiles = self._measure_profiles(active, now)
-        decision = self.scheduler.shares(active, profiles, self._capacities)
+        decision = self._compute_decision(active, profiles)
         self._validate_decision(decision, active)
 
         min_demands = None
@@ -339,6 +429,36 @@ class ClusterSimulator:
                 solver_seconds=decision.solver_seconds,
             )
         )
+
+    def _compute_decision(
+        self, active: List[Tenant], profiles: Dict[str, Dict[str, np.ndarray]]
+    ) -> SchedulerDecision:
+        """One round's fluid shares, warm-started when provably safe.
+
+        The previous rounds' decisions are memoized under the scheduler's
+        own content key; a repeat key short-circuits the solve with a
+        deep copy of the stored decision (``solver_seconds`` reported as
+        0.0 — no LP ran).  A ``None`` key — warm starting disabled, or a
+        scheduler whose decision depends on more than the key can cover —
+        always solves cold.
+        """
+        key = None
+        if self.config.warm_start:
+            key = self.scheduler.decision_key(active, profiles, self._capacities)
+        if key is not None:
+            cached = self._decision_cache.get(key)
+            if cached is not None:
+                self._decision_cache.move_to_end(key)
+                self.warm_stats.warm_hits += 1
+                return _copy_decision(cached, solver_seconds=0.0)
+        decision = self.scheduler.shares(active, profiles, self._capacities)
+        self.warm_stats.cold_solves += 1
+        if key is not None:
+            # store a pristine copy before anything downstream can mutate
+            self._decision_cache[key] = _copy_decision(decision)
+            while len(self._decision_cache) > self.DECISION_CACHE_MAX:
+                self._decision_cache.popitem(last=False)
+        return decision
 
     # -- helpers ------------------------------------------------------------------
     def _active_tenants(self, now: float) -> List[Tenant]:

@@ -48,6 +48,7 @@ def _capacity_rows(num_users: int, num_types: int) -> sparse.coo_matrix:
     efficiency_constraint="envy_free",
     supports_weights=True,
     supports_job_level=True,
+    warm_startable=True,
 )
 class CooperativeOEF(Allocator):
     """Envy-free OEF for cooperative environments.
@@ -76,25 +77,30 @@ class CooperativeOEF(Allocator):
         self.method = method
 
     def allocate(self, instance: ProblemInstance) -> Allocation:
+        return self.allocate_with_state(instance)[0]
+
+    def allocate_with_state(self, instance, warm_start=None):
         speedups = instance.speedups.values
         num_users, num_types = speedups.shape
 
         if num_users == 1:
             matrix = instance.capacities.reshape(1, num_types).copy()
-            return Allocation(matrix, instance, allocator_name=self.name)
+            return Allocation(matrix, instance, allocator_name=self.name), None, False
 
         use_cuts = self.method == "cutting-plane" or (
             self.method == "auto" and num_users > self.CUTTING_PLANE_THRESHOLD
         )
         if use_cuts:
+            # the cutting-plane row set varies run to run, so no stable
+            # program structure exists to warm-start against
             matrix = self._solve_cutting_plane(instance)
             if matrix is not None:
-                return Allocation(matrix, instance, allocator_name=self.name)
-        matrix = self._solve_full(instance)
-        return Allocation(matrix, instance, allocator_name=self.name)
+                return Allocation(matrix, instance, allocator_name=self.name), None, False
+        matrix, state, warm_used = self._solve_full(instance, warm_start)
+        return Allocation(matrix, instance, allocator_name=self.name), state, warm_used
 
     # -- full O(n^2) formulation -------------------------------------------
-    def _solve_full(self, instance: ProblemInstance) -> np.ndarray:
+    def _solve_full(self, instance: ProblemInstance, warm_start=None):
         speedups = instance.speedups.values
         num_users, num_types = speedups.shape
         lp = LinearProgram("oef-coop")
@@ -107,8 +113,9 @@ class CooperativeOEF(Allocator):
         lp.add_matrix_constraints(self._envy_rows(speedups), flat_shares, ">=", 0.0)
         # (10a) total normalised throughput
         lp.set_objective(dot(speedups.ravel(), flat_shares), sense="max")
-        solution = lp.solve(backend=self.backend)
-        return np.clip(solution.value(shares), 0.0, None)
+        solution = lp.solve(backend=self.backend, warm_start=warm_start)
+        matrix = np.clip(solution.value(shares), 0.0, None)
+        return matrix, solution.warm_state, solution.stats.warm_start_used
 
     # -- cutting-plane formulation ------------------------------------------
     def _solve_cutting_plane(
@@ -215,6 +222,7 @@ class CooperativeOEF(Allocator):
     family="bound",
     description="Pure efficiency maximisation (Eq. 4), the unfair strawman",
     efficiency_constraint="none",
+    warm_startable=True,
 )
 class EfficiencyMaxAllocator(Allocator):
     """Pure efficiency maximisation (Eq. 4) — the unfair strawman of §3.1.1.
@@ -230,6 +238,9 @@ class EfficiencyMaxAllocator(Allocator):
         self.backend = backend
 
     def allocate(self, instance: ProblemInstance) -> Allocation:
+        return self.allocate_with_state(instance)[0]
+
+    def allocate_with_state(self, instance, warm_start=None):
         speedups = instance.speedups.values
         num_users, num_types = speedups.shape
 
@@ -240,6 +251,7 @@ class EfficiencyMaxAllocator(Allocator):
                 lin_sum(shares[:, type_index]) <= float(instance.capacities[type_index])
             )
         lp.set_objective(dot(speedups.ravel(), list(shares.ravel())), sense="max")
-        solution = lp.solve(backend=self.backend)
+        solution = lp.solve(backend=self.backend, warm_start=warm_start)
         matrix = np.clip(solution.value(shares), 0.0, None)
-        return Allocation(matrix, instance, allocator_name=self.name)
+        allocation = Allocation(matrix, instance, allocator_name=self.name)
+        return allocation, solution.warm_state, solution.stats.warm_start_used

@@ -34,6 +34,7 @@ from repro.solver import LinearProgram
     efficiency_constraint="equal_throughput",
     supports_weights=True,
     supports_job_level=True,
+    warm_startable=True,
 )
 class NonCooperativeOEF(Allocator):
     """Strategy-proof OEF for non-cooperative (competitive) environments."""
@@ -44,13 +45,16 @@ class NonCooperativeOEF(Allocator):
         self.backend = backend
 
     def allocate(self, instance: ProblemInstance) -> Allocation:
+        return self.allocate_with_state(instance)[0]
+
+    def allocate_with_state(self, instance, warm_start=None):
         speedups = instance.speedups.values
         num_users, num_types = speedups.shape
 
         if num_users == 1:
             # a lone tenant simply receives the whole cluster
             matrix = instance.capacities.reshape(1, num_types).copy()
-            return Allocation(matrix, instance, allocator_name=self.name)
+            return Allocation(matrix, instance, allocator_name=self.name), None, False
 
         lp = LinearProgram("oef-noncoop")
         shares = lp.new_variable_array("x", (num_users, num_types), lower=0.0)
@@ -90,7 +94,8 @@ class NonCooperativeOEF(Allocator):
         # (9a) under (9c) the total equals n*T, so maximising T suffices
         lp.set_objective(throughput.to_expr(), sense="max")
 
-        solution = lp.solve(backend=self.backend)
+        solution = lp.solve(backend=self.backend, warm_start=warm_start)
         matrix = solution.value(shares)
         matrix = np.clip(matrix, 0.0, None)
-        return Allocation(matrix, instance, allocator_name=self.name)
+        allocation = Allocation(matrix, instance, allocator_name=self.name)
+        return allocation, solution.warm_state, solution.stats.warm_start_used

@@ -104,6 +104,12 @@ class SchedulerInfo:
     #: False for schedulers with unpicklable state; the service then
     #: degrades to threads (or serial when also not ``parallel_safe``).
     picklable: bool = True
+    #: Supports verified warm-started re-solves: ``allocate_with_state``
+    #: threads a prior :class:`~repro.solver.warm.WarmStartState` into
+    #: its LP and returns a fresh one.  The service's structural cache
+    #: tier (:meth:`repro.service.SchedulingService.resolve`) only
+    #: engages for schedulers with this flag set.
+    warm_startable: bool = False
 
     @property
     def max_isolation(self) -> str:
@@ -128,6 +134,7 @@ class SchedulerInfo:
             "weights": "yes" if self.supports_weights else "no",
             "job-level": "yes" if self.supports_job_level else "no",
             "parallel": self.max_isolation,
+            "warm": "yes" if self.warm_startable else "no",
             "description": self.description,
         }
 
@@ -241,6 +248,7 @@ def register_scheduler(
     supports_job_level: bool = False,
     parallel_safe: bool = True,
     picklable: bool = True,
+    warm_startable: bool = False,
     registry: Optional[SchedulerRegistry] = None,
 ) -> Callable[[type], type]:
     """Class decorator: register an :class:`Allocator` subclass.
@@ -273,6 +281,7 @@ def register_scheduler(
             supports_job_level=supports_job_level,
             parallel_safe=parallel_safe,
             picklable=picklable,
+            warm_startable=warm_startable,
         )
         # explicit "is not None": an empty registry is falsy via __len__
         target = registry if registry is not None else REGISTRY

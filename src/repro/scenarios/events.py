@@ -113,7 +113,9 @@ class DeviceFailure(ScenarioEvent):
     device_ids: Tuple[int, ...] = ()
 
     def apply(self, simulator: "ClusterSimulator", now: float) -> None:
-        simulator.topology.fail_devices(list(self.device_ids))
+        # through the simulator (not the bare topology) so the warm-start
+        # engine sees the shape change and flushes its decision memo
+        simulator.fail_devices(self.device_ids)
 
     def signature(self) -> Tuple:
         return (*super().signature(), tuple(self.device_ids))
@@ -126,7 +128,7 @@ class DeviceRepair(ScenarioEvent):
     device_ids: Tuple[int, ...] = ()
 
     def apply(self, simulator: "ClusterSimulator", now: float) -> None:
-        simulator.topology.repair_devices(list(self.device_ids))
+        simulator.repair_devices(self.device_ids)
 
     def signature(self) -> Tuple:
         return (*super().signature(), tuple(self.device_ids))

@@ -233,6 +233,7 @@ def build_bursty(scenario: Scenario) -> ScenarioScript:
     amplitude=1.0,
     periods=2.0,
     job_duration_fraction=0.15,
+    initial_duration_fraction=0.4,
 )
 def build_diurnal(scenario: Scenario) -> ScenarioScript:
     """Per-round Poisson job arrivals whose rate follows a sine wave."""
@@ -242,7 +243,8 @@ def build_diurnal(scenario: Scenario) -> ScenarioScript:
     tenants = generator.make_population(
         int(scenario.param("num_tenants")),
         jobs_per_tenant=1,
-        duration_on_slowest=0.4 * scenario.horizon,
+        duration_on_slowest=float(scenario.param("initial_duration_fraction"))
+        * scenario.horizon,
     )
     base = float(scenario.param("base_rate"))
     amplitude = float(scenario.param("amplitude"))

@@ -22,10 +22,19 @@ picklable runner factory, so ``backend="process"`` fans whole scenario
 replays out across cores and the per-seed results come back in seed
 order.  Determinism contract: for a fixed (scenario, seed, scheduler),
 the summary row is identical on every backend.
+
+Warm-started replay (``warm=True``, the default) threads each round's
+solution into the next through the simulator's decision memo (see
+:mod:`repro.cluster.simulator`), cutting repeat-round LP cost to zero
+while staying **bit-identical** to a cold replay — compare
+:meth:`ScenarioResult.fingerprint` across ``warm``/``cold`` runs or
+execution backends to check.  ``warm=False`` (CLI: ``--cold``) forces
+every round to solve from scratch.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Dict, List, Optional, Sequence, Union
@@ -75,6 +84,11 @@ class ScenarioResult:
     num_events: int
     metrics: MetricsCollector
     records: List[ScenarioRoundRecord] = field(default_factory=list)
+    #: Warm-start engine split for this run (0/0 under ``warm=False``
+    #: never-cached schedulers).  Excluded from :meth:`summary_row` and
+    #: :meth:`fingerprint` so warm and cold replays stay comparable.
+    warm_hits: int = 0
+    cold_solves: int = 0
 
     # -- aggregates -----------------------------------------------------------
     @property
@@ -107,6 +121,61 @@ class ScenarioResult:
     @property
     def total_starvation(self) -> int:
         return sum(r.starved_jobs for r in self.records)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over every scheduling outcome: the differential probe.
+
+        Covers each round's distilled record, the scheduler's own
+        per-round throughput estimates, and every completion — at full
+        float precision (``repr``), so two runs share a fingerprint only
+        when their decisions were *bit-identical*.  Wall-clock artefacts
+        (``solver_seconds``) and warm-start telemetry are excluded; warm
+        vs cold replays and serial/thread/process sweeps of the same
+        (scenario, seed, scheduler) must all agree.
+        """
+        digest = hashlib.sha256()
+        digest.update(
+            repr(
+                (
+                    self.scenario_name,
+                    self.scheduler,
+                    self.seed,
+                    self.num_rounds,
+                    self.num_events,
+                )
+            ).encode()
+        )
+        for record in self.records:
+            digest.update(
+                repr(
+                    (
+                        record.round_index,
+                        record.time,
+                        record.active_tenants,
+                        record.total_throughput,
+                        record.utilization,
+                        record.jain,
+                        record.envy,
+                        record.starved_jobs,
+                    )
+                ).encode()
+            )
+        for round_metrics in self.metrics.rounds:
+            digest.update(repr(sorted(round_metrics.estimated.items())).encode())
+            digest.update(repr(sorted(round_metrics.actual.items())).encode())
+        for completion in self.metrics.completions:
+            digest.update(
+                repr(
+                    (
+                        completion.job_id,
+                        completion.tenant,
+                        completion.model_name,
+                        completion.submit_time,
+                        completion.finish_time,
+                    )
+                ).encode()
+            )
+        return digest.hexdigest()
 
     def summary_row(self) -> Dict[str, object]:
         """One comparison-table row; also the determinism probe for sweeps."""
@@ -174,6 +243,7 @@ class ScenarioRunner:
         *,
         scheduler_options: Optional[Dict[str, object]] = None,
         config_overrides: Optional[Dict[str, object]] = None,
+        warm: bool = True,
     ):
         if isinstance(scenario, str):
             scenario = make_scenario(scenario)
@@ -181,6 +251,7 @@ class ScenarioRunner:
         self.scheduler = scheduler
         self.scheduler_options = dict(scheduler_options or {})
         self.config_overrides = dict(config_overrides or {})
+        self.warm = bool(warm)
 
     # -- construction ---------------------------------------------------------
     def _is_oef(self) -> bool:
@@ -201,7 +272,11 @@ class ScenarioRunner:
             script.topology,
             policy=PlacementPolicy.oef() if oef else PlacementPolicy.naive(),
         )
-        overrides = {"use_min_demand_rule": oef, **self.config_overrides}
+        overrides = {
+            "use_min_demand_rule": oef,
+            "warm_start": self.warm,
+            **self.config_overrides,
+        }
         return ClusterSimulator(
             script.topology,
             list(script.initial_tenants),
@@ -255,6 +330,8 @@ class ScenarioRunner:
             num_events=simulator.events_applied,
             metrics=metrics,
             records=records,
+            warm_hits=simulator.warm_stats.warm_hits,
+            cold_solves=simulator.warm_stats.cold_solves,
         )
 
 
@@ -265,18 +342,21 @@ def run_scenario(
     seed: int = 0,
     rounds: Optional[int] = None,
     round_duration: float = 300.0,
+    warm: bool = True,
     **params: object,
 ) -> ScenarioResult:
     """One-shot convenience: build the recipe, replay it, return the result."""
     scenario = make_scenario(
         name, seed=seed, rounds=rounds, round_duration=round_duration, **params
     )
-    return ScenarioRunner(scenario, scheduler=scheduler).run()
+    return ScenarioRunner(scenario, scheduler=scheduler, warm=warm).run()
 
 
-def _sweep_runner_factory(seed: int, *, scenario: Scenario, scheduler: str) -> ScenarioRunner:
+def _sweep_runner_factory(
+    seed: int, *, scenario: Scenario, scheduler: str, warm: bool = True
+) -> ScenarioRunner:
     """Module-level (hence picklable) ``factory(seed)`` for scenario sweeps."""
-    return ScenarioRunner(scenario.with_seed(seed), scheduler=scheduler)
+    return ScenarioRunner(scenario.with_seed(seed), scheduler=scheduler, warm=warm)
 
 
 def scenario_sweep(
@@ -286,6 +366,7 @@ def scenario_sweep(
     scheduler: str = "oef-coop",
     backend: BackendSpec = "auto",
     max_workers: Optional[int] = None,
+    warm: bool = True,
 ) -> List[ScenarioResult]:
     """Replay one scenario under many seeds, fanned out across workers.
 
@@ -300,7 +381,7 @@ def scenario_sweep(
     if isinstance(scenario, str):
         scenario = make_scenario(scenario)
     factory = partial(
-        _sweep_runner_factory, scenario=scenario, scheduler=scheduler
+        _sweep_runner_factory, scenario=scenario, scheduler=scheduler, warm=warm
     )
     return ClusterSimulator.run_sweep(
         factory, list(seeds), backend=backend, max_workers=max_workers

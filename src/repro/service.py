@@ -15,6 +15,24 @@ and round-based simulation with unchanged tenant sets — return memoized
 allocations; :class:`SolveResult` carries the service's hit/miss counters
 so callers can observe the reuse.
 
+Incremental solving (:meth:`SchedulingService.resolve`) adds a second,
+delta-aware tier for *drifting* instances — the round-based replay
+pattern where numbers move but the tenant set does not:
+
+* **exact tier** — same :func:`instance_fingerprint`: the cached
+  allocation is returned outright (counted in ``warm_hits``);
+* **structural tier** — same :func:`structural_fingerprint` (user set,
+  GPU types, matrix shape) but different numbers: the previous solve's
+  :class:`~repro.solver.warm.WarmStartState` is threaded into the
+  scheduler's LP, which re-verifies it before trusting it (counted in
+  ``structural_hits`` when the verification succeeds), for schedulers
+  registered ``warm_startable=True``;
+* anything else cold-solves, exactly like :meth:`SchedulingService.solve`.
+
+Because the solver only accepts a warm start it can *prove* optimal and
+unique for the new numbers (see :mod:`repro.solver.warm`), a ``resolve``
+answer always equals the corresponding cold answer to solver tolerance.
+
 Caching contract
 ----------------
 * Keys are *content-based*: two independently constructed but equal
@@ -94,9 +112,15 @@ from repro.parallel import (
     probe_picklable,
 )
 from repro.registry import REGISTRY, SchedulerRegistry
+from repro.solver.warm import WarmStartState
 
 #: Sentinel: "use the registry default" for audit overrides.
 _USE_REGISTRY_DEFAULT = object()
+
+#: Bound on retained warm-start states (separate from the LRU bound the
+#: allocation and frontier caches share: states are small and structural
+#: keys are few, so a fixed bound suffices).
+_MAX_WARM_STATES = 256
 
 
 def instance_fingerprint(instance: ProblemInstance) -> str:
@@ -113,6 +137,24 @@ def instance_fingerprint(instance: ProblemInstance) -> str:
     digest.update(b"\x1e")
     digest.update(np.ascontiguousarray(instance.speedups.values, dtype=np.float64).tobytes())
     digest.update(np.ascontiguousarray(instance.capacities, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def structural_fingerprint(instance: ProblemInstance) -> str:
+    """Shape-only hash of an instance: who is being scheduled, not how fast.
+
+    Covers user names, GPU-type names, and the speedup-matrix shape while
+    deliberately excluding the numeric values and capacities — two
+    instances share a structural fingerprint exactly when one's LP warm
+    state is a candidate for the other's solve (the delta-aware cache
+    tier of :meth:`SchedulingService.resolve`).
+    """
+    digest = hashlib.sha256()
+    digest.update("\x1f".join(map(str, instance.speedups.users)).encode())
+    digest.update(b"\x1e")
+    digest.update("\x1f".join(map(str, instance.speedups.gpu_types)).encode())
+    digest.update(b"\x1e")
+    digest.update(repr(tuple(instance.speedups.values.shape)).encode())
     return digest.hexdigest()
 
 
@@ -194,16 +236,41 @@ class SolveResult:
     #: Service-wide counters at the time this result was produced.
     cache_hits: int
     cache_misses: int
+    #: True when the allocator's LP accepted a verified warm start
+    #: (the structural tier of :meth:`SchedulingService.resolve`).
+    warm: bool = False
+    #: This solve's own warm-start evidence; feed it back through
+    #: :meth:`SchedulingService.resolve` for the next drifted instance.
+    warm_state: Optional[WarmStartState] = None
 
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Snapshot of the service's allocation-cache counters."""
+    """Snapshot of the service's allocation-cache counters.
+
+    ``hits``/``misses`` account every solve-shaped call against the exact
+    (content-hash) cache, as always.  The warm-tier counters refine the
+    picture for :meth:`SchedulingService.resolve`:
+
+    * ``warm_hits`` — resolves answered from the exact cache without
+      running any allocator ("exact hash → reuse allocation");
+    * ``structural_hits`` — resolves where the allocator ran but its LP
+      accepted the verified prior state instead of solving cold
+      ("structural hash → reuse basis"); these also count as ``misses``
+      because the exact cache did not have the answer;
+    * ``evictions`` — LRU evictions across the allocation, frontier, and
+      warm-state caches combined.
+    """
 
     hits: int
     misses: int
     entries: int
     max_entries: int
+    warm_hits: int = 0
+    structural_hits: int = 0
+    evictions: int = 0
+    #: Retained warm-start states (bounded separately from ``entries``).
+    warm_entries: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -251,8 +318,13 @@ class SchedulingService:
         self._cache: "OrderedDict[tuple, Tuple[np.ndarray, str]]" = OrderedDict()
         # (fingerprint, alphas, lp_backend) -> [FrontierPoint, ...]
         self._frontier_cache: "OrderedDict[tuple, List[FrontierPoint]]" = OrderedDict()
+        # (structural fingerprint, scheduler, options) -> WarmStartState
+        self._warm_states: "OrderedDict[tuple, WarmStartState]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._warm_hits = 0
+        self._structural_hits = 0
+        self._evictions = 0
         # guards both caches and both counters: lookups, inserts, LRU
         # reordering, and trims happen under this lock; the LP solves
         # themselves run outside it so concurrent solves overlap
@@ -328,6 +400,133 @@ class SchedulingService:
             solve_seconds=elapsed,
             cache_hits=hits,
             cache_misses=misses,
+        )
+
+    def resolve(
+        self,
+        prev_result: Optional[SolveResult],
+        instance: ProblemInstance,
+        scheduler: Optional[str] = None,
+        *,
+        options: Optional[Mapping[str, object]] = None,
+        use_cache: bool = True,
+    ) -> SolveResult:
+        """Incrementally re-solve an instance that drifted from a prior one.
+
+        The warm path for round-based replay: ``prev_result`` is the
+        :class:`SolveResult` of the previous round (or ``None`` to rely
+        on the service's own structural cache), ``instance`` the current
+        round's.  ``scheduler`` defaults to ``prev_result``'s.  Three
+        tiers, cheapest first:
+
+        1. exact fingerprint match → the cached allocation is returned
+           (``warm_hits``);
+        2. same structure, different numbers, scheduler registered
+           ``warm_startable=True`` → the prior solve's verified LP state
+           seeds this solve (``structural_hits`` when the LP accepts it);
+        3. otherwise a plain cold solve.
+
+        Every tier returns the same allocation a cold
+        :meth:`solve` would, to solver tolerance — tier 2 is only taken
+        when the solver *proves* the warm answer optimal and unique for
+        the new numbers (see :mod:`repro.solver.warm`).  Shape changes
+        (tenant churn, added GPU types) change the structural
+        fingerprint, so they fall through to a cold solve automatically.
+
+        ``use_cache=False`` bypasses only the *exact allocation* cache
+        (tier 1); warm-state reuse — the point of ``resolve`` — still
+        applies, so timings of such calls are warm timings.  For a
+        guaranteed cold solve use :meth:`solve` with
+        ``use_cache=False``.
+        """
+        if scheduler is None:
+            scheduler = prev_result.scheduler if prev_result is not None else "oef-coop"
+        options = dict(options or {})
+        name = self.registry.resolve(scheduler)
+        fingerprint = instance_fingerprint(instance)
+        options_key = _options_key(options)
+        key = (fingerprint, name, options_key)
+        struct_key = (structural_fingerprint(instance), name, options_key)
+
+        if use_cache:
+            with self._lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    matrix, allocator_name = cached
+                    self._hits += 1
+                    self._warm_hits += 1
+                    hits, misses = self._hits, self._misses
+                    state = self._warm_states.get(struct_key)
+                    if state is not None:
+                        # keep the actively chained state LRU-fresh
+                        self._warm_states.move_to_end(struct_key)
+            if cached is not None:
+                allocation = Allocation(
+                    matrix.copy(), instance, allocator_name=allocator_name
+                )
+                return SolveResult(
+                    scheduler=name,
+                    allocation=allocation,
+                    fingerprint=fingerprint,
+                    from_cache=True,
+                    solve_seconds=0.0,
+                    cache_hits=hits,
+                    cache_misses=misses,
+                    warm=False,
+                    warm_state=state,
+                )
+
+        info = self.registry.info(name)
+        state: Optional[WarmStartState] = None
+        if info.warm_startable:
+            if (
+                prev_result is not None
+                and prev_result.warm_state is not None
+                and prev_result.scheduler == name
+            ):
+                state = prev_result.warm_state
+            else:
+                with self._lock:
+                    state = self._warm_states.get(struct_key)
+                    if state is not None:
+                        self._warm_states.move_to_end(struct_key)
+
+        # count the miss before the allocator runs, matching solve()
+        with self._lock:
+            self._misses += 1
+        allocator = self.registry.create(name, **options)
+        start = time.perf_counter()
+        allocation, new_state, warm_used = allocator.allocate_with_state(
+            instance, state
+        )
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            if warm_used:
+                self._structural_hits += 1
+            if use_cache:
+                self._cache[key] = (
+                    allocation.matrix.copy(),
+                    allocation.allocator_name or name,
+                )
+                self._trim(self._cache)
+            if new_state is not None:
+                self._warm_states[struct_key] = new_state
+                self._warm_states.move_to_end(struct_key)
+                while len(self._warm_states) > _MAX_WARM_STATES:
+                    self._warm_states.popitem(last=False)
+                    self._evictions += 1
+            hits, misses = self._hits, self._misses
+        return SolveResult(
+            scheduler=name,
+            allocation=allocation,
+            fingerprint=fingerprint,
+            from_cache=False,
+            solve_seconds=elapsed,
+            cache_hits=hits,
+            cache_misses=misses,
+            warm=warm_used,
+            warm_state=new_state,
         )
 
     def solve_batch(
@@ -740,14 +939,22 @@ class SchedulingService:
                 misses=self._misses,
                 entries=len(self._cache) + len(self._frontier_cache),
                 max_entries=self.max_cache_entries,
+                warm_hits=self._warm_hits,
+                structural_hits=self._structural_hits,
+                evictions=self._evictions,
+                warm_entries=len(self._warm_states),
             )
 
     def clear_cache(self) -> None:
         with self._lock:
             self._cache.clear()
             self._frontier_cache.clear()
+            self._warm_states.clear()
             self._hits = 0
             self._misses = 0
+            self._warm_hits = 0
+            self._structural_hits = 0
+            self._evictions = 0
 
     def _trim(self, cache: OrderedDict) -> None:
         # evict from the cache just inserted into until the combined size
@@ -757,6 +964,7 @@ class SchedulingService:
             and cache
         ):
             cache.popitem(last=False)
+            self._evictions += 1
 
     def __repr__(self) -> str:
         stats = self.cache_info()

@@ -28,7 +28,8 @@ from repro.solver.expression import LinExpr, Variable, dot, lin_sum
 from repro.solver.problem import Constraint, LinearProgram, StandardForm
 from repro.solver.result import Solution, SolveStats
 from repro.solver.scipy_backend import ScipyBackend
-from repro.solver.simplex import SimplexBackend
+from repro.solver.simplex import SimplexBackend, standardise_form
+from repro.solver.warm import WarmStartState, form_signature, try_warm_solve
 
 __all__ = [
     "Constraint",
@@ -40,6 +41,10 @@ __all__ = [
     "SolveStats",
     "StandardForm",
     "Variable",
+    "WarmStartState",
     "dot",
+    "form_signature",
     "lin_sum",
+    "standardise_form",
+    "try_warm_solve",
 ]

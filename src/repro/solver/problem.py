@@ -298,11 +298,20 @@ class LinearProgram:
         )
 
     # -- solve ---------------------------------------------------------------
-    def solve(self, backend: str = "auto") -> Solution:
+    def solve(self, backend: str = "auto", warm_start=None) -> Solution:
         """Compile and solve; returns a :class:`Solution`.
 
         ``backend`` is ``"scipy"``, ``"simplex"`` or ``"auto"`` (scipy by
         default; the in-repo simplex is the self-contained fallback).
+
+        ``warm_start`` accepts the ``warm_state`` of a prior
+        :class:`~repro.solver.result.Solution` for a structurally
+        identical program.  The state is verified against this program's
+        numbers before it is trusted (see :mod:`repro.solver.warm`); on
+        a miss the solve silently runs cold, so warm starting never
+        changes an answer.  ``solution.stats.warm_start_used`` reports
+        which path produced the result, and ``solution.warm_state``
+        carries this solve's own evidence forward.
         """
         from repro.solver.scipy_backend import ScipyBackend
         from repro.solver.simplex import SimplexBackend
@@ -310,16 +319,17 @@ class LinearProgram:
         form = self.compile()
         start = time.perf_counter()
         if backend in ("auto", "scipy"):
-            values = ScipyBackend().solve(form)
+            solver = ScipyBackend()
             backend_used = "scipy"
         elif backend == "scipy-ipm":
-            values = ScipyBackend(method="highs-ipm").solve(form)
+            solver = ScipyBackend(method="highs-ipm")
             backend_used = "scipy-ipm"
         elif backend == "simplex":
-            values = SimplexBackend().solve(form)
+            solver = SimplexBackend()
             backend_used = "simplex"
         else:
             raise ModelError(f"unknown backend {backend!r}")
+        values, warm_state, warm_used = solver.solve_with_state(form, warm_start)
         elapsed = time.perf_counter() - start
 
         raw_objective = float(form.c @ values)
@@ -329,5 +339,11 @@ class LinearProgram:
             solve_seconds=elapsed,
             num_variables=self.num_variables,
             num_constraints=self.num_constraints,
+            warm_start_used=warm_used,
         )
-        return Solution(values=values, objective=objective, stats=stats)
+        return Solution(
+            values=values,
+            objective=objective,
+            stats=stats,
+            warm_state=warm_state,
+        )

@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.solver.expression import LinExpr, Variable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.solver.warm import WarmStartState
 
 
 @dataclass(frozen=True)
@@ -17,6 +21,9 @@ class SolveStats:
     solve_seconds: float
     num_variables: int
     num_constraints: int
+    #: True when the answer came from a verified warm start instead of a
+    #: fresh backend run (see :mod:`repro.solver.warm`).
+    warm_start_used: bool = False
 
 
 @dataclass(frozen=True)
@@ -30,6 +37,9 @@ class Solution:
     values: np.ndarray
     objective: float
     stats: SolveStats
+    #: Reusable warm-start evidence for a structurally identical re-solve
+    #: (``None`` when the backend produced no certificate).
+    warm_state: Optional["WarmStartState"] = None
 
     def value(self, item):
         if isinstance(item, Variable):

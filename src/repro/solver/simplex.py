@@ -14,6 +14,16 @@ implementation in the test suite).  It is a classic tableau simplex:
 Intended for small/medium programs (hundreds of variables); the OEF
 allocators default to the scipy backend and use this one for verification
 and as a fallback.
+
+Warm starting: ``solve(form, warm_start=prior_state)`` accepts the
+:class:`~repro.solver.warm.WarmStartState` of a structurally identical
+prior program.  The prior optimal basis is re-verified against the new
+numbers (feasible + strictly optimal, hence unique — see
+:mod:`repro.solver.warm`); on success the solution drops out of one
+``(m, m)`` triangular solve instead of the full two-phase run, and on
+any doubt the backend silently falls back to the cold path, so warm
+starts can never change an answer.  ``solve_with_state`` additionally
+returns the state of *this* solve for the next round to reuse.
 """
 
 from __future__ import annotations
@@ -22,19 +32,16 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
-from scipy import sparse
 
 from repro.exceptions import InfeasibleError, SolverError, UnboundedError
 from repro.solver.problem import StandardForm
-
-
-def _densify(matrix):
-    """Sparse standard forms are densified; this backend is dense-only."""
-    if matrix is None:
-        return None
-    if sparse.issparse(matrix):
-        return matrix.toarray()
-    return np.asarray(matrix, dtype=float)
+from repro.solver.warm import (
+    WarmStartState,
+    form_signature,
+    refresh_state,
+    try_warm_solve,
+)
+from repro.solver.warm import _dense as _densify
 
 _TOL = 1e-9
 
@@ -48,6 +55,132 @@ class _Column:
     offset: float  # original lower bound folded into the shift
 
 
+def standardise_form(
+    form: StandardForm,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[_Column]]:
+    """Rewrite the program as ``min c@y, A@y == b, y >= 0``.
+
+    Module-level because warm-start verification
+    (:mod:`repro.solver.warm`) re-standardises the successor form to
+    check a prior basis against it.
+    """
+    num_original = form.num_variables
+    columns: List[_Column] = []
+    # map original variable -> list of (internal column, sign)
+    col_of: List[List[int]] = [[] for _ in range(num_original)]
+    for index, (lower, upper) in enumerate(form.bounds):
+        if lower is None:
+            # free (or upper-bounded only): split into two parts
+            columns.append(_Column(index, +1.0, 0.0))
+            col_of[index].append(len(columns) - 1)
+            columns.append(_Column(index, -1.0, 0.0))
+            col_of[index].append(len(columns) - 1)
+        else:
+            columns.append(_Column(index, +1.0, lower))
+            col_of[index].append(len(columns) - 1)
+
+    num_internal = len(columns)
+
+    def expand_matrix(matrix: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        if matrix is None:
+            return None
+        expanded = np.zeros((matrix.shape[0], num_internal))
+        for internal_index, column in enumerate(columns):
+            expanded[:, internal_index] += column.sign * matrix[:, column.original_index]
+        return expanded
+
+    def shift_rhs(matrix: Optional[np.ndarray], rhs: Optional[np.ndarray]):
+        """Fold lower-bound shifts x = y + lo into the right-hand side."""
+        if matrix is None or rhs is None:
+            return rhs
+        shift = np.zeros(num_original)
+        for index, (lower, _upper) in enumerate(form.bounds):
+            if lower is not None:
+                shift[index] = lower
+        return rhs - matrix @ shift
+
+    form_a_ub = _densify(form.a_ub)
+    form_a_eq = _densify(form.a_eq)
+    ub_matrix = expand_matrix(form_a_ub)
+    ub_rhs = shift_rhs(form_a_ub, form.b_ub)
+    eq_matrix = expand_matrix(form_a_eq)
+    eq_rhs = shift_rhs(form_a_eq, form.b_eq)
+
+    # upper bounds become extra inequality rows on the shifted variable
+    bound_rows: List[np.ndarray] = []
+    bound_rhs: List[float] = []
+    for index, (lower, upper) in enumerate(form.bounds):
+        if upper is None:
+            continue
+        row = np.zeros(num_internal)
+        for internal_index in col_of[index]:
+            row[internal_index] = columns[internal_index].sign
+        bound_rows.append(row)
+        bound_rhs.append(upper - (lower if lower is not None else 0.0))
+
+    ineq_pieces = []
+    ineq_rhs_pieces = []
+    if ub_matrix is not None:
+        ineq_pieces.append(ub_matrix)
+        ineq_rhs_pieces.append(np.asarray(ub_rhs, dtype=float))
+    if bound_rows:
+        ineq_pieces.append(np.vstack(bound_rows))
+        ineq_rhs_pieces.append(np.asarray(bound_rhs, dtype=float))
+
+    num_ineq = sum(piece.shape[0] for piece in ineq_pieces)
+    num_eq = 0 if eq_matrix is None else eq_matrix.shape[0]
+
+    total_cols = num_internal + num_ineq  # slacks for inequalities
+    total_rows = num_ineq + num_eq
+    a_full = np.zeros((total_rows, total_cols))
+    b_full = np.zeros(total_rows)
+
+    row_cursor = 0
+    slack_cursor = num_internal
+    for piece, rhs_piece in zip(ineq_pieces, ineq_rhs_pieces):
+        rows = piece.shape[0]
+        a_full[row_cursor : row_cursor + rows, :num_internal] = piece
+        for local in range(rows):
+            a_full[row_cursor + local, slack_cursor] = 1.0
+            slack_cursor += 1
+        b_full[row_cursor : row_cursor + rows] = rhs_piece
+        row_cursor += rows
+    if eq_matrix is not None:
+        rows = eq_matrix.shape[0]
+        a_full[row_cursor : row_cursor + rows, :num_internal] = eq_matrix
+        b_full[row_cursor : row_cursor + rows] = np.asarray(eq_rhs, dtype=float)
+
+    # make all right-hand sides non-negative
+    negative = b_full < 0
+    a_full[negative] *= -1.0
+    b_full[negative] *= -1.0
+
+    c_full = np.zeros(total_cols)
+    for internal_index, column in enumerate(columns):
+        c_full[internal_index] += column.sign * form.c[column.original_index]
+
+    return a_full, b_full, c_full, columns
+
+
+def unfold_internal(
+    form: StandardForm, columns: List[_Column], internal: np.ndarray
+) -> np.ndarray:
+    """Map a standardised-space point back to original variables.
+
+    The inverse of :func:`standardise_form`'s variable treatment
+    (re-merge split free variables, re-apply lower-bound shifts); shared
+    with warm-start verification so the unfolding can never drift from
+    the standardisation it inverts.
+    """
+    values = np.zeros(form.num_variables)
+    for column_index, column in enumerate(columns):
+        values[column.original_index] += column.sign * internal[column_index]
+    for index, (lower, _upper) in enumerate(form.bounds):
+        if lower is not None:
+            values[index] += lower
+    return values
+
+
 class SimplexBackend:
     """Two-phase dense tableau simplex over a :class:`StandardForm`."""
 
@@ -55,127 +188,49 @@ class SimplexBackend:
         self.max_iterations = max_iterations
 
     # -- public API --------------------------------------------------------
-    def solve(self, form: StandardForm) -> np.ndarray:
-        a_eq, b_eq, c, columns = self._standardise(form)
-        internal = self._two_phase(a_eq, b_eq, c)
-        values = np.zeros(form.num_variables)
-        for column_index, column in enumerate(columns):
-            values[column.original_index] += column.sign * internal[column_index]
-        for index, (lower, _upper) in enumerate(form.bounds):
-            if lower is not None:
-                values[index] += lower
+    def solve(
+        self, form: StandardForm, warm_start: Optional[WarmStartState] = None
+    ) -> np.ndarray:
+        values, _state, _used = self.solve_with_state(form, warm_start)
         return values
 
-    # -- standardisation ----------------------------------------------------
-    def _standardise(
-        self, form: StandardForm
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[_Column]]:
-        """Rewrite the program as ``min c@y, A@y == b, y >= 0``."""
-        num_original = form.num_variables
-        columns: List[_Column] = []
-        # map original variable -> list of (internal column, sign)
-        col_of: List[List[int]] = [[] for _ in range(num_original)]
-        for index, (lower, upper) in enumerate(form.bounds):
-            if lower is None:
-                # free (or upper-bounded only): split into two parts
-                columns.append(_Column(index, +1.0, 0.0))
-                col_of[index].append(len(columns) - 1)
-                columns.append(_Column(index, -1.0, 0.0))
-                col_of[index].append(len(columns) - 1)
-            else:
-                columns.append(_Column(index, +1.0, lower))
-                col_of[index].append(len(columns) - 1)
+    def solve_with_state(
+        self, form: StandardForm, warm_start: Optional[WarmStartState] = None
+    ) -> Tuple[np.ndarray, Optional[WarmStartState], bool]:
+        """Solve and return ``(values, state, warm_start_used)``.
 
-        num_internal = len(columns)
-
-        def expand_matrix(matrix: Optional[np.ndarray]) -> Optional[np.ndarray]:
-            if matrix is None:
-                return None
-            expanded = np.zeros((matrix.shape[0], num_internal))
-            for internal_index, column in enumerate(columns):
-                expanded[:, internal_index] += column.sign * matrix[:, column.original_index]
-            return expanded
-
-        def shift_rhs(matrix: Optional[np.ndarray], rhs: Optional[np.ndarray]):
-            """Fold lower-bound shifts x = y + lo into the right-hand side."""
-            if matrix is None or rhs is None:
-                return rhs
-            shift = np.zeros(num_original)
-            for index, (lower, _upper) in enumerate(form.bounds):
-                if lower is not None:
-                    shift[index] = lower
-            return rhs - matrix @ shift
-
-        form_a_ub = _densify(form.a_ub)
-        form_a_eq = _densify(form.a_eq)
-        ub_matrix = expand_matrix(form_a_ub)
-        ub_rhs = shift_rhs(form_a_ub, form.b_ub)
-        eq_matrix = expand_matrix(form_a_eq)
-        eq_rhs = shift_rhs(form_a_eq, form.b_eq)
-
-        # upper bounds become extra inequality rows on the shifted variable
-        bound_rows: List[np.ndarray] = []
-        bound_rhs: List[float] = []
-        for index, (lower, upper) in enumerate(form.bounds):
-            if upper is None:
-                continue
-            row = np.zeros(num_internal)
-            for internal_index in col_of[index]:
-                row[internal_index] = columns[internal_index].sign
-            bound_rows.append(row)
-            bound_rhs.append(upper - (lower if lower is not None else 0.0))
-
-        ineq_pieces = []
-        ineq_rhs_pieces = []
-        if ub_matrix is not None:
-            ineq_pieces.append(ub_matrix)
-            ineq_rhs_pieces.append(np.asarray(ub_rhs, dtype=float))
-        if bound_rows:
-            ineq_pieces.append(np.vstack(bound_rows))
-            ineq_rhs_pieces.append(np.asarray(bound_rhs, dtype=float))
-
-        num_ineq = sum(piece.shape[0] for piece in ineq_pieces)
-        num_eq = 0 if eq_matrix is None else eq_matrix.shape[0]
-
-        total_cols = num_internal + num_ineq  # slacks for inequalities
-        total_rows = num_ineq + num_eq
-        a_full = np.zeros((total_rows, total_cols))
-        b_full = np.zeros(total_rows)
-
-        row_cursor = 0
-        slack_cursor = num_internal
-        for piece, rhs_piece in zip(ineq_pieces, ineq_rhs_pieces):
-            rows = piece.shape[0]
-            a_full[row_cursor : row_cursor + rows, :num_internal] = piece
-            for local in range(rows):
-                a_full[row_cursor + local, slack_cursor] = 1.0
-                slack_cursor += 1
-            b_full[row_cursor : row_cursor + rows] = rhs_piece
-            row_cursor += rows
-        if eq_matrix is not None:
-            rows = eq_matrix.shape[0]
-            a_full[row_cursor : row_cursor + rows, :num_internal] = eq_matrix
-            b_full[row_cursor : row_cursor + rows] = np.asarray(eq_rhs, dtype=float)
-
-        # make all right-hand sides non-negative
-        negative = b_full < 0
-        a_full[negative] *= -1.0
-        b_full[negative] *= -1.0
-
-        c_full = np.zeros(total_cols)
-        for internal_index, column in enumerate(columns):
-            c_full[internal_index] += column.sign * form.c[column.original_index]
-
-        return a_full, b_full, c_full, columns
+        ``state`` carries this solve's optimal basis (plus the point
+        itself) for a future structurally identical program; when the
+        supplied ``warm_start`` verifies against ``form`` the answer is
+        produced without pivoting at all and ``warm_start_used`` is True.
+        """
+        standardised = standardise_form(form)
+        if warm_start is not None:
+            # hand the standardised tuple down so a warm miss does not
+            # pay the (dense, O(rows x cols)) standardisation twice
+            values = try_warm_solve(form, warm_start, standardised)
+            if values is not None:
+                return values, refresh_state(warm_start, form, values), True
+        a_full, b_full, c_full, columns = standardised
+        internal, basis = self._two_phase(a_full, b_full, c_full)
+        values = unfold_internal(form, columns, internal)
+        state = WarmStartState(
+            signature=form_signature(form),
+            basis=tuple(int(index) for index in basis),
+            primal=values.copy(),
+        )
+        return values, state, False
 
     # -- two-phase tableau simplex -------------------------------------------
-    def _two_phase(self, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    def _two_phase(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray
+    ) -> Tuple[np.ndarray, List[int]]:
         num_rows, num_cols = a.shape
         if num_rows == 0:
             # no constraints: optimum is at the lower bounds unless unbounded
             if np.any(c < -_TOL):
                 raise UnboundedError("objective improves without constraints")
-            return np.zeros(num_cols)
+            return np.zeros(num_cols), []
 
         # phase 1 tableau: [A | I | b]
         tableau = np.zeros((num_rows + 1, num_cols + num_rows + 1))
@@ -228,7 +283,7 @@ class SimplexBackend:
         for row, basic in enumerate(basis):
             if basic < num_cols:
                 values[basic] = tableau[row, -1]
-        return values
+        return values, basis
 
     def _pivot_loop(self, tableau: np.ndarray, basis: List[int], allowed_cols: int) -> None:
         """Bland's-rule pivoting until optimal (or raise on unbounded)."""

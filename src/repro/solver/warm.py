@@ -1,0 +1,301 @@
+"""Warm-start states and their verification for the LP backends.
+
+A :class:`WarmStartState` captures what one optimal solve learned about a
+program so a *structurally identical* successor program (same variables,
+same constraint rows, possibly different numbers) can be re-solved
+faster.  Two flavours of evidence are carried, and either may be absent:
+
+* a **simplex basis** (``basis``) — the optimal basic column set of the
+  standardised program, produced by
+  :class:`~repro.solver.simplex.SimplexBackend`;
+* a **KKT certificate** (``primal`` + ``dual_ub``/``dual_eq``) — the
+  optimal point and its row duals, produced by
+  :class:`~repro.solver.scipy_backend.ScipyBackend` (HiGHS reports the
+  marginals for free).
+
+Correctness contract
+--------------------
+Warm starting must never change an answer, only skip work.  Both reuse
+paths therefore *verify before they trust*: the candidate is accepted
+only when it is (a) feasible for the new program, (b) provably optimal
+for it, and (c) provably the **unique** optimum — strictly positive
+nonbasic reduced costs for the basis path, strict complementarity plus a
+full-rank active set for the KKT path.  A unique optimum is exactly the
+condition under which a cold solve is guaranteed to land on the same
+point, so a verified warm answer matches a cold answer to numerical
+tolerance.  Anything short of that certainty returns ``None`` and the
+caller falls back to a cold solve.
+
+The verification itself is plain numpy linear algebra (one ``(m, m)``
+factorisation plus matrix-vector products), independent of which backend
+produced the state and of which backend would run the cold fallback —
+which is what makes warm starting backend-orthogonal.
+
+Programs with free variables (no lower bound) are standardised by
+variable splitting, which makes every optimal basis degenerate in the
+split pair; the strict checks then reject reuse, so such programs simply
+always cold-solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.solver.problem import StandardForm
+
+#: feasibility slack accepted when re-checking a candidate point/basis
+_FEAS_TOL = 1e-9
+#: strictness threshold certifying uniqueness of the optimum
+_STRICT_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class WarmStartState:
+    """Reusable evidence from one optimal LP solve.
+
+    ``signature`` pins the program structure (see :func:`form_signature`);
+    reuse is attempted only against a form with the same signature.
+    """
+
+    signature: Tuple
+    #: Optimal basic columns of the standardised program (simplex flavour).
+    basis: Optional[Tuple[int, ...]] = None
+    #: Optimal point in original variable space (KKT flavour).
+    primal: Optional[np.ndarray] = None
+    #: Inequality-row duals, >= 0 in the minimisation convention.
+    dual_ub: Optional[np.ndarray] = None
+    #: Equality-row duals (free sign).
+    dual_eq: Optional[np.ndarray] = None
+
+    def __repr__(self) -> str:  # ndarrays make the default repr unreadable
+        flavours = []
+        if self.basis is not None:
+            flavours.append(f"basis[{len(self.basis)}]")
+        if self.primal is not None:
+            flavours.append(f"kkt[{self.primal.shape[0]}]")
+        return f"WarmStartState({', '.join(flavours) or 'empty'})"
+
+
+def form_signature(form: StandardForm) -> Tuple:
+    """Structural identity of a standard form: shapes and bound pattern.
+
+    Two forms with equal signatures have the same variables, the same
+    finite/infinite bound pattern, and the same number of inequality and
+    equality rows — the precondition for any basis or KKT reuse.  The
+    numeric *values* (coefficients, right-hand sides, bound levels) are
+    deliberately excluded; those are what warm starting rides across.
+    """
+    rows_ub = 0 if form.a_ub is None else int(form.a_ub.shape[0])
+    rows_eq = 0 if form.a_eq is None else int(form.a_eq.shape[0])
+    bound_pattern = tuple(
+        (lower is None, upper is None) for lower, upper in form.bounds
+    )
+    return (form.num_variables, bound_pattern, rows_ub, rows_eq, bool(form.maximise))
+
+
+def try_warm_solve(
+    form: StandardForm,
+    state: Optional[WarmStartState],
+    standardised: Optional[Tuple] = None,
+) -> Optional[np.ndarray]:
+    """Solution of ``form`` via ``state``, or ``None`` if unverifiable.
+
+    Tries the basis flavour first (it survives right-hand-side and
+    coefficient drift), then the KKT flavour (it survives objective and
+    slack-side drift).  A non-``None`` return is feasible, optimal, and
+    certified unique for ``form`` — i.e. equal to what a cold solve
+    would produce, up to numerical tolerance.
+
+    ``standardised`` optionally passes a precomputed
+    :func:`~repro.solver.simplex.standardise_form` tuple of ``form`` so
+    a caller about to cold-solve anyway (the simplex backend) does not
+    standardise twice on a warm miss.
+    """
+    if state is None or state.signature != form_signature(form):
+        return None
+    if state.basis is not None:
+        values = _basis_reuse(form, state.basis, standardised)
+        if values is not None:
+            return values
+    if state.primal is not None and (
+        state.dual_ub is not None or state.dual_eq is not None or _rowless(form)
+    ):
+        return _kkt_reuse(form, state)
+    return None
+
+
+def refresh_state(
+    state: WarmStartState, form: StandardForm, values: np.ndarray
+) -> WarmStartState:
+    """The state to carry forward after a successful warm reuse."""
+    return replace(
+        state, signature=form_signature(form), primal=np.asarray(values, dtype=float)
+    )
+
+
+def _rowless(form: StandardForm) -> bool:
+    return form.a_ub is None and form.a_eq is None
+
+
+def _dense(matrix) -> Optional[np.ndarray]:
+    if matrix is None:
+        return None
+    if sparse.issparse(matrix):
+        return matrix.toarray()
+    return np.asarray(matrix, dtype=float)
+
+
+# -- basis flavour -------------------------------------------------------------
+def _basis_reuse(
+    form: StandardForm,
+    basis: Tuple[int, ...],
+    standardised: Optional[Tuple] = None,
+) -> Optional[np.ndarray]:
+    """Re-validate a prior optimal basis against the new standardised form.
+
+    Accepts only when the basis is (still) primal feasible and every
+    nonbasic reduced cost is *strictly* positive — the classic sufficient
+    condition for the basic solution to be the unique optimum, hence the
+    point any cold solve converges to.
+    """
+    from repro.solver.simplex import standardise_form, unfold_internal
+
+    a, b, c, columns = (
+        standardised if standardised is not None else standardise_form(form)
+    )
+    num_rows, num_cols = a.shape
+    indices = np.asarray(basis, dtype=int)
+    if (
+        num_rows == 0
+        or indices.shape[0] != num_rows
+        or indices.min(initial=0) < 0
+        or indices.max(initial=-1) >= num_cols
+        or np.unique(indices).shape[0] != num_rows
+    ):
+        return None
+    basic = a[:, indices]
+    try:
+        x_basic = np.linalg.solve(basic, b)
+        duals = np.linalg.solve(basic.T, c[indices])
+    except np.linalg.LinAlgError:
+        return None
+    scale = max(1.0, float(np.abs(b).max(initial=0.0)))
+    if not np.all(np.isfinite(x_basic)):
+        return None
+    # guard against an ill-conditioned (near-singular) basis matrix
+    if float(np.abs(basic @ x_basic - b).max(initial=0.0)) > _FEAS_TOL * scale * 1e3:
+        return None
+    if float(x_basic.min(initial=0.0)) < -_FEAS_TOL * scale:
+        return None
+    reduced = c - duals @ a
+    nonbasic = np.ones(num_cols, dtype=bool)
+    nonbasic[indices] = False
+    if nonbasic.any() and float(reduced[nonbasic].min()) <= _STRICT_TOL:
+        return None  # optimal but possibly not unique: cold-solve instead
+    internal = np.zeros(num_cols)
+    internal[indices] = np.clip(x_basic, 0.0, None)
+    return unfold_internal(form, columns, internal)
+
+
+# -- KKT flavour ---------------------------------------------------------------
+def _kkt_reuse(form: StandardForm, state: WarmStartState) -> Optional[np.ndarray]:
+    """Re-validate a prior (point, duals) certificate against the new form.
+
+    The point must be feasible, stationary for the new objective with the
+    stored duals, strictly complementary on every active inequality, and
+    pinned down by a full-column-rank active set — together these certify
+    a unique optimum, so returning the stored point matches a cold solve.
+    """
+    x = np.asarray(state.primal, dtype=float)
+    if x.shape[0] != form.num_variables or not np.all(np.isfinite(x)):
+        return None
+    a_ub = _dense(form.a_ub)
+    a_eq = _dense(form.a_eq)
+    mu = None if state.dual_ub is None else np.asarray(state.dual_ub, dtype=float)
+    nu = None if state.dual_eq is None else np.asarray(state.dual_eq, dtype=float)
+    if (a_ub is None) != (mu is None) or (a_eq is None) != (nu is None):
+        return None
+
+    scale = max(1.0, float(np.abs(x).max(initial=0.0)))
+    # primal feasibility
+    slack = None
+    if a_ub is not None:
+        if mu.shape[0] != a_ub.shape[0]:
+            return None
+        slack = form.b_ub - a_ub @ x
+        if float(slack.min(initial=0.0)) < -_FEAS_TOL * scale:
+            return None
+        if float(mu.min(initial=0.0)) < -_FEAS_TOL:
+            return None
+    if a_eq is not None:
+        if nu.shape[0] != a_eq.shape[0]:
+            return None
+        if float(np.abs(a_eq @ x - form.b_eq).max(initial=0.0)) > _FEAS_TOL * scale:
+            return None
+
+    lowers = np.array(
+        [-np.inf if lo is None else lo for lo, _ in form.bounds], dtype=float
+    )
+    uppers = np.array(
+        [np.inf if up is None else up for _, up in form.bounds], dtype=float
+    )
+    if float((lowers - x).max(initial=0.0)) > _FEAS_TOL * scale:
+        return None
+    if float((x - uppers).max(initial=0.0)) > _FEAS_TOL * scale:
+        return None
+
+    # stationarity: r = c + A_ub^T mu + A_eq^T nu must be a valid bound
+    # multiplier pattern for x (r_i >= 0 at lower, <= 0 at upper, 0 inside)
+    reduced = form.c.copy()
+    if a_ub is not None:
+        reduced = reduced + mu @ a_ub
+    if a_eq is not None:
+        reduced = reduced + nu @ a_eq
+    at_lower = x <= lowers + _FEAS_TOL * scale
+    at_upper = x >= uppers - _FEAS_TOL * scale
+    interior = ~(at_lower | at_upper)
+    if interior.any() and float(np.abs(reduced[interior]).max()) > _STRICT_TOL:
+        return None
+    if at_lower.any() and float(reduced[at_lower & ~at_upper].min(initial=0.0)) < -_STRICT_TOL:
+        return None
+    if at_upper.any() and float(reduced[at_upper & ~at_lower].max(initial=0.0)) > _STRICT_TOL:
+        return None
+
+    # strict complementarity on inequality rows: every active row must
+    # carry a strictly positive dual (else the optimal face may be wide)
+    active_rows = np.zeros(0, dtype=bool)
+    if a_ub is not None:
+        active_rows = slack <= _FEAS_TOL * max(
+            1.0, float(np.abs(form.b_ub).max(initial=0.0))
+        )
+        if bool(np.any(active_rows & (mu <= _STRICT_TOL))):
+            return None
+        if bool(np.any(~active_rows & (mu > _STRICT_TOL))):
+            return None  # positive dual on a slack row: stale certificate
+
+    # uniqueness: variables not pinned at a bound by a strict reduced cost
+    # must be fully determined by the active rows
+    pinned = (at_lower & (reduced > _STRICT_TOL)) | (
+        at_upper & (reduced < -_STRICT_TOL)
+    ) | (at_lower & at_upper)
+    free = ~pinned
+    num_free = int(free.sum())
+    if num_free:
+        pieces = []
+        if a_ub is not None and bool(active_rows.any()):
+            pieces.append(a_ub[active_rows][:, free])
+        if a_eq is not None:
+            pieces.append(a_eq[:, free])
+        if not pieces:
+            return None
+        active = np.vstack(pieces)
+        if np.linalg.matrix_rank(active, tol=1e-8) < num_free:
+            return None
+    return x.copy()
+
+
+__all__ = ["WarmStartState", "form_signature", "refresh_state", "try_warm_solve"]

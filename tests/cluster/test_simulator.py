@@ -225,3 +225,118 @@ class TestRunSweep:
             )
         assert len(collectors) == 2
         assert all(c.mean_total_actual() > 0 for c in collectors)
+
+
+class TestWarmStartEngine:
+    """Round-decision memoization: hits, invalidation, and identity."""
+
+    def test_steady_rounds_warm_start_by_default(self):
+        simulator = _simulator()
+        simulator.run()
+        assert simulator.warm_stats.warm_hits > 0
+        assert simulator.warm_stats.cold_solves >= 1
+        assert simulator.warm_stats.hit_rate > 0
+
+    def test_warm_start_false_always_solves_cold(self):
+        simulator = _simulator(warm_start=False)
+        simulator.run()
+        assert simulator.warm_stats.warm_hits == 0
+        assert simulator.warm_stats.cold_solves > 0
+
+    def test_warm_and_cold_metrics_identical(self):
+        warm = _simulator().run()
+        cold = _simulator(warm_start=False).run()
+        assert len(warm.rounds) == len(cold.rounds)
+        for a, b in zip(warm.rounds, cold.rounds):
+            assert a.estimated == b.estimated
+            assert a.actual == b.actual
+            assert a.starved_jobs == b.starved_jobs
+        assert [c.job_id for c in warm.completions] == [
+            c.job_id for c in cold.completions
+        ]
+
+    def test_warm_hit_reports_zero_solver_seconds(self):
+        simulator = _simulator()
+        metrics = simulator.run()
+        hit_rounds = [r for r in metrics.rounds if r.solver_seconds == 0.0]
+        assert len(hit_rounds) >= simulator.warm_stats.warm_hits
+
+    def test_tenant_mutations_flush_the_memo(self):
+        simulator = _simulator()
+        simulator.run()
+        assert simulator.warm_stats.invalidations == 0
+        generator = TenantGenerator(seed=9)
+        simulator.add_tenant(
+            generator.make_tenant("late", num_jobs=1, duration_on_slowest=600.0)
+        )
+        assert simulator.warm_stats.invalidations == 1
+        simulator.remove_tenant("late", now=0.0)
+        # memo already empty: clearing nothing is not an invalidation
+        assert simulator.warm_stats.invalidations == 1
+
+    def test_device_failures_flush_the_memo(self):
+        simulator = _simulator()
+        simulator.run()
+        simulator.fail_devices([0])
+        assert simulator.warm_stats.invalidations == 1
+        simulator.repair_devices([0])
+        # memo was already empty after the failure flush
+        assert simulator.warm_stats.invalidations == 1
+
+    def test_config_driven_failures_fall_back_cold(self):
+        # a failure changes capacities -> new decision key -> cold solve
+        warm = _simulator(device_failures={2: [0, 1]})
+        warm.run()
+        cold = _simulator(device_failures={2: [0, 1]}, warm_start=False)
+        cold_metrics = cold.run()
+        warm_metrics = warm.metrics
+        for a, b in zip(warm_metrics.rounds, cold_metrics.rounds):
+            assert a.estimated == b.estimated
+
+    def test_decision_cache_is_bounded(self):
+        simulator = _simulator()
+        assert simulator.DECISION_CACHE_MAX == 64
+        simulator.run()
+        assert len(simulator._decision_cache) <= simulator.DECISION_CACHE_MAX
+
+    def test_elastic_scheduler_yields_no_key(self):
+        from repro.cluster.schedulers import make_fair_share_scheduler
+
+        scheduler = make_fair_share_scheduler("oef-elastic-noncoop")
+        assert scheduler.decision_key([], {}, np.zeros(2)) is None
+
+    def test_decision_keys_cover_all_inputs(self):
+        scheduler = OEFScheduler("noncooperative")
+        tenants = _population(num_tenants=2)
+        profiles = {
+            t.name: {m: v.copy() for m, v in t.true_speedup_profile(0.0).items()}
+            for t in tenants
+        }
+        caps = np.asarray([2.0, 3.0])
+        key = scheduler.decision_key(tenants, profiles, caps)
+        assert key == scheduler.decision_key(tenants, profiles, caps)
+        # capacity change, profile change, weight change: all new keys
+        assert key != scheduler.decision_key(tenants, profiles, caps * 2)
+        bumped = {
+            name: {
+                m: np.concatenate([v[:1], v[1:] * 1.01])
+                for m, v in by_model.items()
+            }
+            for name, by_model in profiles.items()
+        }
+        assert key != scheduler.decision_key(tenants, bumped, caps)
+        tenants[0].weight = 3.0
+        assert key != scheduler.decision_key(tenants, profiles, caps)
+
+    def test_single_profile_key_tracks_dominant_job_type(self):
+        scheduler = SingleProfileScheduler(MaxMinFairness())
+        tenants = _population(num_tenants=1, num_jobs=2)
+        profiles = {
+            tenants[0].name: {
+                m: v.copy()
+                for m, v in tenants[0].true_speedup_profile(0.0).items()
+            }
+        }
+        caps = np.asarray([2.0, 3.0])
+        key = scheduler.decision_key(tenants, profiles, caps)
+        assert key == scheduler.decision_key(tenants, profiles, caps)

@@ -1,4 +1,6 @@
-"""SchedulingService: caching, batch solves, and registry-driven audits."""
+"""SchedulingService: caching, batch solves, warm resolves, registry audits."""
+
+import threading
 
 import numpy as np
 import pytest
@@ -11,12 +13,13 @@ from repro.core import (
     compare_allocators,
     efficiency_fairness_frontier,
 )
-from repro.registry import scheduler_names
+from repro.registry import create_scheduler, scheduler_names
 from repro.service import (
     SchedulingService,
     SolveRequest,
     SolveResult,
     instance_fingerprint,
+    structural_fingerprint,
 )
 
 
@@ -283,3 +286,211 @@ class TestCacheStats:
         service.solve(paper_instance)
         text = repr(service)
         assert "hits=0" in text and "misses=1" in text
+
+
+def _drifted(instance: ProblemInstance, scale: float) -> ProblemInstance:
+    """Same structure (users/types), different capacities."""
+    return ProblemInstance(instance.speedups, instance.capacities * scale)
+
+
+class TestStructuralFingerprint:
+    def test_value_drift_shares_structure(self, paper_instance):
+        assert structural_fingerprint(paper_instance) == structural_fingerprint(
+            _drifted(paper_instance, 1.7)
+        )
+
+    def test_user_set_changes_structure(self, paper_instance):
+        renamed = ProblemInstance(
+            SpeedupMatrix(paper_instance.speedups.values, users=["x", "y", "z"]),
+            paper_instance.capacities,
+        )
+        assert structural_fingerprint(paper_instance) != structural_fingerprint(
+            renamed
+        )
+
+    def test_structural_differs_from_exact(self, paper_instance):
+        assert structural_fingerprint(paper_instance) != instance_fingerprint(
+            paper_instance
+        )
+
+
+class TestResolveWarm:
+    """resolve(): exact tier, structural tier, and cold fallback."""
+
+    def test_exact_tier_counts_warm_hit(self, service, paper_instance):
+        prev = service.resolve(None, paper_instance, "oef-coop")
+        again = service.resolve(prev, paper_instance)
+        assert again.from_cache and not again.warm
+        stats = service.cache_info()
+        assert stats.warm_hits == 1 and stats.hits == 1
+
+    def test_plain_solve_hits_are_not_warm_hits(self, service, paper_instance):
+        service.solve(paper_instance, "oef-coop")
+        service.solve(paper_instance, "oef-coop")
+        stats = service.cache_info()
+        assert stats.hits == 1 and stats.warm_hits == 0
+
+    def test_structural_tier_reuses_state(self, service, paper_instance):
+        options = {"backend": "simplex"}
+        prev = service.resolve(None, paper_instance, "oef-noncoop", options=options)
+        assert prev.warm_state is not None and not prev.warm
+        drifted = _drifted(paper_instance, 1.1)
+        warm = service.resolve(prev, drifted, options=options)
+        assert warm.warm and not warm.from_cache
+        cold = create_scheduler("oef-noncoop", backend="simplex").allocate(drifted)
+        np.testing.assert_allclose(warm.allocation.matrix, cold.matrix, atol=1e-9)
+        stats = service.cache_info()
+        assert stats.structural_hits == 1
+        assert stats.misses == 2  # both allocator runs count as exact misses
+
+    def test_structural_tier_without_prev_result(self, service, paper_instance):
+        # the service's own structural cache supplies the state
+        options = {"backend": "simplex"}
+        service.resolve(None, paper_instance, "oef-noncoop", options=options)
+        warm = service.resolve(
+            None, _drifted(paper_instance, 1.1), "oef-noncoop", options=options
+        )
+        assert warm.warm
+        assert service.cache_info().structural_hits == 1
+
+    def test_scheduler_defaults_to_prev_results(self, service, paper_instance):
+        prev = service.resolve(None, paper_instance, "max-min")
+        follow = service.resolve(prev, _drifted(paper_instance, 1.2))
+        assert follow.scheduler == "max-min"
+
+    def test_non_warm_startable_scheduler_solves_cold(self, service, paper_instance):
+        prev = service.resolve(None, paper_instance, "max-min")
+        assert prev.warm_state is None
+        follow = service.resolve(prev, _drifted(paper_instance, 1.2))
+        assert not follow.warm
+        cold = create_scheduler("max-min").allocate(_drifted(paper_instance, 1.2))
+        np.testing.assert_allclose(follow.allocation.matrix, cold.matrix)
+        assert service.cache_info().structural_hits == 0
+
+    def test_resolve_matches_cold_solve_even_when_warm(self, service, paper_instance):
+        # chain of drifts: every resolve answer equals a fresh cold solve
+        options = {"backend": "simplex"}
+        prev = service.resolve(None, paper_instance, "oef-coop", options=options)
+        instance = paper_instance
+        for scale in (1.05, 0.97, 1.12, 1.0):
+            instance = _drifted(paper_instance, scale)
+            prev = service.resolve(prev, instance, options=options)
+            cold = create_scheduler("oef-coop", backend="simplex").allocate(instance)
+            np.testing.assert_allclose(
+                prev.allocation.matrix, cold.matrix, atol=1e-9
+            )
+
+    def test_shape_change_falls_back_cold(self, service, paper_instance):
+        options = {"backend": "simplex"}
+        prev = service.resolve(None, paper_instance, "oef-noncoop", options=options)
+        smaller = ProblemInstance(
+            SpeedupMatrix(paper_instance.speedups.values[:2]),
+            paper_instance.capacities,
+        )
+        follow = service.resolve(prev, smaller, options=options)
+        assert not follow.warm  # different structure: verified cold solve
+        assert follow.allocation.matrix.shape[0] == 2
+
+    def test_use_cache_false_still_warm_starts(self, service, paper_instance):
+        options = {"backend": "simplex"}
+        prev = service.resolve(
+            None, paper_instance, "oef-noncoop", options=options, use_cache=False
+        )
+        warm = service.resolve(
+            prev, _drifted(paper_instance, 1.1), options=options, use_cache=False
+        )
+        assert warm.warm and not warm.from_cache
+
+    def test_options_partition_warm_states(self, service, paper_instance):
+        service.resolve(
+            None, paper_instance, "oef-noncoop", options={"backend": "simplex"}
+        )
+        other = service.resolve(
+            None, _drifted(paper_instance, 1.1), "oef-noncoop",
+            options={"backend": "auto"},
+        )
+        # the simplex-produced state must not leak into the auto-backend key
+        assert service.cache_info().warm_entries == 2
+
+    def test_clear_cache_resets_warm_counters(self, service, paper_instance):
+        prev = service.resolve(None, paper_instance, "oef-coop")
+        service.resolve(prev, paper_instance)
+        service.clear_cache()
+        stats = service.cache_info()
+        assert stats.warm_hits == 0
+        assert stats.structural_hits == 0
+        assert stats.evictions == 0
+        assert stats.warm_entries == 0
+
+
+class TestWarmAccounting:
+    """CacheStats warm/cold bookkeeping, evictions, and thread-safety."""
+
+    def test_eviction_counter(self, paper_instance, fig2_instance, eq6_instance):
+        service = SchedulingService(max_cache_entries=2)
+        for instance in (paper_instance, fig2_instance, eq6_instance):
+            service.solve(instance, "max-min")
+        stats = service.cache_info()
+        assert stats.evictions == 1
+        assert stats.entries == 2
+
+    def test_every_resolve_lands_in_exactly_one_tier(self, service, paper_instance):
+        options = {"backend": "simplex"}
+        prev = service.resolve(None, paper_instance, "oef-noncoop", options=options)
+        prev = service.resolve(prev, paper_instance, options=options)  # exact
+        prev = service.resolve(
+            prev, _drifted(paper_instance, 1.1), options=options
+        )  # structural
+        stats = service.cache_info()
+        assert stats.hits + stats.misses == 3
+        assert stats.warm_hits == 1
+        assert stats.structural_hits == 1
+
+    def test_hammer_resolve_from_8_threads(self, paper_instance):
+        """Warm counters must stay exact under the 8-thread hammer."""
+        service = SchedulingService()
+        instances = [_drifted(paper_instance, 1.0 + 0.05 * i) for i in range(3)]
+        options = {"backend": "simplex"}
+        per_thread = 12
+        num_threads = 8
+        errors: list = []
+        barrier = threading.Barrier(num_threads)
+
+        def worker():
+            try:
+                barrier.wait()
+                prev = None
+                for index in range(per_thread):
+                    instance = instances[index % len(instances)]
+                    prev = service.resolve(
+                        prev, instance, "oef-noncoop", options=options
+                    )
+                    assert prev.allocation.matrix.shape == (3, 2)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        stats = service.cache_info()
+        # every call accounted for exactly once across the two exact-cache
+        # outcomes; with unguarded counters the racy `+= 1` loses updates
+        assert stats.hits + stats.misses == per_thread * num_threads
+        # exact-tier reuse dominates once the three entries exist
+        assert stats.warm_hits >= per_thread * num_threads - 3 * num_threads
+        assert stats.warm_hits <= stats.hits
+        assert stats.entries == len(instances)
+        assert stats.warm_entries == 1  # one structural key for all drifts
+        # cached results stay correct under contention
+        for instance in instances:
+            cached = service.resolve(None, instance, "oef-noncoop", options=options)
+            fresh = create_scheduler("oef-noncoop", backend="simplex").allocate(
+                instance
+            )
+            np.testing.assert_allclose(
+                cached.allocation.matrix, fresh.matrix, atol=1e-9
+            )

@@ -45,10 +45,14 @@ echo "== repro frontier (thread backend) =="
     --backend thread --jobs 2 | tee "$TMP/frontier_thread.txt"
 diff "$TMP/frontier.txt" "$TMP/frontier_thread.txt"
 
-echo "== repro bench =="
+echo "== repro bench (+ BENCH_parallel.json record) =="
 "$PY" -m repro bench --instances 4 --users 6 --gpu-types 3 \
-    --backends thread --jobs 2 | tee "$TMP/bench.txt"
+    --backends thread --jobs 2 --repeat 2 \
+    --json "$TMP/BENCH_parallel.json" | tee "$TMP/bench.txt"
 grep -q "matches serial" "$TMP/bench.txt"
+test -s "$TMP/BENCH_parallel.json"
+grep -q '"schema": "repro/bench-v1"' "$TMP/BENCH_parallel.json"
+grep -q '"p95"' "$TMP/BENCH_parallel.json"
 
 echo "== repro experiments (2 jobs) =="
 "$PY" -m repro experiments fig1 fig6 --jobs 2 --backend thread \
@@ -60,6 +64,16 @@ echo "== repro simulate (scenario smoke) =="
     | tee "$TMP/simulate.txt"
 grep -q "bursty" "$TMP/simulate.txt"
 grep -q "jobs done" "$TMP/simulate.txt"
+grep -q "warm-started" "$TMP/simulate.txt"
+
+echo "== repro simulate --cold (differential gate) =="
+"$PY" -m repro simulate --scenario bursty --rounds 3 --cold \
+    | tee "$TMP/simulate_cold.txt"
+grep -q "warm-start disabled" "$TMP/simulate_cold.txt"
+# warm and cold replays must produce identical summary tables
+grep "^bursty" "$TMP/simulate.txt" > "$TMP/warm_row.txt"
+grep "^bursty" "$TMP/simulate_cold.txt" > "$TMP/cold_row.txt"
+diff "$TMP/warm_row.txt" "$TMP/cold_row.txt"
 
 echo "== repro list-scenarios =="
 "$PY" -m repro list-scenarios | tee "$TMP/scenarios.txt"
