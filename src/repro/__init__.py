@@ -2,13 +2,19 @@
 
 A full reproduction of the Middleware '24 paper by Mo, Xu, and Lau.
 
-The recommended entry point is the service facade backed by the scheduler
-registry::
+The recommended entry point is the middleware-pipeline gateway (the
+legacy :class:`SchedulingService` facade is a thin shim over one)::
+
+    from repro import Gateway, default_pipeline
+
+    gateway = Gateway(default_pipeline())
+    response = gateway.solve(instance, "oef-coop")   # memoized by content hash
+    response.disposition                             # "cold" / "cache-hit" / ...
+    gateway.use(my_stage, before="solver")           # extend the pipeline
 
     from repro import SchedulingService
 
-    service = SchedulingService()
-    result = service.solve(instance, "oef-coop")     # memoized by content hash
+    service = SchedulingService()                    # same pipeline behind it
     report = service.audit(instance, "oef-noncoop")  # registry audit defaults
     rows = service.compare(instance)                 # every registered scheduler
 
@@ -58,6 +64,21 @@ from repro.core import (
     check_strategy_proofness,
     optimal_efficiency_upper_bound,
 )
+from repro.gateway import (
+    AdmissionMiddleware,
+    CacheMiddleware,
+    CoalesceMiddleware,
+    Gateway,
+    MetricsMiddleware,
+    Middleware,
+    Overloaded,
+    Request,
+    Response,
+    SolverMiddleware,
+    WarmStartMiddleware,
+    bare_pipeline,
+    default_pipeline,
+)
 from repro.parallel import (
     ExecutionBackend,
     ProcessBackend,
@@ -95,12 +116,25 @@ from repro.service import (
 )
 from repro.solver.warm import WarmStartState
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
+    "AdmissionMiddleware",
     "Allocation",
     "Allocator",
+    "CacheMiddleware",
     "CacheStats",
+    "CoalesceMiddleware",
+    "Gateway",
+    "MetricsMiddleware",
+    "Middleware",
+    "Overloaded",
+    "Request",
+    "Response",
+    "SolverMiddleware",
+    "WarmStartMiddleware",
+    "bare_pipeline",
+    "default_pipeline",
     "CooperativeOEF",
     "EfficiencyMaxAllocator",
     "ExecutionBackend",

@@ -3,16 +3,22 @@
 Commands
 --------
 ``allocate``         solve a JSON instance with a chosen scheduler
+                     (alias: ``solve``; ``--pipeline {default,bare}``
+                     selects the gateway middleware pipeline)
 ``audit``            run the Table-1 property audit on a JSON instance
 ``compare``          efficiency/fairness summary of all schedulers on an instance
 ``frontier``         print the efficiency-fairness frontier of an instance
 ``list-schedulers``  render the scheduler registry (name, family, capabilities)
+``list-middleware``  render the default gateway pipeline (stage order,
+                     capability flags), mirroring ``list-schedulers``
 ``simulate``         replay a named dynamic scenario through the simulator
                      (warm-started rounds by default; ``--cold`` disables)
 ``list-scenarios``   render the scenario library (name, defaults, description)
 ``experiments``      run the paper experiments (all or a subset, ``--jobs N``)
-``bench``            time a batch of solves serial vs parallel backends
-                     (``--json`` writes a ``BENCH_parallel.json`` record)
+``bench``            time a batch of solves serial vs parallel backends;
+                     ``--json`` writes a ``BENCH_parallel.json`` record
+                     *and* a ``BENCH_gateway.json`` pipeline-on/off
+                     comparison next to it
 ``demo``             write a demo instance JSON to get started
 
 ``compare``, ``frontier``, ``experiments``, and ``bench`` accept
@@ -22,12 +28,13 @@ independent solves out through :mod:`repro.parallel`.
 ``repro --version`` prints the package version.
 
 Every command resolves schedulers through the registry
-(:mod:`repro.registry`) and solves through the
-:class:`~repro.service.SchedulingService` facade, so per-scheduler audit
-policy (``pe_within``, ``efficiency_constraint``) comes from each
-allocator's registered metadata — overridable with ``--pe-within`` /
-``--efficiency-constraint`` — and new allocators appear in every command
-the moment they self-register.
+(:mod:`repro.registry`) and solves through the middleware-pipeline
+gateway (:mod:`repro.gateway`; the legacy
+:class:`~repro.service.SchedulingService` facade delegates to it), so
+per-scheduler audit policy (``pe_within``, ``efficiency_constraint``)
+comes from each allocator's registered metadata — overridable with
+``--pe-within`` / ``--efficiency-constraint`` — and new allocators
+appear in every command the moment they self-register.
 
 Instances use the ``repro/instance-v1`` JSON schema (see
 :mod:`repro.core.serialization`).
@@ -46,12 +53,22 @@ from repro.core import (
     instance_to_dict,
     load_instance,
 )
+from repro.gateway import Gateway, bare_pipeline
 from repro.parallel import BACKEND_NAMES
 from repro.registry import registry_rows, scheduler_names
 from repro.service import SchedulingService
 
 #: One service per process: repeated solves within a command share the cache.
 _SERVICE = SchedulingService()
+
+#: The default middleware pipeline behind every CLI solve.
+_GATEWAY = _SERVICE.gateway
+
+#: ``--pipeline`` spellings -> gateway factory.
+_PIPELINES = {
+    "default": lambda: _GATEWAY,
+    "bare": lambda: Gateway(bare_pipeline()),
+}
 
 #: CLI spelling -> audit keyword value for ``--pe-within``.
 _PE_CHOICES = ("envy_free", "equal_throughput", "none")
@@ -88,8 +105,9 @@ def _print_table(rows: List[dict], stream=None) -> None:
 # -- commands ---------------------------------------------------------------
 def cmd_allocate(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
-    result = _SERVICE.solve(instance, args.scheduler)
-    payload = allocation_to_dict(result.allocation)
+    gateway = _PIPELINES[getattr(args, "pipeline", "default")]()
+    response = gateway.solve(instance, args.scheduler)
+    payload = allocation_to_dict(response.allocation)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
@@ -144,6 +162,12 @@ def cmd_frontier(args: argparse.Namespace) -> int:
 
 def cmd_list_schedulers(args: argparse.Namespace) -> int:
     _print_table(registry_rows())
+    return 0
+
+
+def cmd_list_middleware(args: argparse.Namespace) -> int:
+    """Render the default gateway pipeline: stage order + capabilities."""
+    _print_table(_GATEWAY.describe())
     return 0
 
 
@@ -210,14 +234,72 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0 if suite_ok(outcomes) else 1
 
 
+def _gateway_bench_rows(requests, repeat: int):
+    """Pipeline-on/off comparison rows for ``BENCH_gateway.json``.
+
+    Times the same request set three ways: through a bare pipeline (the
+    terminal solver only — every pass is a cold LP), through the default
+    pipeline with the caches cleared each pass (cold, measuring pipeline
+    overhead on the LP-dominated path), and through the default pipeline
+    pre-warmed (the cache+warm hot path).  Returns the ``repro/bench-v1``
+    rows plus a correctness flag: hot-path allocations must match the
+    bare pipeline bit for bit.
+    """
+    import time as _time
+
+    import numpy as np
+
+    from repro.benchio import bench_stats
+    from repro.gateway import default_pipeline
+
+    def time_passes(gateway, clear: bool):
+        samples, responses = [], None
+        for _ in range(repeat):
+            if clear:
+                gateway.clear_cache()
+            start = _time.perf_counter()
+            responses = [gateway.solve(request) for request in requests]
+            samples.append(_time.perf_counter() - start)
+        return bench_stats(samples), responses
+
+    bare_stats, bare_responses = time_passes(Gateway(bare_pipeline()), clear=False)
+    pipeline = Gateway(default_pipeline())
+    cold_stats, _ = time_passes(pipeline, clear=True)
+    for request in requests:  # warm the cache for the hot passes
+        pipeline.solve(request)
+    hot_stats, hot_responses = time_passes(pipeline, clear=False)
+
+    identical = all(
+        np.allclose(a.allocation.matrix, b.allocation.matrix, atol=1e-9)
+        for a, b in zip(hot_responses, bare_responses)
+    )
+    bare_p50 = bare_stats["p50"] or float("inf")
+    rows = [
+        {"name": "bare/cold", **bare_stats},
+        {
+            "name": "pipeline/cold",
+            **cold_stats,
+            "overhead_vs_bare": cold_stats["p50"] / bare_p50,
+        },
+        {
+            "name": "pipeline/hot",
+            **hot_stats,
+            "speedup_vs_bare_cold": bare_p50 / (hot_stats["p50"] or float("inf")),
+            "matches_bare": bool(identical),
+        },
+    ]
+    return rows, identical
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Time a batch of solves on each requested backend and report speedup."""
+    import os
     import time as _time
 
     import numpy as np
 
     from repro.benchio import bench_stats, write_bench_json
-    from repro.service import SolveRequest
+    from repro.gateway import Request, default_pipeline
     from repro.workloads.generator import random_instance
 
     instances = [
@@ -225,7 +307,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for index in range(args.instances)
     ]
     requests = [
-        SolveRequest(instance, scheduler)
+        Request(instance=instance, scheduler=scheduler)
         for instance in instances
         for scheduler in args.schedulers
     ]
@@ -235,13 +317,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     json_rows = []
     backends = ["serial", *(b for b in args.backends if b != "serial")]
     for backend_name in backends:
-        service = SchedulingService()
+        gateway = Gateway(default_pipeline())
         samples = []
         results = None
         for _ in range(max(1, args.repeat)):
-            service.clear_cache()
+            gateway.clear_cache()
             start = _time.perf_counter()
-            results = service.solve_batch(
+            results = gateway.solve_batch(
                 requests,
                 backend=None if backend_name == "serial" else backend_name,
                 max_workers=args.jobs,
@@ -256,12 +338,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             for matrix, reference in zip(matrices, baseline[1])
         )
         # repeat the batch: the merged cache must serve it entirely
-        before_repeat = service.cache_info()
-        service.solve_batch(
+        before_repeat = gateway.cache_info()
+        gateway.solve_batch(
             requests, backend=None if backend_name == "serial" else backend_name,
             max_workers=args.jobs,
         )
-        cache = service.cache_info()
+        cache = gateway.cache_info()
         repeat_hits = cache.hits - before_repeat.hits
         speedup = baseline[0] / stats["p50"] if stats["p50"] > 0 else float("inf")
         rows.append(
@@ -287,21 +369,31 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"{args.users} users x {args.gpu_types} GPU types)"
     )
     _print_table(rows)
+    ok = all(row["matches serial"] == "yes" for row in rows)
     if args.json:
-        path = write_bench_json(
-            args.json,
-            "parallel",
-            json_rows,
-            meta={
-                "instances": args.instances,
-                "users": args.users,
-                "gpu_types": args.gpu_types,
-                "schedulers": list(args.schedulers),
-                "repeat": max(1, args.repeat),
-            },
-        )
+        meta = {
+            "instances": args.instances,
+            "users": args.users,
+            "gpu_types": args.gpu_types,
+            "schedulers": list(args.schedulers),
+            "repeat": max(1, args.repeat),
+        }
+        path = write_bench_json(args.json, "parallel", json_rows, meta=meta)
         print(f"wrote {path}")
-    return 0 if all(row["matches serial"] == "yes" for row in rows) else 1
+        # --json always also records the pipeline-on/off comparison so the
+        # gateway perf trajectory is populated between PRs
+        gateway_rows, gateway_ok = _gateway_bench_rows(
+            requests, repeat=max(1, args.repeat)
+        )
+        gateway_path = write_bench_json(
+            os.path.join(os.path.dirname(args.json) or ".", "BENCH_gateway.json"),
+            "gateway",
+            gateway_rows,
+            meta=meta,
+        )
+        print(f"wrote {gateway_path}")
+        ok = ok and gateway_ok
+    return 0 if ok else 1
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -326,10 +418,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     names = scheduler_names()
 
-    allocate = sub.add_parser("allocate", help="solve a JSON instance")
+    allocate = sub.add_parser(
+        "allocate", aliases=["solve"], help="solve a JSON instance"
+    )
     allocate.add_argument("instance", help="path to an instance JSON file")
     allocate.add_argument("--scheduler", default="oef-coop", choices=names)
     allocate.add_argument("--output", help="write the allocation JSON here")
+    allocate.add_argument(
+        "--pipeline",
+        choices=sorted(_PIPELINES),
+        default="default",
+        help="gateway middleware pipeline to solve through: the full "
+        "default stack or a bare terminal solver (differential testing; "
+        "allocations are bit-identical either way)",
+    )
     allocate.set_defaults(func=cmd_allocate)
 
     audit = sub.add_parser("audit", help="Table-1 property audit")
@@ -381,6 +483,11 @@ def build_parser() -> argparse.ArgumentParser:
         "list-schedulers", help="show the scheduler registry"
     )
     list_schedulers.set_defaults(func=cmd_list_schedulers)
+
+    list_middleware = sub.add_parser(
+        "list-middleware", help="show the default gateway pipeline stages"
+    )
+    list_middleware.set_defaults(func=cmd_list_middleware)
 
     from repro.scenarios import scenario_names
 

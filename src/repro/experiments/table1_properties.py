@@ -14,6 +14,11 @@ Expected outcome (paper's Table 1):
 where OEF's EF/SI/optimal-efficiency come from the cooperative variant
 and SP from the non-cooperative one (Theorems 3.2/3.3 prove no mechanism
 gets all of them at optimal efficiency simultaneously).
+
+Audits run through :class:`~repro.service.SchedulingService.audit`, so
+every honest and perturbed solve is memoized by the gateway pipeline's
+cache stage — repeating a property across instances and schedulers
+never re-pays for an LP it already solved.
 """
 
 from __future__ import annotations

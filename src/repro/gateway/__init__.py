@@ -1,0 +1,70 @@
+"""repro.gateway: the middleware-pipeline service API.
+
+The paper models the scheduler as a *middleware service*; this package
+is that service's front door.  A :class:`Gateway` composes an explicit
+chain of :class:`Middleware` stages — admission control, latency
+metrics, in-flight coalescing, verified warm starts, the content-hash
+cache, and the terminal registry solver — behind a stable, typed
+:class:`Request`/:class:`Response` envelope.  Stages can be reordered,
+disabled, or extended (``Gateway.use(my_stage, before="solver")``)
+without touching the service internals; the legacy
+:class:`repro.service.SchedulingService` facade is a thin shim over a
+gateway built by :func:`default_pipeline`.
+
+See ``docs/middleware.md`` for the pipeline diagram, the stage-ordering
+contract, and a guide to writing custom stages.
+
+Quick start::
+
+    from repro.gateway import Gateway, default_pipeline
+
+    gateway = Gateway(default_pipeline())
+    response = gateway.solve(instance, "oef-coop")
+    response.allocation          # the Allocation
+    response.disposition         # "cold" | "cache-hit" | "warm-structural" | ...
+    gateway.cache_info()         # aggregated CacheStats
+"""
+
+from repro.gateway.envelope import (
+    DISPOSITIONS,
+    Overloaded,
+    Request,
+    Response,
+    deadline_in,
+    instance_fingerprint,
+    options_key,
+    structural_fingerprint,
+)
+from repro.gateway.gateway import Gateway, bare_pipeline, default_pipeline
+from repro.gateway.middleware import (
+    AdmissionMiddleware,
+    CacheMiddleware,
+    CacheStats,
+    CoalesceMiddleware,
+    MetricsMiddleware,
+    Middleware,
+    SolverMiddleware,
+    WarmStartMiddleware,
+)
+
+__all__ = [
+    "AdmissionMiddleware",
+    "CacheMiddleware",
+    "CacheStats",
+    "CoalesceMiddleware",
+    "DISPOSITIONS",
+    "Gateway",
+    "MetricsMiddleware",
+    "Middleware",
+    "Overloaded",
+    "Request",
+    "Response",
+    "SolverMiddleware",
+    "WarmStartMiddleware",
+    "bare_pipeline",
+    "deadline_in",
+    "default_pipeline",
+    "instance_fingerprint",
+    "options_key",
+    "structural_fingerprint",
+]

@@ -1,0 +1,261 @@
+"""The gateway envelope: typed ``Request``/``Response`` for every solve.
+
+The paper frames scheduling as a *middleware service*; this module
+defines the service's wire format.  A :class:`Request` names what to
+solve (instance, scheduler, constructor options) and how the pipeline
+may treat it (cache reuse, incremental warm-start intent, priority and
+deadline for admission control).  A :class:`Response` carries the
+allocation plus full provenance: which scheduler produced it, the
+instance fingerprint it answers, how it was served (the *disposition*:
+cold solve, cache hit, verified warm start, shed), the solver wall time,
+cache-counter snapshots, and per-stage latency once the gateway has
+timed the pipeline.  Both are frozen dataclasses, so middleware stages
+derive modified copies with :func:`dataclasses.replace` instead of
+mutating shared state — the envelope is safe to hand across threads.
+
+These envelopes supersede the ad-hoc ``SolveRequest``/``SolveResult``
+pair of :mod:`repro.service`, which remain as thin legacy aliases over
+the same data (see the migration table in ``docs/api.md``).
+
+Content fingerprints
+--------------------
+:func:`instance_fingerprint` and :func:`structural_fingerprint` (moved
+here from ``repro.service``, which re-exports them) are the cache
+identities the pipeline keys on:
+
+* the *exact* fingerprint covers user names, GPU types, the speedup
+  matrix, and capacities — identical data ⇒ identical fingerprint;
+* the *structural* fingerprint covers only who is being scheduled (user
+  set, GPU types, matrix shape) — two instances share it exactly when
+  one's LP warm state is a candidate for the other's solve.
+
+:func:`options_key` freezes scheduler constructor options into a
+hashable, order-insensitive, content-based key; values whose equality is
+identity-based raise ``TypeError`` rather than risking a wrong cached
+allocation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.instance import ProblemInstance
+from repro.solver.warm import WarmStartState
+
+
+def instance_fingerprint(instance: ProblemInstance) -> str:
+    """Content hash of an instance: identical data ⇒ identical fingerprint.
+
+    Covers user names, GPU-type names, the speedup matrix, and the
+    capacity vector, so two independently constructed but equal instances
+    share cache entries.
+    """
+    digest = hashlib.sha256()
+    digest.update("\x1f".join(map(str, instance.speedups.users)).encode())
+    digest.update(b"\x1e")
+    digest.update("\x1f".join(map(str, instance.speedups.gpu_types)).encode())
+    digest.update(b"\x1e")
+    digest.update(np.ascontiguousarray(instance.speedups.values, dtype=np.float64).tobytes())
+    digest.update(np.ascontiguousarray(instance.capacities, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def structural_fingerprint(instance: ProblemInstance) -> str:
+    """Shape-only hash of an instance: who is being scheduled, not how fast.
+
+    Covers user names, GPU-type names, and the speedup-matrix shape while
+    deliberately excluding the numeric values and capacities — two
+    instances share a structural fingerprint exactly when one's LP warm
+    state is a candidate for the other's solve (the delta-aware tier of
+    :class:`~repro.gateway.middleware.WarmStartMiddleware`).
+    """
+    digest = hashlib.sha256()
+    digest.update("\x1f".join(map(str, instance.speedups.users)).encode())
+    digest.update(b"\x1e")
+    digest.update("\x1f".join(map(str, instance.speedups.gpu_types)).encode())
+    digest.update(b"\x1e")
+    digest.update(repr(tuple(instance.speedups.values.shape)).encode())
+    return digest.hexdigest()
+
+
+def _freeze(value: object) -> object:
+    """A hashable, content-based stand-in for one option value.
+
+    repr() would truncate numpy arrays and embed reusable memory
+    addresses for plain objects — colliding or unstable cache keys that
+    could silently return the wrong cached allocation.  Only values whose
+    content defines equality are accepted.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, np.ndarray):
+        return (value.shape, str(value.dtype), value.tobytes())
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, Mapping):
+        return tuple(
+            sorted((str(key), _freeze(item)) for key, item in value.items())
+        )
+    raise TypeError(
+        f"scheduler option of type {type(value).__name__!r} cannot be cached "
+        "by content; pass primitives/arrays, or solve with use_cache=False"
+    )
+
+
+def options_key(options: Mapping[str, object]) -> Tuple[Tuple[str, object], ...]:
+    """Hashable, order-insensitive cache key for constructor options."""
+    return tuple(sorted((str(key), _freeze(value)) for key, value in options.items()))
+
+
+def deadline_in(seconds: float) -> float:
+    """An absolute :class:`Request` deadline ``seconds`` from now.
+
+    Deadlines are monotonic-clock timestamps
+    (:func:`time.monotonic`), so they survive wall-clock adjustments;
+    ``AdmissionMiddleware`` sheds a request whose deadline has passed
+    before any solving starts.
+    """
+    return time.monotonic() + float(seconds)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One unit of work entering the gateway pipeline.
+
+    ``instance`` is the problem payload — a
+    :class:`~repro.core.instance.ProblemInstance` for allocation solves
+    (custom pipelines, e.g. the cluster simulator's decision pipeline,
+    may carry other payloads).  ``scheduler`` names a registry scheduler
+    (alias or canonical; :meth:`Gateway.solve` canonicalises it).
+
+    Pipeline directives:
+
+    * ``priority`` — admission control never capacity-sheds requests
+      with ``priority > 0`` (deadline shedding still applies);
+    * ``deadline`` — absolute monotonic timestamp (see
+      :func:`deadline_in`); a request past its deadline is shed with a
+      typed :class:`Overloaded` response instead of being solved;
+    * ``prev_result`` — the previous round's result (anything exposing
+      ``.scheduler`` and ``.warm_state``) for incremental re-solves;
+    * ``use_cache`` — when ``False`` the cache stage neither looks up
+      nor stores (it still counts the solve as a miss, matching the
+      legacy service contract);
+    * ``incremental`` — marks a ``resolve``-style request: the cache
+      stage counts exact hits as warm hits and the warm-start stage
+      threads verified LP states through the solver;
+    * ``key`` — a precomputed cache identity; ``None`` (default) lets
+      the pipeline derive ``(fingerprint, scheduler, options)`` itself.
+      Custom pipelines whose payloads have their own content keys (the
+      simulator's decision key) set it explicitly and dispatch through
+      :meth:`Gateway.dispatch`; the allocation batch planner always
+      derives its own identity;
+    * ``fingerprint`` — the instance's content fingerprint, filled by
+      :meth:`Gateway.solve` during normalisation so downstream stages
+      never re-hash the instance; user code leaves it ``None``;
+    * ``warm_state`` — a verified LP warm state injected by
+      ``WarmStartMiddleware`` on its way down the chain; user code
+      normally leaves it ``None``.
+    """
+
+    instance: Any
+    scheduler: str = "oef-coop"
+    #: Constructor options forwarded to the scheduler factory.
+    options: Mapping[str, object] = field(default_factory=dict)
+    priority: int = 0
+    deadline: Optional[float] = None
+    prev_result: Optional[Any] = None
+    use_cache: bool = True
+    incremental: bool = False
+    key: Optional[object] = None
+    fingerprint: Optional[str] = None
+    warm_state: Optional[WarmStartState] = None
+
+
+#: How a response was served; the cache/warm *disposition* of a solve.
+DISPOSITIONS = (
+    "cold",             # the terminal stage ran the scheduler from scratch
+    "cache-hit",        # answered from the exact-content cache
+    "warm-structural",  # the LP accepted a verified prior state
+    "shed-deadline",    # admission refused: deadline already passed
+    "shed-capacity",    # admission refused: too many requests in flight
+)
+
+
+@dataclass(frozen=True)
+class Response:
+    """An allocation plus provenance, telemetry, and pipeline timings."""
+
+    scheduler: str
+    allocation: Optional[Allocation] = None
+    #: The generic payload; equals ``allocation`` for allocation solves.
+    #: Custom pipelines (e.g. the simulator's decision pipeline) put
+    #: their own result type here and leave ``allocation`` as ``None``.
+    result: Any = None
+    fingerprint: str = ""
+    #: ``"ok"`` or ``"overloaded"`` (see :class:`Overloaded`).
+    status: str = "ok"
+    #: One of :data:`DISPOSITIONS`.
+    disposition: str = "cold"
+    #: Scheduler wall time for this call (0.0 when served from cache).
+    solve_seconds: float = 0.0
+    #: Cache-counter snapshots at the time this response was produced
+    #: (0 when no cache stage is in the pipeline).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: True when the scheduler's LP accepted a verified warm start.
+    warm: bool = False
+    #: This solve's own warm-start evidence; feed it back via
+    #: ``Request.prev_result`` for the next drifted instance.
+    warm_state: Optional[WarmStartState] = None
+    #: ``((stage_name, inclusive_seconds), ...)`` outermost first —
+    #: each entry is the time spent at or below that stage.  Filled by
+    #: the gateway after the chain returns.
+    stage_timings: Tuple[Tuple[str, float], ...] = ()
+    #: Human-readable explanation for non-``ok`` responses.
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def from_cache(self) -> bool:
+        return self.disposition == "cache-hit"
+
+    @property
+    def shed(self) -> bool:
+        return self.disposition.startswith("shed-")
+
+
+@dataclass(frozen=True)
+class Overloaded(Response):
+    """Typed refusal from admission control: nothing was solved.
+
+    ``status`` is always ``"overloaded"`` and ``allocation`` is ``None``;
+    ``disposition`` says why (``"shed-deadline"`` or
+    ``"shed-capacity"``) and ``reason`` carries the human-readable
+    detail.  Callers that cannot handle shedding should not configure
+    deadlines or an in-flight bound — the default service facade never
+    sheds.
+    """
+
+    status: str = "overloaded"
+    disposition: str = "shed-capacity"
+
+
+__all__ = [
+    "DISPOSITIONS",
+    "Overloaded",
+    "Request",
+    "Response",
+    "deadline_in",
+    "instance_fingerprint",
+    "options_key",
+    "structural_fingerprint",
+]

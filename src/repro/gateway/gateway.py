@@ -1,0 +1,740 @@
+"""The Gateway: one stable entry point over a composable pipeline.
+
+``Gateway(pipeline)`` composes a list of
+:class:`~repro.gateway.middleware.Middleware` stages into a single
+request handler and is the public front door for every solve in the
+repo — the legacy :class:`~repro.service.SchedulingService` facade is a
+thin shim over one.  :func:`default_pipeline` builds the full stack
+(admission → metrics → coalesce → warm-start → cache → solver);
+:func:`bare_pipeline` is just the terminal solver, useful for
+differential testing (``repro solve --pipeline bare``) and as the
+baseline in ``BENCH_gateway.json``.
+
+Usage::
+
+    from repro.gateway import Gateway, Request, default_pipeline
+
+    gateway = Gateway(default_pipeline())
+    response = gateway.solve(instance, "oef-coop")       # alias ok
+    response = gateway.solve(Request(instance, "max-min", priority=1))
+    gateway.use(MyLoggingStage(), before="solver")       # extend it
+
+Third-party stages implement ``handle(request, next)`` and slot in
+anywhere via :meth:`Gateway.use` — see ``docs/middleware.md`` and
+``examples/custom_middleware.py``.
+
+Batch solves
+------------
+:meth:`Gateway.solve_batch` keeps PR 2's parallel engine: with an
+execution backend it plans the batch against the pipeline's cache stage
+(only cache-missing work runs), dedupes identical requests through the
+coalesce stage's identity rule, fans the remainder out through
+capability-matched lanes (process pool / thread fallback / in-line
+serial, degrading with a :class:`RuntimeWarning` instead of crashing),
+and merges worker results back into the cache — so a repeated batch is
+~100% hits on any backend.  Serial batches simply dispatch each request
+through the full pipeline.
+
+Timings
+-------
+Every dispatch times each stage (inclusive: time at or below the stage)
+and attaches the result to ``Response.stage_timings``; when a
+:class:`~repro.gateway.middleware.MetricsMiddleware` is present the same
+samples feed its per-stage histograms, which ``repro bench`` renders.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import warnings
+from collections import OrderedDict
+from dataclasses import replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.gateway.envelope import (
+    Request,
+    Response,
+    instance_fingerprint,
+    options_key,
+)
+from repro.gateway.middleware import (
+    AdmissionMiddleware,
+    CacheMiddleware,
+    CacheStats,
+    CoalesceMiddleware,
+    Handler,
+    MetricsMiddleware,
+    Middleware,
+    SolverMiddleware,
+    WarmStartMiddleware,
+    derive_key,
+)
+from repro.parallel import (
+    BackendSpec,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+    probe_picklable,
+)
+from repro.registry import SchedulerRegistry
+
+
+def _solve_payload(payload: tuple) -> Tuple[np.ndarray, Optional[str], float]:
+    """Worker-side solve: construct the scheduler and run one allocation.
+
+    Module-level (and fed only picklable payloads) so it can cross a
+    process boundary; thread and serial lanes reuse it unchanged.  Only
+    the allocation matrix travels back — the parent re-wraps it in an
+    :class:`Allocation` against its own instance object and merges it
+    into the shared cache.
+    """
+    instance, factory, options = payload
+    start = time.perf_counter()
+    allocation = factory(**options).allocate(instance)
+    elapsed = time.perf_counter() - start
+    return allocation.matrix, allocation.allocator_name, elapsed
+
+
+def default_pipeline(
+    registry: Optional[SchedulerRegistry] = None,
+    *,
+    max_cache_entries: int = 4096,
+    max_in_flight: Optional[int] = None,
+    metrics: bool = True,
+) -> List[Middleware]:
+    """The full middleware stack, outermost first.
+
+    Order rationale (the stage-ordering contract, see
+    ``docs/middleware.md``): admission sheds before any work happens;
+    metrics time everything below; coalesce sits above the cache so a
+    coalesced follower's retry is a cache hit; warm-start sits above the
+    cache so exact-tier hits still carry a chainable LP state; the
+    solver terminates the chain.
+    """
+    stages: List[Middleware] = [AdmissionMiddleware(max_in_flight=max_in_flight)]
+    if metrics:
+        stages.append(MetricsMiddleware())
+    stages.extend(
+        [
+            CoalesceMiddleware(registry),
+            WarmStartMiddleware(registry),
+            CacheMiddleware(registry, max_entries=max_cache_entries),
+            SolverMiddleware(registry),
+        ]
+    )
+    return stages
+
+
+def bare_pipeline(registry: Optional[SchedulerRegistry] = None) -> List[Middleware]:
+    """Just the terminal solver: no caching, no shedding, no telemetry."""
+    return [SolverMiddleware(registry)]
+
+
+class Gateway:
+    """Composable request pipeline behind one stable ``solve`` surface."""
+
+    def __init__(
+        self,
+        pipeline: Optional[Sequence[Middleware]] = None,
+        *,
+        registry: Optional[SchedulerRegistry] = None,
+    ):
+        self._stages: List[Middleware] = list(
+            pipeline if pipeline is not None else default_pipeline(registry)
+        )
+        if not self._stages:
+            raise ValueError("a gateway needs at least one pipeline stage")
+        if registry is None:
+            solver = self.find(SolverMiddleware)
+            if solver is not None:
+                registry = solver.registry
+        if registry is None:
+            from repro.registry import REGISTRY
+
+            registry = REGISTRY
+        self.registry = registry
+        self._local = threading.local()
+        self._recompile()
+
+    # -- pipeline management -----------------------------------------------
+    @property
+    def pipeline(self) -> Tuple[Middleware, ...]:
+        return tuple(self._stages)
+
+    def find(self, stage: Union[type, str]) -> Optional[Middleware]:
+        """First pipeline stage matching a class or stage name."""
+        for candidate in self._stages:
+            if isinstance(stage, str):
+                if candidate.name == stage:
+                    return candidate
+            elif isinstance(candidate, stage):
+                return candidate
+        return None
+
+    def use(
+        self,
+        middleware: Middleware,
+        *,
+        before: Union[type, str, Middleware, None] = None,
+        after: Union[type, str, Middleware, None] = None,
+    ) -> "Gateway":
+        """Insert a stage into the pipeline (returns ``self`` for chaining).
+
+        ``before``/``after`` anchor the insertion point by stage name,
+        class, or instance; with neither, the stage lands just above the
+        terminal stage (the last position that still runs on cache
+        misses).  Exactly one anchor may be given.
+        """
+        if before is not None and after is not None:
+            raise ValueError("pass at most one of before=/after=")
+        if before is None and after is None:
+            index = max(len(self._stages) - 1, 0)
+        else:
+            anchor = before if before is not None else after
+            index = self._index_of(anchor)
+            if after is not None:
+                index += 1
+        self._stages.insert(index, middleware)
+        self._recompile()
+        return self
+
+    def remove(self, stage: Union[type, str, Middleware]) -> Middleware:
+        """Remove (and return) the first matching stage."""
+        index = self._index_of(stage)
+        removed = self._stages.pop(index)
+        self._recompile()
+        return removed
+
+    def _index_of(self, stage: Union[type, str, Middleware]) -> int:
+        for index, candidate in enumerate(self._stages):
+            if candidate is stage:
+                return index
+            if isinstance(stage, str) and candidate.name == stage:
+                return index
+            if isinstance(stage, type) and isinstance(candidate, stage):
+                return index
+        raise ValueError(f"no pipeline stage matches {stage!r}")
+
+    def _recompile(self) -> None:
+        def terminal_guard(request: Request) -> Response:
+            raise RuntimeError(
+                "gateway pipeline ended without a terminal stage answering; "
+                "append a SolverMiddleware (or another terminal) to the "
+                "pipeline"
+            )
+
+        local = self._local
+
+        def wrap(stage: Middleware, nxt: Handler) -> Handler:
+            handle = stage.handle
+            stage_name = stage.name
+
+            def handler(request: Request) -> Response:
+                start = time.perf_counter()
+                try:
+                    return handle(request, nxt)
+                finally:
+                    frames = getattr(local, "frames", None)
+                    if frames:
+                        frames[-1].append(
+                            (stage_name, time.perf_counter() - start)
+                        )
+
+            return handler
+
+        handler: Handler = terminal_guard
+        for stage in reversed(self._stages):
+            handler = wrap(stage, handler)
+        self._entry = handler
+        self._metrics = self.find(MetricsMiddleware)
+
+    def describe(self) -> List[Dict[str, object]]:
+        """One capability row per stage, pipeline order, for the CLI."""
+        rows = []
+        for position, stage in enumerate(self._stages):
+            row: Dict[str, object] = {"#": position}
+            row.update(stage.describe())
+            rows.append(row)
+        return rows
+
+    # -- dispatch ------------------------------------------------------------
+    def dispatch(self, request: Request) -> Response:
+        """Run one request through the pipeline exactly as given.
+
+        No normalisation happens here: the scheduler name is not
+        resolved and no cache key is derived, so custom pipelines with
+        non-allocation payloads (the simulator's decision pipeline) can
+        use the machinery untouched.  Most callers want :meth:`solve`.
+        """
+        frames = getattr(self._local, "frames", None)
+        if frames is None:
+            frames = self._local.frames = []
+        frames.append([])
+        try:
+            response = self._entry(request)
+        finally:
+            collected = frames.pop()
+        timings = tuple(reversed(collected))
+        if timings:
+            response = replace(response, stage_timings=timings)
+            if self._metrics is not None:
+                self._metrics.observe_stages(timings)
+                if all(name != self._metrics.name for name, _ in timings):
+                    # a stage above metrics answered (e.g. admission shed):
+                    # record the disposition here so shed-* histograms exist
+                    self._metrics.record(response.disposition, timings[0][1])
+        return response
+
+    def solve(
+        self,
+        instance: Union[Request, Any],
+        scheduler: str = "oef-coop",
+        *,
+        options: Optional[Mapping[str, object]] = None,
+        use_cache: bool = True,
+        incremental: bool = False,
+        prev_result: Optional[Any] = None,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ) -> Response:
+        """Normalise one request and dispatch it.
+
+        Accepts either a prebuilt :class:`Request` (keyword arguments are
+        then ignored) or the classic ``(instance, scheduler, options)``
+        shape.  Normalisation resolves the scheduler alias to its
+        canonical name and precomputes the cache key once, so every
+        stage below shares the same identity without re-hashing —
+        uncacheable option values raise ``TypeError`` here, before any
+        solving starts.
+        """
+        if isinstance(instance, Request):
+            request = instance
+        else:
+            request = Request(
+                instance=instance,
+                scheduler=scheduler,
+                options=dict(options or {}),
+                use_cache=use_cache,
+                incremental=incremental,
+                prev_result=prev_result,
+                priority=priority,
+                deadline=deadline,
+            )
+        name = self.registry.resolve(request.scheduler)
+        fingerprint = request.fingerprint or instance_fingerprint(request.instance)
+        key = request.key
+        if key is None and request.use_cache:
+            # inlined derive_key() with the parts already at hand (one
+            # dataclasses.replace on the hot path instead of two)
+            key = (fingerprint, name, options_key(request.options))
+        request = replace(
+            request, scheduler=name, key=key, fingerprint=fingerprint
+        )
+        return self.dispatch(request)
+
+    # -- batch solves --------------------------------------------------------
+    def solve_batch(
+        self,
+        requests: Sequence[Union[Request, Tuple[Any, str, Mapping[str, object]]]],
+        *,
+        backend: Optional[BackendSpec] = None,
+        max_workers: Optional[int] = None,
+    ) -> List[Response]:
+        """Solve many requests, optionally fanned out across workers.
+
+        ``requests`` is a sequence of :class:`Request` objects (or bare
+        ``(instance, scheduler, options)`` triples).  With ``backend``
+        unset or serial, each request dispatches through the full
+        pipeline in order.  Otherwise the cache-missing solves fan out
+        through capability-matched lanes and merge back into the cache
+        stage; see the module docstring for the contract.
+
+        Semantics the lane planner cannot replicate always dispatch
+        through the full pipeline instead of a lane, so a batch answers
+        exactly like the equivalent serial calls on every backend:
+        requests that are ``incremental`` (warm tiers) or carry a
+        ``deadline`` (admission shedding) are routed individually, and a
+        pipeline containing stages beyond the built-in transparent set —
+        a bounded :class:`AdmissionMiddleware` or any user-installed
+        stage — dispatches the *whole* batch through the chain (with a
+        :class:`RuntimeWarning`, since the fan-out is forfeited).
+        Custom ``Request.key`` values are a :meth:`dispatch`-level
+        feature; the lane planner derives its own content identity.
+        """
+        normalised = [
+            item
+            if isinstance(item, Request)
+            else Request(instance=item[0], scheduler=item[1], options=dict(item[2]))
+            for item in requests
+        ]
+        resolved = (
+            None
+            if backend is None
+            else get_backend(backend, max_workers, task_count=len(normalised))
+        )
+        if resolved is None or isinstance(resolved, SerialBackend):
+            return [self.solve(request) for request in normalised]
+        if not self._lanes_replicate_pipeline():
+            warnings.warn(
+                "the pipeline contains stages the batch planner cannot "
+                "replicate (a bounded admission stage or custom "
+                "middleware); dispatching the batch through the full "
+                "pipeline without worker fan-out",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [self.solve(request) for request in normalised]
+        # split off requests whose pipeline semantics cannot fan out
+        lane_items = [
+            (index, request)
+            for index, request in enumerate(normalised)
+            if not request.incremental and request.deadline is None
+        ]
+        results: List[Optional[Response]] = [None] * len(normalised)
+        if lane_items:
+            lane_responses = self._solve_batch_parallel(
+                [request for _, request in lane_items], resolved
+            )
+            for (index, _), response in zip(lane_items, lane_responses):
+                results[index] = response
+        for index, request in enumerate(normalised):
+            if results[index] is None:
+                # full-pipeline dispatch: admission, warm tiers, coalesce
+                # all apply; may hit entries the lanes just merged in
+                results[index] = self.solve(request)
+        return results
+
+    def _lanes_replicate_pipeline(self) -> bool:
+        """True when the batch lanes honour every stage's semantics.
+
+        The lane planner replicates exactly the built-in transparent
+        stages (metrics, coalesce dedup, warm-start for non-incremental
+        work, cache lookup/merge) over a terminal solver; an admission
+        stage with an in-flight bound, or any stage outside the built-in
+        set, would be silently bypassed — those pipelines dispatch
+        per-request instead.
+        """
+        # exact types: a subclass (e.g. a custom cache entry format) may
+        # change semantics the lanes would silently violate
+        for stage in self._stages[:-1]:
+            if type(stage) is AdmissionMiddleware:
+                if stage.max_in_flight is not None:
+                    return False
+            elif type(stage) not in (
+                MetricsMiddleware,
+                CoalesceMiddleware,
+                WarmStartMiddleware,
+                CacheMiddleware,
+            ):
+                return False
+        return type(self._stages[-1]) is SolverMiddleware
+
+    def _solve_batch_parallel(
+        self, requests: List[Request], backend
+    ) -> List[Response]:
+        """Fan cache-missing solves out to ``backend``, then merge back.
+
+        Three lanes, chosen per scheduler capability: the requested pool
+        (process or thread), a thread fallback for unpicklable work under
+        a process backend, and in-line serial for schedulers that are not
+        ``parallel_safe``.  Duplicate requests inside the batch solve
+        once (the coalesce identity rule); the extra occurrences count as
+        cache hits, mirroring the serial path.
+        """
+        cache = self.find(CacheMiddleware)
+        coalesce = self.find(CoalesceMiddleware)
+        metrics = self._metrics
+
+        # resolve names/fingerprints up front (raises on unknown
+        # schedulers or uncacheable options exactly like the serial path)
+        plan = []
+        for request in requests:
+            name = self.registry.resolve(request.scheduler)
+            opts = dict(request.options)
+            fingerprint = request.fingerprint or instance_fingerprint(request.instance)
+            use_cache = request.use_cache and cache is not None
+            # always the derived content identity: a custom Request.key is a
+            # dispatch()-level feature and would corrupt the merge entries
+            key = (fingerprint, name, options_key(opts)) if use_cache else None
+            plan.append((request.instance, name, opts, fingerprint, key, use_cache))
+
+        # pick the work that actually needs solving, deduplicated by key
+        pending: "OrderedDict[object, Tuple[Any, str, Dict[str, object]]]"
+        pending = OrderedDict()
+        duplicates = 0
+        if cache is not None:
+            with cache.lock:
+                for index, (instance, name, opts, _, key, use_cache) in enumerate(plan):
+                    if not use_cache:
+                        pending[("#", index)] = (instance, name, opts)
+                    elif not cache.contains_unlocked(key):
+                        if key in pending:
+                            duplicates += 1
+                        else:
+                            pending[key] = (instance, name, opts)
+        else:
+            for index, (instance, name, opts, _, _, _) in enumerate(plan):
+                pending[("#", index)] = (instance, name, opts)
+        if coalesce is not None:
+            coalesce.note_coalesced(duplicates)
+
+        solved = self._execute_pending(pending, backend)
+
+        # merge worker results into the parent cache and snapshot one
+        # (matrix, allocator_name, elapsed, from_cache, hits, misses)
+        # tuple per request, in order; duplicates of one solved key read
+        # the merged entry and count as hits, mirroring the serial
+        # miss-then-hit behaviour.  Only bookkeeping happens under the
+        # lock — Allocation construction and any re-solves stay outside.
+        assembled: List[Optional[tuple]] = []
+        evicted: List[int] = []
+        first_seen: set = set()
+        lock = cache.lock if cache is not None else threading.RLock()
+        with lock:
+            if cache is not None:
+                for key, (matrix, allocator_name, _) in solved.items():
+                    if isinstance(key, tuple) and len(key) == 2 and key[0] == "#":
+                        continue  # uncached request: nothing to merge
+                    # key = (fingerprint, name, options); fall back to the
+                    # canonical name exactly like the serial insert path
+                    cache.insert_unlocked(
+                        key,
+                        (matrix.copy(), allocator_name or key[1], key[0], key[1]),
+                    )
+            for index, (instance, name, opts, fingerprint, key, use_cache) in enumerate(
+                plan
+            ):
+                lookup = key if use_cache else ("#", index)
+                if lookup in solved and lookup not in first_seen:
+                    first_seen.add(lookup)
+                    matrix, allocator_name, elapsed = solved[lookup]
+                    hits, misses = (
+                        cache.note_miss_unlocked() if cache is not None else (0, 0)
+                    )
+                    assembled.append(
+                        (matrix, allocator_name, elapsed, False, hits, misses)
+                    )
+                elif use_cache:
+                    entry = cache.get_unlocked(key)
+                    if entry is None:
+                        # a tiny LRU bound can evict a pre-existing entry
+                        # while the worker results merge in; re-solve it
+                        # outside the lock below
+                        evicted.append(index)
+                        assembled.append(None)
+                    else:
+                        matrix, allocator_name = entry[0], entry[1]
+                        hits, misses = cache.note_hit_unlocked()
+                        assembled.append(
+                            (matrix.copy(), allocator_name, 0.0, True, hits, misses)
+                        )
+                else:  # pragma: no cover - every uncached index is unique
+                    raise AssertionError("uncached request missing its result")
+
+        for index in evicted:
+            instance, name, opts, _, _, _ = plan[index]
+            matrix, allocator_name, elapsed = _solve_payload(
+                (instance, self.registry.info(name).factory, opts)
+            )
+            with lock:
+                hits, misses = (
+                    cache.note_miss_unlocked() if cache is not None else (0, 0)
+                )
+                assembled[index] = (
+                    matrix, allocator_name, elapsed, False, hits, misses,
+                )
+
+        responses = []
+        for (instance, name, opts, fingerprint, key, use_cache), (
+            matrix, allocator_name, elapsed, from_cache, hits, misses,
+        ) in zip(plan, assembled):
+            response = Response(
+                scheduler=name,
+                allocation=Allocation(
+                    matrix, instance, allocator_name=allocator_name
+                ),
+                fingerprint=fingerprint,
+                disposition="cache-hit" if from_cache else "cold",
+                solve_seconds=elapsed,
+                cache_hits=hits,
+                cache_misses=misses,
+            )
+            response = replace(response, result=response.allocation)
+            if metrics is not None:
+                metrics.record(response.disposition, elapsed)
+            responses.append(response)
+        return responses
+
+    def _execute_pending(
+        self,
+        pending: "OrderedDict[object, Tuple[Any, str, Dict[str, object]]]",
+        backend,
+    ) -> Dict[object, Tuple[np.ndarray, Optional[str], float]]:
+        """Run the deduplicated work through capability-matched lanes.
+
+        Lane choice per scheduler: a process pool needs only a picklable
+        payload (workers are isolated single-threaded processes, so
+        ``parallel_safe`` is irrelevant there); a thread pool needs
+        ``parallel_safe``; everything else runs serially in the parent.
+        The fallback lanes execute *concurrently* with the requested
+        pool, so a mixed batch still overlaps all its work.
+        """
+        pool_lane: List[Tuple[object, tuple]] = []
+        thread_lane: List[Tuple[object, tuple]] = []
+        serial_lane: List[Tuple[object, tuple]] = []
+        wants_processes = isinstance(backend, ProcessBackend)
+        warned: set = set()
+
+        def warn_once(name: str, message: str) -> None:
+            if name not in warned:
+                warned.add(name)
+                warnings.warn(message, RuntimeWarning, stacklevel=5)
+
+        # memoize the (expensive) instance pickle probe by object identity
+        # — batches typically repeat instances across schedulers — and
+        # probe the (factory, options) part separately; it is tiny.
+        instance_probe: Dict[int, bool] = {}
+
+        def payload_picklable(payload: tuple) -> bool:
+            instance, factory, opts = payload
+            ok = instance_probe.get(id(instance))
+            if ok is None:
+                ok = probe_picklable(instance)
+                instance_probe[id(instance)] = ok
+            return ok and probe_picklable((factory, opts))
+
+        for lookup, (instance, name, opts) in pending.items():
+            info = self.registry.info(name)
+            payload = (instance, info.factory, opts)
+            if wants_processes and info.picklable and payload_picklable(payload):
+                pool_lane.append((lookup, payload))
+            elif not info.parallel_safe:
+                warn_once(
+                    name,
+                    f"scheduler {name!r} is registered parallel_safe=False "
+                    "and cannot reach process isolation; solving it "
+                    "serially in the parent process",
+                )
+                serial_lane.append((lookup, payload))
+            elif wants_processes:
+                warn_once(
+                    name,
+                    f"scheduler {name!r} cannot cross a process boundary "
+                    "(picklable=False or unpicklable payload); falling "
+                    "back to the thread backend for this work",
+                )
+                thread_lane.append((lookup, payload))
+            else:
+                pool_lane.append((lookup, payload))
+
+        solved: Dict[object, Tuple[np.ndarray, Optional[str], float]] = {}
+        fallback_results: Dict[object, Tuple[np.ndarray, Optional[str], float]] = {}
+        fallback_errors: List[BaseException] = []
+
+        def run_fallback_lanes() -> None:
+            try:
+                if thread_lane:
+                    fallback = ThreadBackend(backend.max_workers)
+                    outputs = fallback.map(
+                        _solve_payload, [p for _, p in thread_lane]
+                    )
+                    fallback_results.update(
+                        zip((k for k, _ in thread_lane), outputs)
+                    )
+                # the serial lane runs alone (after the thread-pool map has
+                # drained), honouring parallel_safe=False within this thread
+                for lookup, payload in serial_lane:
+                    fallback_results[lookup] = _solve_payload(payload)
+            except BaseException as exc:  # re-raised in the parent below
+                fallback_errors.append(exc)
+
+        # overlap the fallback lanes with the pool only when the pool's
+        # workers are separate *processes*: under a thread pool, an
+        # overlapped serial lane would solve concurrently with in-process
+        # pool threads — exactly what parallel_safe=False forbids.
+        fallback_worker: Optional[threading.Thread] = None
+        if thread_lane or serial_lane:
+            if pool_lane and wants_processes:
+                fallback_worker = threading.Thread(target=run_fallback_lanes)
+                fallback_worker.start()
+            else:
+                run_fallback_lanes()
+        if pool_lane:
+            outputs = backend.map(_solve_payload, [p for _, p in pool_lane])
+            solved.update(zip((k for k, _ in pool_lane), outputs))
+        if fallback_worker is not None:
+            fallback_worker.join()
+        if fallback_errors:
+            raise fallback_errors[0]
+        solved.update(fallback_results)
+        return solved
+
+    # -- telemetry -----------------------------------------------------------
+    def cache_info(self) -> CacheStats:
+        """Aggregated :class:`CacheStats` across the cache + warm stages."""
+        cache = self.find(CacheMiddleware)
+        warm = self.find(WarmStartMiddleware)
+        cache_stats = (
+            cache.stats()
+            if cache is not None
+            else {"hits": 0, "misses": 0, "warm_hits": 0, "evictions": 0,
+                  "entries": 0, "max_entries": 0}
+        )
+        warm_stats = (
+            warm.stats()
+            if warm is not None
+            else {"structural_hits": 0, "evictions": 0, "warm_entries": 0}
+        )
+        return CacheStats(
+            hits=cache_stats["hits"],
+            misses=cache_stats["misses"],
+            entries=cache_stats["entries"],
+            max_entries=cache_stats["max_entries"],
+            warm_hits=cache_stats["warm_hits"],
+            structural_hits=warm_stats["structural_hits"],
+            evictions=cache_stats["evictions"] + warm_stats["evictions"],
+            warm_entries=warm_stats["warm_entries"],
+        )
+
+    def metrics_snapshot(self) -> List[Dict[str, object]]:
+        """The metrics stage's histogram rows ([] without one)."""
+        return [] if self._metrics is None else self._metrics.snapshot()
+
+    def clear_cache(self) -> None:
+        """Reset the cache and warm stages (entries and counters)."""
+        for cls in (CacheMiddleware, WarmStartMiddleware):
+            stage = self.find(cls)
+            if stage is not None:
+                stage.reset()
+
+    def reset(self) -> None:
+        """Reset every stage (caches, counters, histograms)."""
+        for stage in self._stages:
+            stage.reset()
+
+    def __repr__(self) -> str:
+        names = " -> ".join(stage.name for stage in self._stages)
+        return f"Gateway({names})"
+
+
+__all__ = [
+    "Gateway",
+    "bare_pipeline",
+    "default_pipeline",
+    "_solve_payload",
+]

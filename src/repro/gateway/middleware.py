@@ -1,0 +1,724 @@
+"""Built-in middleware stages: the composable layers of the gateway.
+
+A middleware is one object with one method::
+
+    class Middleware:
+        def handle(self, request: Request, next) -> Response: ...
+
+``next`` is the downstream remainder of the pipeline; a stage may answer
+without calling it (cache hit, admission shed), derive a modified
+request on the way down (warm-state injection), or derive a modified
+response on the way up (counter snapshots).  Stages hold their own state
+under their own locks, so any subset composes in any order — the
+pipeline-permutation property test asserts that every ordering of the
+optimisation stages around the terminal solver yields bit-identical
+allocations.
+
+Built-ins, outermost-first in :func:`repro.gateway.default_pipeline`:
+
+=====================  =====================================================
+:class:`AdmissionMiddleware`  max in-flight bound + deadline shedding, typed
+                              :class:`~repro.gateway.envelope.Overloaded`
+:class:`MetricsMiddleware`    per-disposition and per-stage latency
+                              histograms (feeds ``repro bench``)
+:class:`CoalesceMiddleware`   dedupes identical in-flight requests — the
+                              follower waits for the leader and re-enters
+                              the chain (hitting the cache below)
+:class:`WarmStartMiddleware`  PR 4's verified exact/structural warm tiers
+:class:`CacheMiddleware`      the content-hash LRU + :class:`CacheStats`
+:class:`SolverMiddleware`     terminal: constructs the scheduler from the
+                              registry and runs the allocation
+=====================  =====================================================
+
+Ordering contract (see ``docs/middleware.md``): Admission should be
+outermost (shed before any work), Coalesce must sit above Cache (so a
+coalesced follower's retry is a cache hit), WarmStart must sit above
+Cache (so an exact-tier hit still carries a chainable warm state), and
+the terminal solver is always last.  Correctness never depends on the
+order — only counters and latency do.
+
+:class:`CacheMiddleware` is deliberately generic: subclasses override
+``_key`` / ``_entry`` / ``_revive`` to cache payloads other than
+allocations.  The cluster simulator's warm decision memo is exactly such
+a subclass (see :mod:`repro.cluster.simulator`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.allocation import Allocation
+from repro.gateway.envelope import (
+    Overloaded,
+    Request,
+    Response,
+    instance_fingerprint,
+    options_key,
+    structural_fingerprint,
+)
+from repro.registry import SchedulerRegistry
+
+#: Signature of the downstream remainder of a pipeline.
+Handler = Callable[[Request], Response]
+
+#: Bound on retained warm-start states (separate from the LRU bound the
+#: allocation and frontier caches share: states are small and structural
+#: keys are few, so a fixed bound suffices).
+MAX_WARM_STATES = 256
+
+
+def _default_registry() -> SchedulerRegistry:
+    from repro.registry import REGISTRY
+
+    return REGISTRY
+
+
+def derive_key(request: Request, registry: SchedulerRegistry) -> object:
+    """The canonical cache identity of an allocation request.
+
+    ``(instance fingerprint, canonical scheduler, frozen options)`` —
+    the one rule shared by the cache stage, the coalesce stage, the
+    gateway's normalisation, and the batch planner, so an entry stored
+    by any of them is found by all of them.  Raises ``TypeError`` for
+    option values that cannot be content-hashed.
+    """
+    return (
+        request.fingerprint or instance_fingerprint(request.instance),
+        registry.resolve(request.scheduler),
+        options_key(request.options),
+    )
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of the pipeline's cache counters.
+
+    ``hits``/``misses`` account every solve-shaped call against the exact
+    (content-hash) cache stage.  The warm-tier counters refine the
+    picture for incremental requests:
+
+    * ``warm_hits`` — incremental requests answered from the exact cache
+      without running any allocator ("exact hash → reuse allocation");
+    * ``structural_hits`` — requests where the allocator ran but its LP
+      accepted the verified prior state instead of solving cold
+      ("structural hash → reuse basis"); these also count as ``misses``
+      because the exact cache did not have the answer;
+    * ``evictions`` — LRU evictions across the allocation, auxiliary
+      (frontier), and warm-state stores combined.
+    """
+
+    hits: int
+    misses: int
+    entries: int
+    max_entries: int
+    warm_hits: int = 0
+    structural_hits: int = 0
+    evictions: int = 0
+    #: Retained warm-start states (bounded separately from ``entries``).
+    warm_entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class Middleware:
+    """Base class / protocol for one pipeline stage."""
+
+    #: Stable stage name used in timings, ``repro list-middleware``,
+    #: and ``Gateway.use(before=...)`` lookups.
+    name: str = "middleware"
+
+    def handle(self, request: Request, next: Handler) -> Response:
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, object]:
+        """One printable capability row for ``repro list-middleware``."""
+        return {
+            "stage": self.name,
+            "class": type(self).__name__,
+            "caches": "no",
+            "sheds": "no",
+            "stateful": "no",
+            "terminal": "no",
+        }
+
+    def reset(self) -> None:
+        """Drop accumulated state/counters (cache clear, test isolation)."""
+
+
+class SolverMiddleware(Middleware):
+    """Terminal stage: construct the scheduler and run the allocation.
+
+    Dispatches through the scheduler registry, so aliases resolve and
+    new allocators appear the moment they self-register.  Incremental
+    requests route through ``allocate_with_state`` — the solver then
+    *verifies* any injected warm state before trusting it (see
+    :mod:`repro.solver.warm`) and returns fresh evidence for the next
+    round — while plain requests take the cold ``allocate`` path.
+    """
+
+    name = "solver"
+
+    def __init__(self, registry: Optional[SchedulerRegistry] = None):
+        self.registry = registry if registry is not None else _default_registry()
+
+    def handle(self, request: Request, next: Handler) -> Response:
+        info = self.registry.info(request.scheduler)
+        allocator = info.factory(**dict(request.options))
+        fingerprint = request.fingerprint or instance_fingerprint(request.instance)
+        start = time.perf_counter()
+        if request.incremental:
+            allocation, new_state, warm_used = allocator.allocate_with_state(
+                request.instance, request.warm_state
+            )
+        else:
+            allocation, new_state, warm_used = allocator.allocate(request.instance), None, False
+        elapsed = time.perf_counter() - start
+        return Response(
+            scheduler=info.name,
+            allocation=allocation,
+            result=allocation,
+            fingerprint=fingerprint,
+            disposition="warm-structural" if warm_used else "cold",
+            solve_seconds=elapsed,
+            warm=warm_used,
+            warm_state=new_state,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        row = super().describe()
+        row.update(terminal="yes", schedulers=len(self.registry))
+        return row
+
+
+class CacheMiddleware(Middleware):
+    """Content-addressed LRU over solved requests (the exact tier).
+
+    Keys on ``Request.key`` when set, else on ``(instance fingerprint,
+    canonical scheduler, frozen options)``.  Cached matrices are copied
+    on both insert and lookup, so callers can never poison the cache by
+    mutating a returned allocation.  One LRU bound (``max_entries``)
+    covers the primary store and the auxiliary store (the service
+    facade's frontier memo) combined.
+
+    Threading: one re-entrant lock guards the stores and counters;
+    lookups, inserts, LRU reordering, and trims happen under it while
+    the downstream solve runs *outside* it, so concurrent solves
+    overlap.  ``use_cache=False`` requests still count as misses (the
+    legacy service contract), they just never touch the stores.
+
+    Subclass hooks for non-allocation payloads: ``_key(request)``
+    derives the identity, ``_entry(request, response)`` the stored
+    value, ``_revive(entry, request)`` the served response.
+    """
+
+    name = "cache"
+
+    def __init__(
+        self,
+        registry: Optional[SchedulerRegistry] = None,
+        max_entries: int = 4096,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.registry = registry if registry is not None else _default_registry()
+        self.max_entries = max_entries
+        self._store: "OrderedDict[object, Any]" = OrderedDict()
+        self._aux: "OrderedDict[object, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._warm_hits = 0
+        self._evictions = 0
+        #: Guards both stores and all counters.  Public so the gateway's
+        #: batch planner can compound lookups/inserts atomically via the
+        #: ``*_unlocked`` primitives.
+        self.lock = threading.RLock()
+
+    # -- subclass hooks ----------------------------------------------------
+    def _key(self, request: Request) -> object:
+        return derive_key(request, self.registry)
+
+    def _entry(self, request: Request, response: Response) -> object:
+        allocation = response.allocation
+        return (
+            allocation.matrix.copy(),
+            allocation.allocator_name or response.scheduler,
+            response.fingerprint,
+            response.scheduler,
+        )
+
+    def _revive(self, entry: object, request: Request) -> Response:
+        matrix, allocator_name, fingerprint, canonical = entry
+        allocation = Allocation(
+            matrix.copy(), request.instance, allocator_name=allocator_name
+        )
+        return Response(
+            scheduler=canonical,
+            allocation=allocation,
+            result=allocation,
+            fingerprint=fingerprint,
+            disposition="cache-hit",
+            solve_seconds=0.0,
+        )
+
+    # -- the stage ---------------------------------------------------------
+    def handle(self, request: Request, next: Handler) -> Response:
+        if request.use_cache:
+            key = request.key if request.key is not None else self._key(request)
+        else:
+            key = None
+
+        if key is not None:
+            with self.lock:
+                entry = self._store.get(key)
+                if entry is not None:
+                    self._store.move_to_end(key)
+                    self._hits += 1
+                    if request.incremental:
+                        self._warm_hits += 1
+                    hits, misses = self._hits, self._misses
+            if entry is not None:
+                response = self._revive(entry, request)
+                return replace(response, cache_hits=hits, cache_misses=misses)
+
+        # count the miss before the solver runs (legacy service parity:
+        # concurrent callers each account exactly one hit or miss)
+        with self.lock:
+            self._misses += 1
+        response = next(request)
+        if not response.ok:
+            return response
+        with self.lock:
+            if key is not None:
+                self._store[key] = self._entry(request, response)
+                self._trim(self._store)
+            hits, misses = self._hits, self._misses
+        return replace(response, cache_hits=hits, cache_misses=misses)
+
+    # -- auxiliary store (service frontier memo) ---------------------------
+    def aux_lookup(self, key: object) -> Optional[Any]:
+        """Counted lookup in the auxiliary store (shares the LRU bound)."""
+        with self.lock:
+            value = self._aux.get(key)
+            if value is not None:
+                self._aux.move_to_end(key)
+                self._hits += 1
+                return value
+            self._misses += 1
+            return None
+
+    def aux_store(self, key: object, value: Any) -> None:
+        with self.lock:
+            self._aux[key] = value
+            self._trim(self._aux)
+
+    # -- batch-planner primitives (call under ``self.lock``) ---------------
+    def get_unlocked(self, key: object) -> Optional[Any]:
+        entry = self._store.get(key)
+        if entry is not None:
+            self._store.move_to_end(key)
+        return entry
+
+    def contains_unlocked(self, key: object) -> bool:
+        return key in self._store
+
+    def insert_unlocked(self, key: object, entry: object) -> None:
+        self._store[key] = entry
+        self._trim(self._store)
+
+    def note_hit_unlocked(self, incremental: bool = False) -> Tuple[int, int]:
+        self._hits += 1
+        if incremental:
+            self._warm_hits += 1
+        return self._hits, self._misses
+
+    def note_miss_unlocked(self) -> Tuple[int, int]:
+        self._misses += 1
+        return self._hits, self._misses
+
+    # -- maintenance -------------------------------------------------------
+    def _trim(self, target: OrderedDict) -> None:
+        # evict from the store just inserted into until the combined size
+        # fits the bound again (inserts grow by one, so this suffices)
+        while (
+            len(self._store) + len(self._aux) > self.max_entries and target
+        ):
+            target.popitem(last=False)
+            self._evictions += 1
+
+    def __len__(self) -> int:
+        """Current entry count (primary + auxiliary stores)."""
+        with self.lock:
+            return len(self._store) + len(self._aux)
+
+    def invalidate(self) -> int:
+        """Drop every entry, keep the counters; returns entries dropped."""
+        with self.lock:
+            dropped = len(self._store) + len(self._aux)
+            self._store.clear()
+            self._aux.clear()
+            return dropped
+
+    def reset(self) -> None:
+        with self.lock:
+            self._store.clear()
+            self._aux.clear()
+            self._hits = 0
+            self._misses = 0
+            self._warm_hits = 0
+            self._evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self.lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "warm_hits": self._warm_hits,
+                "evictions": self._evictions,
+                "entries": len(self._store) + len(self._aux),
+                "max_entries": self.max_entries,
+            }
+
+    def describe(self) -> Dict[str, object]:
+        row = super().describe()
+        snapshot = self.stats()
+        row.update(
+            caches="yes",
+            stateful="yes",
+            detail=f"LRU {snapshot['entries']}/{snapshot['max_entries']}",
+        )
+        return row
+
+
+class WarmStartMiddleware(Middleware):
+    """PR 4's verified warm-start tiers as a composable stage.
+
+    Engages only for ``incremental`` requests.  On the way down it
+    selects a candidate :class:`~repro.solver.warm.WarmStartState` —
+    the caller's ``prev_result`` when it matches, else this stage's own
+    structural store — and injects it into the request for the terminal
+    solver, which *verifies* the state before trusting it (warm answers
+    therefore always equal cold answers to solver tolerance).  On the
+    way up it banks the solve's fresh state under the structural key and
+    counts ``structural_hits`` when the LP actually accepted the warm
+    start.  Placed above the cache stage so an exact-tier hit still
+    carries a chainable state.
+    """
+
+    name = "warm-start"
+
+    def __init__(
+        self,
+        registry: Optional[SchedulerRegistry] = None,
+        max_states: int = MAX_WARM_STATES,
+    ):
+        self.registry = registry if registry is not None else _default_registry()
+        self.max_states = max_states
+        self._states: "OrderedDict[object, Any]" = OrderedDict()
+        self._structural_hits = 0
+        self._evictions = 0
+        self._lock = threading.RLock()
+
+    def handle(self, request: Request, next: Handler) -> Response:
+        if not request.incremental:
+            return next(request)
+        info = self.registry.info(request.scheduler)
+        struct_key = (
+            structural_fingerprint(request.instance),
+            info.name,
+            options_key(request.options),
+        )
+        state = None
+        if info.warm_startable:
+            prev = request.prev_result
+            prev_state = getattr(prev, "warm_state", None)
+            if prev_state is not None and getattr(prev, "scheduler", None) == info.name:
+                state = prev_state
+            else:
+                with self._lock:
+                    state = self._states.get(struct_key)
+                    if state is not None:
+                        # keep the actively chained state LRU-fresh
+                        self._states.move_to_end(struct_key)
+            if state is not None and request.warm_state is None:
+                request = replace(request, warm_state=state)
+        response = next(request)
+        with self._lock:
+            if response.warm:
+                self._structural_hits += 1
+            if response.warm_state is not None:
+                self._states[struct_key] = response.warm_state
+                self._states.move_to_end(struct_key)
+                while len(self._states) > self.max_states:
+                    self._states.popitem(last=False)
+                    self._evictions += 1
+        if response.warm_state is None and state is not None and response.ok:
+            # exact-tier hits still hand the caller a chainable state
+            response = replace(response, warm_state=state)
+        return response
+
+    def reset(self) -> None:
+        with self._lock:
+            self._states.clear()
+            self._structural_hits = 0
+            self._evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "structural_hits": self._structural_hits,
+                "evictions": self._evictions,
+                "warm_entries": len(self._states),
+            }
+
+    def describe(self) -> Dict[str, object]:
+        row = super().describe()
+        row.update(
+            caches="yes",
+            stateful="yes",
+            detail=f"states {len(self._states)}/{self.max_states}",
+        )
+        return row
+
+
+class CoalesceMiddleware(Middleware):
+    """Dedupe identical in-flight requests across threads and batches.
+
+    The first thread to ask a given cache key becomes the *leader* and
+    solves normally; concurrent followers with the same key block until
+    the leader finishes, then re-enter the downstream chain — which is a
+    cache hit when a cache stage sits below (the default pipeline), and
+    a correct independent solve otherwise.  ``wait_timeout`` bounds the
+    wait so a wedged leader can never deadlock followers.  The gateway's
+    parallel batch planner reuses the same identity rule to solve
+    duplicate requests once per batch and reports them here via
+    :meth:`note_coalesced`.
+    """
+
+    name = "coalesce"
+
+    def __init__(
+        self,
+        registry: Optional[SchedulerRegistry] = None,
+        wait_timeout: float = 30.0,
+    ):
+        self.registry = registry if registry is not None else _default_registry()
+        self.wait_timeout = wait_timeout
+        self._inflight: Dict[object, threading.Event] = {}
+        self._coalesced = 0
+        self._lock = threading.Lock()
+
+    def handle(self, request: Request, next: Handler) -> Response:
+        if not request.use_cache:
+            return next(request)
+        key = request.key
+        if key is None:
+            try:
+                key = derive_key(request, self.registry)
+            except TypeError:
+                return next(request)
+        with self._lock:
+            event = self._inflight.get(key)
+            if event is None:
+                event = threading.Event()
+                self._inflight[key] = event
+                leader = True
+            else:
+                leader = False
+        if leader:
+            try:
+                return next(request)
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                event.set()
+        # count a successful dedup only when the leader actually finished;
+        # a timed-out wait falls through to an ordinary duplicate solve
+        if event.wait(self.wait_timeout):
+            with self._lock:
+                self._coalesced += 1
+        return next(request)
+
+    def note_coalesced(self, count: int) -> None:
+        """Batch planner callback: ``count`` duplicates solved once."""
+        if count:
+            with self._lock:
+                self._coalesced += count
+
+    def reset(self) -> None:
+        with self._lock:
+            self._coalesced = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"coalesced": self._coalesced, "in_flight": len(self._inflight)}
+
+    def describe(self) -> Dict[str, object]:
+        row = super().describe()
+        row.update(stateful="yes", detail=f"coalesced {self._coalesced}")
+        return row
+
+
+class MetricsMiddleware(Middleware):
+    """Per-disposition latency histograms for the whole downstream chain.
+
+    Records one sample per request under the response's disposition
+    (``cold`` / ``cache-hit`` / ``warm-structural`` / ``shed-*``), and —
+    fed by the gateway after each dispatch — per-stage inclusive
+    latencies under ``stage:<name>``.  :meth:`snapshot` renders
+    ``repro/bench-v1`` rows (mean/p50/p95), which is what
+    ``repro bench --json`` folds into ``BENCH_gateway.json``.
+    """
+
+    name = "metrics"
+
+    def __init__(self, max_samples: int = 4096):
+        self.max_samples = max_samples
+        self._samples: Dict[str, deque] = {}
+        self._counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def handle(self, request: Request, next: Handler) -> Response:
+        start = time.perf_counter()
+        response = next(request)
+        self.record(response.disposition, time.perf_counter() - start)
+        return response
+
+    def record(self, label: str, seconds: float) -> None:
+        with self._lock:
+            bucket = self._samples.get(label)
+            if bucket is None:
+                bucket = self._samples[label] = deque(maxlen=self.max_samples)
+            bucket.append(seconds)
+            self._counts[label] = self._counts.get(label, 0) + 1
+
+    def observe_stages(self, timings: Tuple[Tuple[str, float], ...]) -> None:
+        """Gateway callback: fold one dispatch's per-stage timings in."""
+        for stage, seconds in timings:
+            self.record(f"stage:{stage}", seconds)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """One ``repro/bench-v1`` row per label (mean/p50/p95/samples)."""
+        from repro.benchio import bench_stats
+
+        with self._lock:
+            items = [
+                (label, list(bucket), self._counts.get(label, 0))
+                for label, bucket in self._samples.items()
+            ]
+        return [
+            {"name": label, **bench_stats(samples), "total_observations": count}
+            for label, samples, count in sorted(items)
+            if samples
+        ]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+            self._counts.clear()
+
+    def describe(self) -> Dict[str, object]:
+        with self._lock:
+            labels = len(self._samples)
+        row = super().describe()
+        row.update(stateful="yes", detail=f"{labels} histogram(s)")
+        return row
+
+
+class AdmissionMiddleware(Middleware):
+    """Load shedding: an in-flight bound plus deadline-aware refusal.
+
+    A request whose ``deadline`` (monotonic timestamp; see
+    :func:`repro.gateway.envelope.deadline_in`) has already passed is
+    shed immediately with a typed
+    :class:`~repro.gateway.envelope.Overloaded` response — solving it
+    would waste capacity on an answer nobody is waiting for.  When
+    ``max_in_flight`` is set, requests beyond that many concurrent
+    solves are shed too, except requests with ``priority > 0``, which
+    are always admitted.  With the defaults (no bound, no deadline) this
+    stage is a transparent counter and the legacy facade never sheds.
+    """
+
+    name = "admission"
+
+    def __init__(self, max_in_flight: Optional[int] = None):
+        if max_in_flight is not None and max_in_flight < 0:
+            raise ValueError("max_in_flight must be >= 0")
+        self.max_in_flight = max_in_flight
+        self._in_flight = 0
+        self._admitted = 0
+        self._shed_deadline = 0
+        self._shed_capacity = 0
+        self._lock = threading.Lock()
+
+    def handle(self, request: Request, next: Handler) -> Response:
+        if request.deadline is not None and time.monotonic() >= request.deadline:
+            with self._lock:
+                self._shed_deadline += 1
+            return Overloaded(
+                scheduler=request.scheduler,
+                disposition="shed-deadline",
+                reason="deadline passed before the request was admitted",
+            )
+        with self._lock:
+            if (
+                self.max_in_flight is not None
+                and request.priority <= 0
+                and self._in_flight >= self.max_in_flight
+            ):
+                self._shed_capacity += 1
+                limit = self.max_in_flight
+                return Overloaded(
+                    scheduler=request.scheduler,
+                    disposition="shed-capacity",
+                    reason=f"{self._in_flight} request(s) in flight >= bound {limit}",
+                )
+            self._in_flight += 1
+            self._admitted += 1
+        try:
+            return next(request)
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self._admitted = 0
+            self._shed_deadline = 0
+            self._shed_capacity = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "admitted": self._admitted,
+                "shed_deadline": self._shed_deadline,
+                "shed_capacity": self._shed_capacity,
+                "in_flight": self._in_flight,
+            }
+
+    def describe(self) -> Dict[str, object]:
+        row = super().describe()
+        bound = "unbounded" if self.max_in_flight is None else self.max_in_flight
+        row.update(sheds="yes", stateful="yes", detail=f"max_in_flight {bound}")
+        return row
+
+
+__all__ = [
+    "AdmissionMiddleware",
+    "CacheMiddleware",
+    "CacheStats",
+    "CoalesceMiddleware",
+    "Handler",
+    "MAX_WARM_STATES",
+    "MetricsMiddleware",
+    "Middleware",
+    "SolverMiddleware",
+    "WarmStartMiddleware",
+    "derive_key",
+]

@@ -25,8 +25,9 @@ there is more than one item, serial otherwise.
 
 Process pools need picklable payloads.  :func:`probe_picklable` lets
 callers test a payload up front and degrade gracefully — that is how
-:meth:`SchedulingService.solve_batch` falls back to threads for
-schedulers that cannot cross a process boundary instead of crashing.
+the gateway's batch planner (:meth:`repro.gateway.Gateway.solve_batch`)
+falls back to threads for schedulers that cannot cross a process
+boundary instead of crashing.
 
 Execution contract
 ------------------
@@ -57,7 +58,7 @@ scheduler registry's ``parallel_safe`` flag marks work that must not
 run concurrently inside one process (thread pools), and ``picklable``
 marks work that can cross to a process pool — see
 :mod:`repro.registry` and the lane selection in
-:meth:`repro.service.SchedulingService.solve_batch`.
+:meth:`repro.gateway.Gateway.solve_batch`.
 """
 
 from __future__ import annotations

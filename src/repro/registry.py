@@ -32,7 +32,8 @@ import cycles.
 Capability flags and concurrency
 --------------------------------
 ``SchedulerInfo`` carries two flags the parallel engine reads when it
-plans a batch (:meth:`repro.service.SchedulingService.solve_batch`):
+plans a batch (:meth:`repro.gateway.Gateway.solve_batch`; the legacy
+``SchedulingService.solve_batch`` delegates to it):
 
 * ``parallel_safe`` — instances may solve concurrently from several
   *threads* of one process.  Set it to ``False`` for allocators with
@@ -106,9 +107,10 @@ class SchedulerInfo:
     picklable: bool = True
     #: Supports verified warm-started re-solves: ``allocate_with_state``
     #: threads a prior :class:`~repro.solver.warm.WarmStartState` into
-    #: its LP and returns a fresh one.  The service's structural cache
-    #: tier (:meth:`repro.service.SchedulingService.resolve`) only
-    #: engages for schedulers with this flag set.
+    #: its LP and returns a fresh one.  The gateway's structural warm
+    #: tier (:class:`repro.gateway.middleware.WarmStartMiddleware`,
+    #: driving the legacy ``SchedulingService.resolve``) only engages
+    #: for schedulers with this flag set.
     warm_startable: bool = False
 
     @property

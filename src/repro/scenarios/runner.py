@@ -24,8 +24,10 @@ order.  Determinism contract: for a fixed (scenario, seed, scheduler),
 the summary row is identical on every backend.
 
 Warm-started replay (``warm=True``, the default) threads each round's
-solution into the next through the simulator's decision memo (see
-:mod:`repro.cluster.simulator`), cutting repeat-round LP cost to zero
+solution into the next through the simulator's decision *gateway* — a
+two-stage :class:`repro.gateway.Gateway` pipeline whose cache stage
+memoizes decisions by the scheduler's own content key (see
+:mod:`repro.cluster.simulator`) — cutting repeat-round LP cost to zero
 while staying **bit-identical** to a cold replay — compare
 :meth:`ScenarioResult.fingerprint` across ``warm``/``cold`` runs or
 execution backends to check.  ``warm=False`` (CLI: ``--cold``) forces

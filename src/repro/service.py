@@ -1,112 +1,44 @@
-"""SchedulingService: the stable facade over registry-described schedulers.
+"""SchedulingService: the legacy facade, now a thin shim over the gateway.
 
-One object offers every solve-shaped operation the entry points need —
-``solve`` / ``solve_batch`` for allocations, ``audit`` for the Table-1
-property checks (with per-scheduler defaults pulled from the registry),
-``compare`` for the cross-scheduler summary table, and ``frontier`` for
-the efficiency–fairness sweep — all backed by a content-addressed
-allocation cache.
-
-The cache keys on an *instance fingerprint* (a SHA-256 over user names,
-GPU types, the speedup matrix, and capacities) plus the canonical
-scheduler name and constructor options.  Repeated solves of the same
-instance — the hot path in ``compare``, ``frontier``, property audits,
-and round-based simulation with unchanged tenant sets — return memoized
-allocations; :class:`SolveResult` carries the service's hit/miss counters
-so callers can observe the reuse.
-
-Incremental solving (:meth:`SchedulingService.resolve`) adds a second,
-delta-aware tier for *drifting* instances — the round-based replay
-pattern where numbers move but the tenant set does not:
-
-* **exact tier** — same :func:`instance_fingerprint`: the cached
-  allocation is returned outright (counted in ``warm_hits``);
-* **structural tier** — same :func:`structural_fingerprint` (user set,
-  GPU types, matrix shape) but different numbers: the previous solve's
-  :class:`~repro.solver.warm.WarmStartState` is threaded into the
-  scheduler's LP, which re-verifies it before trusting it (counted in
-  ``structural_hits`` when the verification succeeds), for schedulers
-  registered ``warm_startable=True``;
-* anything else cold-solves, exactly like :meth:`SchedulingService.solve`.
-
-Because the solver only accepts a warm start it can *prove* optimal and
-unique for the new numbers (see :mod:`repro.solver.warm`), a ``resolve``
-answer always equals the corresponding cold answer to solver tolerance.
-
-Caching contract
-----------------
-* Keys are *content-based*: two independently constructed but equal
-  instances share entries (see :func:`instance_fingerprint`), and
-  scheduler aliases resolve to one canonical key.  Options must freeze
-  to content (primitives, arrays, mappings); anything
-  identity-compared raises ``TypeError`` rather than risking a wrong
-  cached allocation.
-* Cached matrices are copied on both insert and lookup, so callers can
-  never poison the cache by mutating a returned allocation.
-* One LRU bound (``max_cache_entries``) covers the allocation and
-  frontier caches combined; eviction is least-recently-used.
-
-Threading contract
-------------------
-One lock guards both caches and both counters; lookups, inserts, LRU
-reordering, and trims happen under it, while the LP solves themselves
-run *outside* it so concurrent solves overlap.  Every public method is
-safe to call from multiple threads of one process; parallel
-``solve_batch`` workers merge their results back under the same lock,
-which is why a repeated batch is ~100% hits on any backend.  The
-degradation ladder for work that cannot reach the requested backend is
-process → thread → serial, each step announced with a
-:class:`RuntimeWarning`, never a crash.
-
-Usage::
-
-    from repro import SchedulingService, SolveRequest
-
-    service = SchedulingService()
-    result = service.solve(instance, "cooperative")      # alias ok
-    batch = service.solve_batch(
-        [instance], ["oef-coop", "max-min"],
-        backend="process", max_workers=4,
-    )
-    service.solve_batch([instance], ["oef-coop", "max-min"])  # all hits
-    print(service.cache_info().hit_rate)
+Everything solve-shaped used to be hard-wired into this 900-line class;
+it now delegates to a :class:`repro.gateway.Gateway` running
+:func:`~repro.gateway.default_pipeline` (admission → metrics → coalesce
+→ warm-start → cache → solver), exposed as ``service.gateway``.  The
+legacy surface and every :class:`CacheStats` counter/threading contract
+from PRs 1–4 are preserved bit for bit; the contracts themselves are
+documented with the stages that implement them
+(:mod:`repro.gateway.middleware`), the parallel batch planner moved to
+:meth:`repro.gateway.Gateway.solve_batch`, and new code should talk to
+the gateway directly — see the migration table in ``docs/api.md`` and
+the pipeline guide in ``docs/middleware.md``.
 """
 
 from __future__ import annotations
 
-import hashlib
-import threading
-import time
 import warnings
-from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import (
-    Callable,
-    Dict,
-    Iterable,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-    Tuple,
-    Union,
-)
-
-import numpy as np
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.allocation import Allocation
-from repro.core.analysis import (
-    FrontierPoint,
-    compare_allocators,
-    frontier_point,
-)
+from repro.core.analysis import FrontierPoint, compare_allocators, frontier_point
 from repro.core.base import Allocator
 from repro.core.instance import ProblemInstance
 from repro.core.properties import PropertyReport, audit_allocator
+from repro.gateway import (
+    CacheStats,
+    Gateway,
+    Request,
+    Response,
+    default_pipeline,
+    instance_fingerprint,
+    options_key,
+    structural_fingerprint,
+)
+from repro.gateway.gateway import _solve_payload  # noqa: F401  (legacy import path)
+from repro.gateway.middleware import CacheMiddleware
 from repro.parallel import (
     BackendSpec,
     ProcessBackend,
-    SerialBackend,
     ThreadBackend,
     get_backend,
     probe_picklable,
@@ -117,97 +49,11 @@ from repro.solver.warm import WarmStartState
 #: Sentinel: "use the registry default" for audit overrides.
 _USE_REGISTRY_DEFAULT = object()
 
-#: Bound on retained warm-start states (separate from the LRU bound the
-#: allocation and frontier caches share: states are small and structural
-#: keys are few, so a fixed bound suffices).
-_MAX_WARM_STATES = 256
+#: Legacy alias; canonical implementation is repro.gateway.options_key.
+_options_key = options_key
 
 
-def instance_fingerprint(instance: ProblemInstance) -> str:
-    """Content hash of an instance: identical data ⇒ identical fingerprint.
-
-    Covers user names, GPU-type names, the speedup matrix, and the
-    capacity vector, so two independently constructed but equal instances
-    share cache entries.
-    """
-    digest = hashlib.sha256()
-    digest.update("\x1f".join(map(str, instance.speedups.users)).encode())
-    digest.update(b"\x1e")
-    digest.update("\x1f".join(map(str, instance.speedups.gpu_types)).encode())
-    digest.update(b"\x1e")
-    digest.update(np.ascontiguousarray(instance.speedups.values, dtype=np.float64).tobytes())
-    digest.update(np.ascontiguousarray(instance.capacities, dtype=np.float64).tobytes())
-    return digest.hexdigest()
-
-
-def structural_fingerprint(instance: ProblemInstance) -> str:
-    """Shape-only hash of an instance: who is being scheduled, not how fast.
-
-    Covers user names, GPU-type names, and the speedup-matrix shape while
-    deliberately excluding the numeric values and capacities — two
-    instances share a structural fingerprint exactly when one's LP warm
-    state is a candidate for the other's solve (the delta-aware cache
-    tier of :meth:`SchedulingService.resolve`).
-    """
-    digest = hashlib.sha256()
-    digest.update("\x1f".join(map(str, instance.speedups.users)).encode())
-    digest.update(b"\x1e")
-    digest.update("\x1f".join(map(str, instance.speedups.gpu_types)).encode())
-    digest.update(b"\x1e")
-    digest.update(repr(tuple(instance.speedups.values.shape)).encode())
-    return digest.hexdigest()
-
-
-def _freeze(value: object) -> object:
-    """A hashable, content-based stand-in for one option value.
-
-    repr() would truncate numpy arrays and embed reusable memory
-    addresses for plain objects — colliding or unstable cache keys that
-    could silently return the wrong cached allocation.  Only values whose
-    content defines equality are accepted.
-    """
-    if value is None or isinstance(value, (bool, int, float, str, bytes)):
-        return value
-    if isinstance(value, np.ndarray):
-        return (value.shape, str(value.dtype), value.tobytes())
-    if isinstance(value, (list, tuple)):
-        return tuple(_freeze(item) for item in value)
-    if isinstance(value, Mapping):
-        return tuple(
-            sorted((str(key), _freeze(item)) for key, item in value.items())
-        )
-    raise TypeError(
-        f"scheduler option of type {type(value).__name__!r} cannot be cached "
-        "by content; pass primitives/arrays, or solve with use_cache=False"
-    )
-
-
-def _options_key(options: Mapping[str, object]) -> Tuple[Tuple[str, object], ...]:
-    """Hashable, order-insensitive cache key for constructor options."""
-    return tuple(sorted((str(key), _freeze(value)) for key, value in options.items()))
-
-
-def _solve_payload(
-    payload: Tuple[ProblemInstance, Callable[..., Allocator], Dict[str, object]],
-) -> Tuple[np.ndarray, Optional[str], float]:
-    """Worker-side solve: construct the scheduler and run one allocation.
-
-    Module-level (and fed only picklable payloads) so it can cross a
-    process boundary; thread and serial lanes reuse it unchanged.  Only
-    the allocation matrix travels back — the parent re-wraps it in an
-    :class:`Allocation` against its own instance object and merges it
-    into the shared cache.
-    """
-    instance, factory, options = payload
-    start = time.perf_counter()
-    allocation = factory(**options).allocate(instance)
-    elapsed = time.perf_counter() - start
-    return allocation.matrix, allocation.allocator_name, elapsed
-
-
-def _frontier_payload(
-    payload: Tuple[ProblemInstance, float, str],
-) -> FrontierPoint:
+def _frontier_payload(payload: Tuple[ProblemInstance, float, str]) -> FrontierPoint:
     """Worker-side frontier solve: one epsilon-constraint LP."""
     instance, alpha, lp_backend = payload
     return frontier_point(instance, alpha, backend=lp_backend)
@@ -215,7 +61,7 @@ def _frontier_payload(
 
 @dataclass(frozen=True)
 class SolveRequest:
-    """One unit of work for :meth:`SchedulingService.solve_batch`."""
+    """Legacy batch item; superseded by :class:`repro.gateway.Request`."""
 
     instance: ProblemInstance
     scheduler: str = "oef-coop"
@@ -225,7 +71,11 @@ class SolveRequest:
 
 @dataclass(frozen=True)
 class SolveResult:
-    """An allocation plus provenance and cache telemetry."""
+    """An allocation plus provenance and cache telemetry (legacy shape).
+
+    Superseded by :class:`repro.gateway.Response`, which adds the
+    disposition, admission status, and per-stage timings.
+    """
 
     scheduler: str
     allocation: Allocation
@@ -244,42 +94,25 @@ class SolveResult:
     warm_state: Optional[WarmStartState] = None
 
 
-@dataclass(frozen=True)
-class CacheStats:
-    """Snapshot of the service's allocation-cache counters.
-
-    ``hits``/``misses`` account every solve-shaped call against the exact
-    (content-hash) cache, as always.  The warm-tier counters refine the
-    picture for :meth:`SchedulingService.resolve`:
-
-    * ``warm_hits`` — resolves answered from the exact cache without
-      running any allocator ("exact hash → reuse allocation");
-    * ``structural_hits`` — resolves where the allocator ran but its LP
-      accepted the verified prior state instead of solving cold
-      ("structural hash → reuse basis"); these also count as ``misses``
-      because the exact cache did not have the answer;
-    * ``evictions`` — LRU evictions across the allocation, frontier, and
-      warm-state caches combined.
-    """
-
-    hits: int
-    misses: int
-    entries: int
-    max_entries: int
-    warm_hits: int = 0
-    structural_hits: int = 0
-    evictions: int = 0
-    #: Retained warm-start states (bounded separately from ``entries``).
-    warm_entries: int = 0
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+def _to_result(response: Response) -> SolveResult:
+    """Convert a gateway :class:`Response` into the legacy envelope."""
+    if not response.ok:  # unreachable under the default facade pipeline
+        raise RuntimeError(f"gateway shed the request: {response.reason}")
+    return SolveResult(
+        scheduler=response.scheduler,
+        allocation=response.allocation,
+        fingerprint=response.fingerprint,
+        from_cache=response.from_cache,
+        solve_seconds=response.solve_seconds,
+        cache_hits=response.cache_hits,
+        cache_misses=response.cache_misses,
+        warm=response.warm,
+        warm_state=response.warm_state,
+    )
 
 
 class _ServiceAllocator(Allocator):
-    """Allocator adapter that routes ``allocate()`` through a service cache.
+    """Allocator adapter that routes ``allocate()`` through the gateway.
 
     Handed to :func:`audit_allocator` / :func:`compare_allocators` so the
     honest solve — and every perturbed strategy-proofness solve — is
@@ -298,37 +131,44 @@ class _ServiceAllocator(Allocator):
 
 
 class SchedulingService:
-    """Cached, batchable scheduling solves behind one facade.
+    """Cached, batchable scheduling solves behind one legacy facade.
 
     ``registry`` defaults to the process-wide scheduler registry;
     ``max_cache_entries`` bounds the *combined* size of the LRU
-    allocation and frontier caches.
+    allocation and frontier caches.  ``gateway`` substitutes a custom
+    pipeline; by default a fresh :func:`~repro.gateway.default_pipeline`
+    gateway is built (no admission bound, so the facade never sheds).
     """
 
     def __init__(
         self,
         registry: Optional[SchedulerRegistry] = None,
         max_cache_entries: int = 4096,
+        gateway: Optional[Gateway] = None,
     ):
         if max_cache_entries < 1:
             raise ValueError("max_cache_entries must be >= 1")
-        self.registry = registry if registry is not None else REGISTRY
+        if gateway is None:
+            gateway = Gateway(
+                default_pipeline(
+                    registry if registry is not None else REGISTRY,
+                    max_cache_entries=max_cache_entries,
+                )
+            )
+        elif registry is not None:
+            raise ValueError(
+                "pass either gateway= (with its own registry) or "
+                "registry=, not both"
+            )
+        else:
+            # the gateway's pipeline is authoritative for the cache bound
+            cache = gateway.find(CacheMiddleware)
+            max_cache_entries = (
+                cache.max_entries if cache is not None else max_cache_entries
+            )
+        self.gateway = gateway
+        self.registry = gateway.registry
         self.max_cache_entries = max_cache_entries
-        # (fingerprint, scheduler, options) -> (matrix, allocator_name)
-        self._cache: "OrderedDict[tuple, Tuple[np.ndarray, str]]" = OrderedDict()
-        # (fingerprint, alphas, lp_backend) -> [FrontierPoint, ...]
-        self._frontier_cache: "OrderedDict[tuple, List[FrontierPoint]]" = OrderedDict()
-        # (structural fingerprint, scheduler, options) -> WarmStartState
-        self._warm_states: "OrderedDict[tuple, WarmStartState]" = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._warm_hits = 0
-        self._structural_hits = 0
-        self._evictions = 0
-        # guards both caches and both counters: lookups, inserts, LRU
-        # reordering, and trims happen under this lock; the LP solves
-        # themselves run outside it so concurrent solves overlap
-        self._lock = threading.RLock()
 
     # -- solving -----------------------------------------------------------
     def solve(
@@ -348,58 +188,10 @@ class SchedulingService:
             scheduler = instance.scheduler
             options = instance.options
             instance = instance.instance
-        options = dict(options or {})
-        name = self.registry.resolve(scheduler)
-        fingerprint = instance_fingerprint(instance)
-        key = (
-            (fingerprint, name, _options_key(options)) if use_cache else None
-        )
-
-        if use_cache:
-            with self._lock:
-                cached = self._cache.get(key)
-                if cached is not None:
-                    self._cache.move_to_end(key)
-                    matrix, allocator_name = cached
-                    self._hits += 1
-                    hits, misses = self._hits, self._misses
-            if cached is not None:
-                # rebind a fresh matrix so callers cannot poison the cache
-                allocation = Allocation(
-                    matrix.copy(), instance, allocator_name=allocator_name
-                )
-                return SolveResult(
-                    scheduler=name,
-                    allocation=allocation,
-                    fingerprint=fingerprint,
-                    from_cache=True,
-                    solve_seconds=0.0,
-                    cache_hits=hits,
-                    cache_misses=misses,
-                )
-
-        with self._lock:
-            self._misses += 1
-        allocator = self.registry.create(name, **options)
-        start = time.perf_counter()
-        allocation = allocator.allocate(instance)
-        elapsed = time.perf_counter() - start
-        with self._lock:
-            if use_cache:
-                self._cache[key] = (
-                    allocation.matrix.copy(),
-                    allocation.allocator_name or name,
-                )
-                self._trim(self._cache)
-            hits, misses = self._hits, self._misses
-        return SolveResult(
-            scheduler=name,
-            allocation=allocation,
-            fingerprint=fingerprint,
-            from_cache=False,
-            solve_seconds=elapsed,
-            cache_hits=hits,
-            cache_misses=misses,
+        return _to_result(
+            self.gateway.solve(
+                instance, scheduler, options=options, use_cache=use_cache
+            )
         )
 
     def resolve(
@@ -413,120 +205,24 @@ class SchedulingService:
     ) -> SolveResult:
         """Incrementally re-solve an instance that drifted from a prior one.
 
-        The warm path for round-based replay: ``prev_result`` is the
-        :class:`SolveResult` of the previous round (or ``None`` to rely
-        on the service's own structural cache), ``instance`` the current
-        round's.  ``scheduler`` defaults to ``prev_result``'s.  Three
-        tiers, cheapest first:
-
-        1. exact fingerprint match → the cached allocation is returned
-           (``warm_hits``);
-        2. same structure, different numbers, scheduler registered
-           ``warm_startable=True`` → the prior solve's verified LP state
-           seeds this solve (``structural_hits`` when the LP accepts it);
-        3. otherwise a plain cold solve.
-
-        Every tier returns the same allocation a cold
-        :meth:`solve` would, to solver tolerance — tier 2 is only taken
-        when the solver *proves* the warm answer optimal and unique for
-        the new numbers (see :mod:`repro.solver.warm`).  Shape changes
-        (tenant churn, added GPU types) change the structural
-        fingerprint, so they fall through to a cold solve automatically.
-
-        ``use_cache=False`` bypasses only the *exact allocation* cache
-        (tier 1); warm-state reuse — the point of ``resolve`` — still
-        applies, so timings of such calls are warm timings.  For a
-        guaranteed cold solve use :meth:`solve` with
-        ``use_cache=False``.
+        The warm path for round-based replay (gateway warm-start + cache
+        stages): exact fingerprint match (``warm_hits``), verified prior
+        LP state for ``warm_startable`` schedulers (``structural_hits``),
+        cold otherwise — every tier equals a cold :meth:`solve` to
+        solver tolerance.  ``use_cache=False`` bypasses only the exact
+        tier; warm-state reuse still applies.
         """
         if scheduler is None:
             scheduler = prev_result.scheduler if prev_result is not None else "oef-coop"
-        options = dict(options or {})
-        name = self.registry.resolve(scheduler)
-        fingerprint = instance_fingerprint(instance)
-        options_key = _options_key(options)
-        key = (fingerprint, name, options_key)
-        struct_key = (structural_fingerprint(instance), name, options_key)
-
-        if use_cache:
-            with self._lock:
-                cached = self._cache.get(key)
-                if cached is not None:
-                    self._cache.move_to_end(key)
-                    matrix, allocator_name = cached
-                    self._hits += 1
-                    self._warm_hits += 1
-                    hits, misses = self._hits, self._misses
-                    state = self._warm_states.get(struct_key)
-                    if state is not None:
-                        # keep the actively chained state LRU-fresh
-                        self._warm_states.move_to_end(struct_key)
-            if cached is not None:
-                allocation = Allocation(
-                    matrix.copy(), instance, allocator_name=allocator_name
-                )
-                return SolveResult(
-                    scheduler=name,
-                    allocation=allocation,
-                    fingerprint=fingerprint,
-                    from_cache=True,
-                    solve_seconds=0.0,
-                    cache_hits=hits,
-                    cache_misses=misses,
-                    warm=False,
-                    warm_state=state,
-                )
-
-        info = self.registry.info(name)
-        state: Optional[WarmStartState] = None
-        if info.warm_startable:
-            if (
-                prev_result is not None
-                and prev_result.warm_state is not None
-                and prev_result.scheduler == name
-            ):
-                state = prev_result.warm_state
-            else:
-                with self._lock:
-                    state = self._warm_states.get(struct_key)
-                    if state is not None:
-                        self._warm_states.move_to_end(struct_key)
-
-        # count the miss before the allocator runs, matching solve()
-        with self._lock:
-            self._misses += 1
-        allocator = self.registry.create(name, **options)
-        start = time.perf_counter()
-        allocation, new_state, warm_used = allocator.allocate_with_state(
-            instance, state
-        )
-        elapsed = time.perf_counter() - start
-        with self._lock:
-            if warm_used:
-                self._structural_hits += 1
-            if use_cache:
-                self._cache[key] = (
-                    allocation.matrix.copy(),
-                    allocation.allocator_name or name,
-                )
-                self._trim(self._cache)
-            if new_state is not None:
-                self._warm_states[struct_key] = new_state
-                self._warm_states.move_to_end(struct_key)
-                while len(self._warm_states) > _MAX_WARM_STATES:
-                    self._warm_states.popitem(last=False)
-                    self._evictions += 1
-            hits, misses = self._hits, self._misses
-        return SolveResult(
-            scheduler=name,
-            allocation=allocation,
-            fingerprint=fingerprint,
-            from_cache=False,
-            solve_seconds=elapsed,
-            cache_hits=hits,
-            cache_misses=misses,
-            warm=warm_used,
-            warm_state=new_state,
+        return _to_result(
+            self.gateway.solve(
+                instance,
+                scheduler,
+                options=options,
+                use_cache=use_cache,
+                incremental=True,
+                prev_result=prev_result,
+            )
         )
 
     def solve_batch(
@@ -545,35 +241,31 @@ class SchedulingService:
     ) -> List[SolveResult]:
         """Solve many instances and/or many schedulers in one call.
 
-        ``instances`` may mix :class:`ProblemInstance` and
-        :class:`SolveRequest` items; for plain instances the cross product
-        with ``schedulers`` (default ``"oef-coop"``) is solved,
-        instance-major.  Requests carry their own scheduler and ignore
-        ``schedulers``/``options``.
-
-        ``backend`` selects an execution backend (``"serial"`` /
-        ``"thread"`` / ``"process"`` / ``"auto"`` or an
-        :class:`~repro.parallel.ExecutionBackend` instance) that fans the
-        *cache-missing* solves out to workers; results merge back into the
-        parent cache, so a repeated batch still hits ~100%.  Work that
-        cannot reach the requested backend — schedulers registered with
-        ``picklable=False`` / ``parallel_safe=False``, or payloads that
-        fail a pickle probe — degrades to threads or serial with a
-        :class:`RuntimeWarning` instead of crashing.  ``backend=None``
-        preserves the serial in-line path exactly.
+        Plain instances take the cross product with ``schedulers``
+        (instance-major); :class:`SolveRequest` items carry their own
+        scheduler.  Passing execution kwargs (``backend=`` /
+        ``max_workers=``) here is deprecated since 1.5 — call
+        ``service.gateway.solve_batch(...)`` instead (same lanes, same
+        degradation ladder, same cache merging).
         """
-        requests = self._normalise_batch(instances, schedulers, options)
-        resolved = (
-            None
-            if backend is None
-            else get_backend(backend, max_workers, task_count=len(requests))
+        if backend is not None or max_workers is not None:
+            warnings.warn(
+                "SchedulingService.solve_batch(backend=..., max_workers=...) "
+                "is deprecated; use service.gateway.solve_batch(...) — see "
+                "the migration table in docs/api.md",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        requests = [
+            Request(instance=inst, scheduler=name, options=opts, use_cache=use_cache)
+            for inst, name, opts in self._normalise_batch(
+                instances, schedulers, options
+            )
+        ]
+        responses = self.gateway.solve_batch(
+            requests, backend=backend, max_workers=max_workers
         )
-        if resolved is None or isinstance(resolved, SerialBackend):
-            return [
-                self.solve(instance, name, options=opts, use_cache=use_cache)
-                for instance, name, opts in requests
-            ]
-        return self._solve_batch_parallel(requests, resolved, use_cache)
+        return [_to_result(response) for response in responses]
 
     @staticmethod
     def _normalise_batch(
@@ -597,224 +289,6 @@ class SchedulingService:
                     requests.append((item, name, dict(options or {})))
         return requests
 
-    def _solve_batch_parallel(
-        self,
-        requests: List[Tuple[ProblemInstance, str, Dict[str, object]]],
-        backend,
-        use_cache: bool,
-    ) -> List[SolveResult]:
-        """Fan cache-missing solves out to ``backend``, then merge back.
-
-        Three lanes, chosen per scheduler capability: the requested pool
-        (process or thread), a thread fallback for unpicklable work under
-        a process backend, and in-line serial for schedulers that are not
-        ``parallel_safe``.  Duplicate requests inside the batch solve
-        once; the extra occurrences count as cache hits, mirroring the
-        serial path.
-        """
-        # resolve names/fingerprints up front (raises on unknown
-        # schedulers or uncacheable options exactly like the serial path)
-        plan = []
-        for instance, scheduler, opts in requests:
-            name = self.registry.resolve(scheduler)
-            fingerprint = instance_fingerprint(instance)
-            key = (
-                (fingerprint, name, _options_key(opts)) if use_cache else None
-            )
-            plan.append((instance, name, opts, fingerprint, key))
-
-        # pick the work that actually needs solving, deduplicated by key
-        pending: "OrderedDict[object, Tuple[ProblemInstance, str, Dict[str, object]]]"
-        pending = OrderedDict()
-        if use_cache:
-            with self._lock:
-                for instance, name, opts, _, key in plan:
-                    if key not in self._cache and key not in pending:
-                        pending[key] = (instance, name, opts)
-        else:
-            for index, (instance, name, opts, _, _) in enumerate(plan):
-                pending[index] = (instance, name, opts)
-
-        solved = self._execute_pending(pending, backend)
-
-        # merge worker results into the parent cache and snapshot one
-        # (matrix, allocator_name, elapsed, from_cache, hits, misses)
-        # tuple per request, in order; duplicates of one solved key read
-        # the merged entry and count as hits, mirroring the serial
-        # miss-then-hit behaviour.  Only bookkeeping happens under the
-        # lock — Allocation construction and any re-solves stay outside.
-        assembled: List[Optional[tuple]] = []
-        evicted: List[int] = []
-        first_seen: set = set()
-        with self._lock:
-            if use_cache:
-                for key, (matrix, allocator_name, _) in solved.items():
-                    # key = (fingerprint, name, options); fall back to the
-                    # canonical name exactly like the serial insert path
-                    self._cache[key] = (matrix.copy(), allocator_name or key[1])
-                    self._trim(self._cache)
-            for index, (instance, name, opts, fingerprint, key) in enumerate(plan):
-                lookup = key if use_cache else index
-                if lookup in solved and lookup not in first_seen:
-                    first_seen.add(lookup)
-                    matrix, allocator_name, elapsed = solved[lookup]
-                    self._misses += 1
-                    assembled.append(
-                        (matrix, allocator_name, elapsed, False,
-                         self._hits, self._misses)
-                    )
-                elif use_cache:
-                    entry = self._cache.get(key)
-                    if entry is None:
-                        # a tiny LRU bound can evict a pre-existing entry
-                        # while the worker results merge in; re-solve it
-                        # outside the lock below
-                        evicted.append(index)
-                        assembled.append(None)
-                    else:
-                        matrix, allocator_name = entry
-                        self._cache.move_to_end(key)
-                        self._hits += 1
-                        assembled.append(
-                            (matrix.copy(), allocator_name, 0.0, True,
-                             self._hits, self._misses)
-                        )
-                else:  # pragma: no cover - every uncached index is unique
-                    raise AssertionError("uncached request missing its result")
-
-        for index in evicted:
-            instance, name, opts, _, _ = plan[index]
-            matrix, allocator_name, elapsed = _solve_payload(
-                (instance, self.registry.info(name).factory, opts)
-            )
-            with self._lock:
-                self._misses += 1
-                assembled[index] = (
-                    matrix, allocator_name, elapsed, False,
-                    self._hits, self._misses,
-                )
-
-        return [
-            SolveResult(
-                scheduler=name,
-                allocation=Allocation(
-                    matrix, instance, allocator_name=allocator_name
-                ),
-                fingerprint=fingerprint,
-                from_cache=from_cache,
-                solve_seconds=elapsed,
-                cache_hits=hits,
-                cache_misses=misses,
-            )
-            for (instance, name, opts, fingerprint, key),
-                (matrix, allocator_name, elapsed, from_cache, hits, misses)
-            in zip(plan, assembled)
-        ]
-
-    def _execute_pending(
-        self,
-        pending: "OrderedDict[object, Tuple[ProblemInstance, str, Dict[str, object]]]",
-        backend,
-    ) -> Dict[object, Tuple[np.ndarray, Optional[str], float]]:
-        """Run the deduplicated work through capability-matched lanes.
-
-        Lane choice per scheduler: a process pool needs only a picklable
-        payload (workers are isolated single-threaded processes, so
-        ``parallel_safe`` is irrelevant there); a thread pool needs
-        ``parallel_safe``; everything else runs serially in the parent.
-        The fallback lanes execute *concurrently* with the requested
-        pool, so a mixed batch still overlaps all its work.
-        """
-        pool_lane: List[Tuple[object, tuple]] = []
-        thread_lane: List[Tuple[object, tuple]] = []
-        serial_lane: List[Tuple[object, tuple]] = []
-        wants_processes = isinstance(backend, ProcessBackend)
-        warned: set = set()
-
-        def warn_once(name: str, message: str) -> None:
-            if name not in warned:
-                warned.add(name)
-                warnings.warn(message, RuntimeWarning, stacklevel=5)
-
-        # memoize the (expensive) instance pickle probe by object identity
-        # — batches typically repeat instances across schedulers — and
-        # probe the (factory, options) part separately; it is tiny.
-        instance_probe: Dict[int, bool] = {}
-
-        def payload_picklable(payload: tuple) -> bool:
-            instance, factory, opts = payload
-            ok = instance_probe.get(id(instance))
-            if ok is None:
-                ok = probe_picklable(instance)
-                instance_probe[id(instance)] = ok
-            return ok and probe_picklable((factory, opts))
-
-        for lookup, (instance, name, opts) in pending.items():
-            info = self.registry.info(name)
-            payload = (instance, info.factory, opts)
-            if wants_processes and info.picklable and payload_picklable(payload):
-                pool_lane.append((lookup, payload))
-            elif not info.parallel_safe:
-                warn_once(
-                    name,
-                    f"scheduler {name!r} is registered parallel_safe=False "
-                    "and cannot reach process isolation; solving it "
-                    "serially in the parent process",
-                )
-                serial_lane.append((lookup, payload))
-            elif wants_processes:
-                warn_once(
-                    name,
-                    f"scheduler {name!r} cannot cross a process boundary "
-                    "(picklable=False or unpicklable payload); falling "
-                    "back to the thread backend for this work",
-                )
-                thread_lane.append((lookup, payload))
-            else:
-                pool_lane.append((lookup, payload))
-
-        solved: Dict[object, Tuple[np.ndarray, Optional[str], float]] = {}
-        fallback_results: Dict[object, Tuple[np.ndarray, Optional[str], float]] = {}
-        fallback_errors: List[BaseException] = []
-
-        def run_fallback_lanes() -> None:
-            try:
-                if thread_lane:
-                    fallback = ThreadBackend(backend.max_workers)
-                    outputs = fallback.map(
-                        _solve_payload, [p for _, p in thread_lane]
-                    )
-                    fallback_results.update(
-                        zip((k for k, _ in thread_lane), outputs)
-                    )
-                # the serial lane runs alone (after the thread-pool map has
-                # drained), honouring parallel_safe=False within this thread
-                for lookup, payload in serial_lane:
-                    fallback_results[lookup] = _solve_payload(payload)
-            except BaseException as exc:  # re-raised in the parent below
-                fallback_errors.append(exc)
-
-        # overlap the fallback lanes with the pool only when the pool's
-        # workers are separate *processes*: under a thread pool, an
-        # overlapped serial lane would solve concurrently with in-process
-        # pool threads — exactly what parallel_safe=False forbids.
-        fallback_worker: Optional[threading.Thread] = None
-        if thread_lane or serial_lane:
-            if pool_lane and wants_processes:
-                fallback_worker = threading.Thread(target=run_fallback_lanes)
-                fallback_worker.start()
-            else:
-                run_fallback_lanes()
-        if pool_lane:
-            outputs = backend.map(_solve_payload, [p for _, p in pool_lane])
-            solved.update(zip((k for k, _ in pool_lane), outputs))
-        if fallback_worker is not None:
-            fallback_worker.join()
-        if fallback_errors:
-            raise fallback_errors[0]
-        solved.update(fallback_results)
-        return solved
-
     def allocator(self, scheduler: str, **options) -> Allocator:
         """A cache-backed :class:`Allocator` view of one scheduler."""
         return _ServiceAllocator(self, scheduler, options)
@@ -837,11 +311,8 @@ class SchedulingService:
 
         ``pe_within`` / ``efficiency_constraint`` default to the
         scheduler's registered audit configuration; explicit arguments
-        (including ``None`` for an unconstrained PE domain) win.
-        ``lp_backend`` names the LP solver the audit's verification LPs
-        use (``"auto"``/``"scipy"``/``"simplex"``), matching
-        :meth:`frontier`'s naming; the honest solve itself is memoized
-        through the service cache.
+        (including ``None``) win.  ``lp_backend`` names the audit's LP
+        solver; solves memoize through the gateway cache.
         """
         info = self.registry.info(scheduler)
         if pe_within is _USE_REGISTRY_DEFAULT:
@@ -869,15 +340,16 @@ class SchedulingService:
     ) -> List[Dict[str, object]]:
         """One summary row per scheduler (default: every registered one).
 
-        With ``backend`` set, the per-scheduler solves — the dominant cost
-        — run through :meth:`solve_batch` on that backend first; the row
-        assembly then reads every allocation straight from the warmed
-        cache, so parallel and serial comparisons produce identical rows.
+        With ``backend`` set, the solves fan out through the gateway's
+        batch planner first; row assembly then reads the warmed cache,
+        so parallel and serial comparisons produce identical rows.
         """
         names = list(schedulers) if schedulers is not None else self.registry.names()
         if backend is not None:
-            self.solve_batch(
-                instance, names, backend=backend, max_workers=max_workers
+            self.gateway.solve_batch(
+                [Request(instance=instance, scheduler=name) for name in names],
+                backend=backend,
+                max_workers=max_workers,
             )
         return compare_allocators(
             [self.allocator(name) for name in names], instance
@@ -894,30 +366,25 @@ class SchedulingService:
     ) -> List[FrontierPoint]:
         """The efficiency–fairness frontier sweep (memoized per alpha grid).
 
-        Each alpha is an independent epsilon-constraint LP, so with
-        ``backend`` set the sweep fans out through an execution backend;
-        the memoized result is keyed only on the instance/alphas/LP
-        solver, never on how it was executed.  (``backend`` used to name
-        the LP solver; that now lives in ``lp_backend``.)
+        Each alpha is an independent epsilon-constraint LP; ``backend``
+        fans them out.  The memo lives in the gateway cache stage's
+        auxiliary store (same LRU bound and counters), keyed on the
+        instance/alphas/LP solver, never on how it was executed.
         """
         alpha_key = tuple(float(alpha) for alpha in alphas)
-        key = (instance_fingerprint(instance), alpha_key, lp_backend)
-        with self._lock:
-            cached = self._frontier_cache.get(key)
+        key = ("frontier", instance_fingerprint(instance), alpha_key, lp_backend)
+        cache = self.gateway.find(CacheMiddleware)
+        if cache is not None:
+            cached = cache.aux_lookup(key)
             if cached is not None:
-                self._frontier_cache.move_to_end(key)
-                self._hits += 1
                 return list(cached)
-            self._misses += 1
         payloads = [(instance, alpha, lp_backend) for alpha in alpha_key]
         resolved = get_backend(
             backend if backend is not None else "serial",
             max_workers,
             task_count=len(payloads),
         )
-        if isinstance(resolved, ProcessBackend) and not probe_picklable(
-            payloads
-        ):
+        if isinstance(resolved, ProcessBackend) and not probe_picklable(payloads):
             warnings.warn(
                 "frontier payload is not picklable; falling back to the "
                 "thread backend",
@@ -926,45 +393,16 @@ class SchedulingService:
             )
             resolved = ThreadBackend(resolved.max_workers)
         points = resolved.map(_frontier_payload, payloads)
-        with self._lock:
-            self._frontier_cache[key] = list(points)
-            self._trim(self._frontier_cache)
+        if cache is not None:
+            cache.aux_store(key, list(points))
         return points
 
     # -- cache management --------------------------------------------------
     def cache_info(self) -> CacheStats:
-        with self._lock:
-            return CacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                entries=len(self._cache) + len(self._frontier_cache),
-                max_entries=self.max_cache_entries,
-                warm_hits=self._warm_hits,
-                structural_hits=self._structural_hits,
-                evictions=self._evictions,
-                warm_entries=len(self._warm_states),
-            )
+        return self.gateway.cache_info()
 
     def clear_cache(self) -> None:
-        with self._lock:
-            self._cache.clear()
-            self._frontier_cache.clear()
-            self._warm_states.clear()
-            self._hits = 0
-            self._misses = 0
-            self._warm_hits = 0
-            self._structural_hits = 0
-            self._evictions = 0
-
-    def _trim(self, cache: OrderedDict) -> None:
-        # evict from the cache just inserted into until the combined size
-        # fits the bound again (inserts grow by one, so this suffices)
-        while (
-            len(self._cache) + len(self._frontier_cache) > self.max_cache_entries
-            and cache
-        ):
-            cache.popitem(last=False)
-            self._evictions += 1
+        self.gateway.clear_cache()
 
     def __repr__(self) -> str:
         stats = self.cache_info()
@@ -973,3 +411,13 @@ class SchedulingService:
             f"cache={stats.entries}/{stats.max_entries}, "
             f"hits={stats.hits}, misses={stats.misses})"
         )
+
+
+__all__ = [
+    "CacheStats",
+    "SchedulingService",
+    "SolveRequest",
+    "SolveResult",
+    "instance_fingerprint",
+    "structural_fingerprint",
+]

@@ -132,6 +132,76 @@ class TestDemo:
         assert len(payload["speedups"]) == 4
 
 
+class TestPipelineFlag:
+    def test_solve_alias_with_bare_pipeline_matches_default(
+        self, instance_path, capsys
+    ):
+        assert main(["solve", instance_path, "--pipeline", "bare"]) == 0
+        bare = json.loads(capsys.readouterr().out)
+        assert main(["allocate", instance_path, "--pipeline", "default"]) == 0
+        default = json.loads(capsys.readouterr().out)
+        assert bare == default  # fingerprint equality: same allocation JSON
+
+    def test_unknown_pipeline_rejected(self, instance_path):
+        with pytest.raises(SystemExit):
+            main(["allocate", instance_path, "--pipeline", "fancy"])
+
+
+class TestListMiddleware:
+    def test_lists_default_pipeline_stages_in_order(self, capsys):
+        assert main(["list-middleware"]) == 0
+        out = capsys.readouterr().out
+        for stage in (
+            "admission",
+            "metrics",
+            "coalesce",
+            "warm-start",
+            "cache",
+            "solver",
+        ):
+            assert stage in out
+        for header in ("stage", "class", "caches", "sheds", "terminal"):
+            assert header in out
+        # pipeline order: admission outermost, solver terminal
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert lines[1].split()[1] == "admission"
+        assert lines[-1].split()[1] == "solver"
+
+
+class TestBenchGatewayRecord:
+    def test_bench_json_also_writes_gateway_record(self, tmp_path, capsys):
+        target = tmp_path / "records" / "BENCH_parallel.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--instances",
+                    "2",
+                    "--users",
+                    "4",
+                    "--gpu-types",
+                    "2",
+                    "--backends",
+                    "thread",
+                    "--jobs",
+                    "2",
+                    "--json",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        gateway_record = json.loads(
+            (tmp_path / "records" / "BENCH_gateway.json").read_text()
+        )
+        assert gateway_record["schema"] == "repro/bench-v1"
+        assert gateway_record["benchmark"] == "gateway"
+        rows = {row["name"]: row for row in gateway_record["rows"]}
+        assert set(rows) == {"bare/cold", "pipeline/cold", "pipeline/hot"}
+        assert rows["pipeline/hot"]["matches_bare"] is True
+
+
 class TestListSchedulers:
     def test_lists_every_registered_scheduler(self, capsys):
         from repro import scheduler_names

@@ -1,0 +1,584 @@
+"""Gateway pipeline: envelopes, stages, composition, admission, coalescing."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import CooperativeOEF, ProblemInstance, SpeedupMatrix
+from repro.gateway import (
+    AdmissionMiddleware,
+    CacheMiddleware,
+    CoalesceMiddleware,
+    Gateway,
+    MetricsMiddleware,
+    Middleware,
+    Overloaded,
+    Request,
+    Response,
+    SolverMiddleware,
+    WarmStartMiddleware,
+    bare_pipeline,
+    deadline_in,
+    default_pipeline,
+)
+from repro.registry import create_scheduler
+from repro.workloads.generator import random_instance
+
+
+@pytest.fixture
+def gateway() -> Gateway:
+    return Gateway(default_pipeline())
+
+
+class _Recorder(Middleware):
+    """Test stage: records every request/response passing through."""
+
+    name = "recorder"
+
+    def __init__(self):
+        self.requests = []
+        self.responses = []
+
+    def handle(self, request, next):
+        self.requests.append(request)
+        response = next(request)
+        self.responses.append(response)
+        return response
+
+
+class _Blocking(Middleware):
+    """Terminal test stage that waits for an event before answering."""
+
+    name = "blocking"
+
+    def __init__(self, release: threading.Event):
+        self.release = release
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def handle(self, request, next):
+        with self._lock:
+            self.calls += 1
+        self.release.wait(10.0)
+        return Response(scheduler=request.scheduler, result="done")
+
+
+class TestEnvelope:
+    def test_request_is_frozen(self, paper_instance):
+        request = Request(instance=paper_instance)
+        with pytest.raises(AttributeError):
+            request.scheduler = "gavel"
+
+    def test_response_properties(self):
+        ok = Response(scheduler="x", disposition="cache-hit")
+        assert ok.ok and ok.from_cache and not ok.shed
+        shed = Overloaded(scheduler="x", disposition="shed-deadline")
+        assert not shed.ok and shed.shed and shed.allocation is None
+        assert shed.status == "overloaded"
+
+    def test_deadline_in_is_monotonic_future(self):
+        assert deadline_in(5.0) > time.monotonic()
+
+
+class TestGatewaySolve:
+    def test_cold_then_cached(self, gateway, paper_instance):
+        first = gateway.solve(paper_instance, "oef-coop")
+        second = gateway.solve(paper_instance, "cooperative")  # alias
+        assert first.disposition == "cold" and second.disposition == "cache-hit"
+        assert second.cache_hits == 1 and second.cache_misses == 1
+        assert first.fingerprint == second.fingerprint
+        direct = CooperativeOEF().allocate(paper_instance)
+        np.testing.assert_array_equal(second.allocation.matrix, direct.matrix)
+
+    def test_accepts_prebuilt_request(self, gateway, paper_instance):
+        response = gateway.solve(Request(instance=paper_instance, scheduler="max-min"))
+        assert response.scheduler == "max-min" and response.ok
+
+    def test_stage_timings_cover_the_pipeline(self, gateway, paper_instance):
+        response = gateway.solve(paper_instance, "max-min")
+        stages = [name for name, _ in response.stage_timings]
+        assert stages == [
+            "admission", "metrics", "coalesce", "warm-start", "cache", "solver",
+        ]
+        assert all(seconds >= 0.0 for _, seconds in response.stage_timings)
+        # inclusive timings: outer stages cover the inner ones
+        timings = dict(response.stage_timings)
+        assert timings["admission"] >= timings["solver"]
+
+    def test_cache_hit_skips_the_solver_stage(self, gateway, paper_instance):
+        gateway.solve(paper_instance, "max-min")
+        hit = gateway.solve(paper_instance, "max-min")
+        assert "solver" not in dict(hit.stage_timings)
+
+    def test_uncacheable_options_raise_before_solving(self, gateway, paper_instance):
+        with pytest.raises(TypeError, match="cannot be cached"):
+            gateway.solve(paper_instance, "max-min", options={"rng": object()})
+        ok = gateway.solve(
+            paper_instance, "max-min", options={}, use_cache=False
+        )
+        assert ok.disposition == "cold"
+
+    def test_bare_pipeline_never_caches(self, paper_instance):
+        gateway = Gateway(bare_pipeline())
+        first = gateway.solve(paper_instance, "oef-coop")
+        second = gateway.solve(paper_instance, "oef-coop")
+        assert first.disposition == second.disposition == "cold"
+        assert gateway.cache_info().entries == 0
+
+    def test_bare_matches_default_bitwise(self, paper_instance):
+        bare = Gateway(bare_pipeline())
+        full = Gateway(default_pipeline())
+        for scheduler in ("oef-coop", "oef-noncoop", "max-min", "gavel"):
+            a = bare.solve(paper_instance, scheduler)
+            b = full.solve(paper_instance, scheduler)
+            np.testing.assert_array_equal(a.allocation.matrix, b.allocation.matrix)
+
+    def test_pipeline_without_terminal_raises(self, paper_instance):
+        gateway = Gateway([CacheMiddleware()])
+        with pytest.raises(RuntimeError, match="terminal"):
+            gateway.solve(paper_instance, "max-min")
+
+
+class TestPipelineComposition:
+    def test_use_inserts_above_terminal_by_default(self, gateway):
+        recorder = _Recorder()
+        gateway.use(recorder)
+        assert gateway.pipeline[-2] is recorder
+
+    def test_use_before_and_after_anchors(self, gateway):
+        first = _Recorder()
+        gateway.use(first, before="cache")
+        names = [stage.name for stage in gateway.pipeline]
+        assert names.index("recorder") == names.index("cache") - 1
+        second = _Recorder()
+        gateway.use(second, after=SolverMiddleware)
+        assert gateway.pipeline[-1] is second
+
+    def test_use_rejects_double_anchor(self, gateway):
+        with pytest.raises(ValueError, match="at most one"):
+            gateway.use(_Recorder(), before="cache", after="solver")
+
+    def test_remove_stage(self, gateway, paper_instance):
+        gateway.remove(MetricsMiddleware)
+        assert gateway.find(MetricsMiddleware) is None
+        assert gateway.solve(paper_instance, "max-min").ok
+
+    def test_custom_stage_sees_requests_and_responses(self, gateway, paper_instance):
+        recorder = _Recorder()
+        gateway.use(recorder, before="solver")
+        gateway.solve(paper_instance, "max-min")
+        gateway.solve(paper_instance, "max-min")  # cache hit: stage not reached
+        assert len(recorder.requests) == 1
+        assert recorder.responses[0].disposition == "cold"
+
+    def test_describe_lists_stages_in_order(self, gateway):
+        rows = gateway.describe()
+        assert [row["stage"] for row in rows] == [
+            "admission", "metrics", "coalesce", "warm-start", "cache", "solver",
+        ]
+        assert rows[-1]["terminal"] == "yes"
+
+    def test_find_by_name_and_class(self, gateway):
+        assert gateway.find("cache") is gateway.find(CacheMiddleware)
+        assert gateway.find("nope") is None
+
+
+class TestIncrementalThroughGateway:
+    def test_incremental_matches_cold(self, gateway, paper_instance):
+        options = {"backend": "simplex"}
+        prev = gateway.solve(
+            paper_instance, "oef-noncoop", options=options, incremental=True
+        )
+        assert prev.warm_state is not None and not prev.warm
+        drifted = ProblemInstance(paper_instance.speedups, paper_instance.capacities * 1.1)
+        warm = gateway.solve(
+            drifted, "oef-noncoop", options=options,
+            incremental=True, prev_result=prev,
+        )
+        assert warm.warm and warm.disposition == "warm-structural"
+        cold = create_scheduler("oef-noncoop", backend="simplex").allocate(drifted)
+        np.testing.assert_allclose(warm.allocation.matrix, cold.matrix, atol=1e-9)
+        stats = gateway.cache_info()
+        assert stats.structural_hits == 1 and stats.warm_hits == 0
+
+    def test_exact_incremental_hit_counts_warm(self, gateway, paper_instance):
+        gateway.solve(paper_instance, "oef-coop", incremental=True)
+        again = gateway.solve(paper_instance, "oef-coop", incremental=True)
+        assert again.from_cache
+        assert gateway.cache_info().warm_hits == 1
+
+
+class TestAdmission:
+    def test_expired_deadline_is_shed(self, gateway, paper_instance):
+        response = gateway.solve(
+            paper_instance, "max-min", deadline=time.monotonic() - 1.0
+        )
+        assert isinstance(response, Overloaded)
+        assert response.disposition == "shed-deadline"
+        # nothing was solved or cached
+        assert gateway.cache_info().entries == 0
+
+    def test_future_deadline_is_admitted(self, gateway, paper_instance):
+        response = gateway.solve(paper_instance, "max-min", deadline=deadline_in(30))
+        assert response.ok
+
+    def test_zero_capacity_sheds_everything(self, paper_instance):
+        gateway = Gateway(default_pipeline(max_in_flight=0))
+        response = gateway.solve(paper_instance, "max-min")
+        assert response.disposition == "shed-capacity"
+        assert "in flight" in response.reason
+
+    def test_priority_bypasses_capacity_shedding(self, paper_instance):
+        gateway = Gateway(default_pipeline(max_in_flight=0))
+        response = gateway.solve(paper_instance, "max-min", priority=1)
+        assert response.ok
+
+    def test_counters_exact_under_8_thread_hammer(self):
+        """Admission counters must account every request exactly once."""
+        release = threading.Event()
+        admission = AdmissionMiddleware(max_in_flight=3)
+        blocking = _Blocking(release)
+        gateway = Gateway([admission, blocking])
+        num_threads = 8
+        per_thread = 5
+        barrier = threading.Barrier(num_threads)
+        outcomes: list = []
+        errors: list = []
+        lock = threading.Lock()
+
+        def worker():
+            try:
+                barrier.wait()
+                for _ in range(per_thread):
+                    response = gateway.dispatch(
+                        Request(instance=None, scheduler="noop")
+                    )
+                    with lock:
+                        outcomes.append(response.status)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)
+        release.set()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        total = num_threads * per_thread
+        stats = admission.stats()
+        assert len(outcomes) == total
+        assert stats["admitted"] + stats["shed_capacity"] == total
+        assert stats["admitted"] == blocking.calls
+        assert stats["admitted"] == sum(1 for s in outcomes if s == "ok")
+        assert stats["shed_capacity"] >= 1  # the bound actually bit
+        assert stats["in_flight"] == 0  # every admit was released
+        assert stats["shed_deadline"] == 0
+
+
+class TestCoalesce:
+    def test_concurrent_identical_requests_solve_once(self, paper_instance):
+        gateway = Gateway(default_pipeline())
+        num_threads = 6
+        barrier = threading.Barrier(num_threads)
+        results: list = []
+        errors: list = []
+        lock = threading.Lock()
+
+        def worker():
+            try:
+                barrier.wait()
+                response = gateway.solve(paper_instance, "oef-coop")
+                with lock:
+                    results.append(response)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors and len(results) == num_threads
+        stats = gateway.cache_info()
+        # the leader misses; coalesced followers retry into the cache
+        assert stats.misses + stats.hits == num_threads
+        coalesce = gateway.find(CoalesceMiddleware)
+        assert coalesce.stats()["coalesced"] <= stats.hits
+        reference = results[0].allocation.matrix
+        for response in results[1:]:
+            np.testing.assert_array_equal(response.allocation.matrix, reference)
+
+    def test_follower_waits_for_leader_then_hits_cache(self, paper_instance):
+        """Deterministic leader/follower handoff through the coalesce stage."""
+        entered = threading.Event()
+        release = threading.Event()
+
+        class _SlowSolver(Middleware):
+            name = "slow-solver"
+
+            def __init__(self):
+                self.calls = 0
+
+            def handle(self, request, next):
+                self.calls += 1
+                entered.set()
+                release.wait(10.0)
+                matrix = np.zeros((request.instance.num_users, 2))
+                from repro.core import Allocation
+
+                allocation = Allocation(
+                    matrix, request.instance, allocator_name="slow"
+                )
+                return Response(
+                    scheduler=request.scheduler,
+                    allocation=allocation,
+                    result=allocation,
+                    fingerprint="slow",
+                )
+
+        solver = _SlowSolver()
+        gateway = Gateway(
+            [CoalesceMiddleware(), CacheMiddleware(), solver]
+        )
+        request = Request(instance=paper_instance, scheduler="max-min", key="k")
+        responses: list = []
+
+        leader = threading.Thread(
+            target=lambda: responses.append(gateway.dispatch(request))
+        )
+        leader.start()
+        assert entered.wait(5.0)  # the leader is inside the terminal stage
+        follower = threading.Thread(
+            target=lambda: responses.append(gateway.dispatch(request))
+        )
+        follower.start()
+        time.sleep(0.2)  # let the follower park on the coalesce event
+        release.set()
+        leader.join()
+        follower.join()
+
+        assert solver.calls == 1  # the follower never solved
+        assert len(responses) == 2
+        assert {r.disposition for r in responses} == {"cold", "cache-hit"}
+
+    def test_uncached_requests_are_not_coalesced(self, gateway, paper_instance):
+        gateway.solve(paper_instance, "max-min", use_cache=False)
+        assert gateway.find(CoalesceMiddleware).stats()["coalesced"] == 0
+
+
+class TestMetrics:
+    def test_histograms_by_disposition_and_stage(self, gateway, paper_instance):
+        gateway.solve(paper_instance, "max-min")
+        gateway.solve(paper_instance, "max-min")
+        rows = {row["name"]: row for row in gateway.metrics_snapshot()}
+        assert rows["cold"]["samples"] == 1
+        assert rows["cache-hit"]["samples"] == 1
+        assert rows["stage:solver"]["samples"] == 1  # hit skipped the solver
+        assert rows["stage:cache"]["samples"] == 2
+        for row in rows.values():
+            assert row["p95"] >= row["p50"] >= 0.0
+
+    def test_reset_clears_histograms(self, gateway, paper_instance):
+        gateway.solve(paper_instance, "max-min")
+        gateway.find(MetricsMiddleware).reset()
+        assert gateway.metrics_snapshot() == []
+
+    def test_shed_dispositions_are_recorded_despite_admission_ordering(
+        self, paper_instance
+    ):
+        # admission answers above the metrics stage; the gateway still
+        # feeds the shed disposition into the histograms
+        gateway = Gateway(default_pipeline(max_in_flight=0))
+        gateway.solve(paper_instance, "max-min")
+        rows = {row["name"]: row for row in gateway.metrics_snapshot()}
+        assert rows["shed-capacity"]["samples"] == 1
+
+
+class TestCachePoisoning:
+    def test_mutating_a_response_does_not_poison_the_cache(
+        self, gateway, paper_instance
+    ):
+        gateway.solve(paper_instance, "max-min")
+        hit = gateway.solve(paper_instance, "max-min")
+        hit.allocation.matrix[:] = 0.0
+        clean = gateway.solve(paper_instance, "max-min")
+        assert clean.allocation.total_efficiency() > 0
+
+
+class TestBatchThroughGateway:
+    def test_parallel_batch_matches_serial(self):
+        instances = [random_instance(4, 3, seed=seed) for seed in range(3)]
+        requests = [
+            Request(instance=instance, scheduler=name)
+            for instance in instances
+            for name in ("oef-coop", "max-min")
+        ]
+        serial = Gateway(default_pipeline()).solve_batch(requests)
+        parallel = Gateway(default_pipeline()).solve_batch(
+            requests, backend="thread", max_workers=2
+        )
+        for a, b in zip(serial, parallel):
+            assert a.scheduler == b.scheduler
+            np.testing.assert_allclose(
+                a.allocation.matrix, b.allocation.matrix, atol=1e-9
+            )
+
+    def test_batch_without_cache_stage_still_solves(self, paper_instance):
+        gateway = Gateway(bare_pipeline())
+        responses = gateway.solve_batch(
+            [Request(instance=paper_instance, scheduler="max-min")] * 2,
+            backend="thread",
+        )
+        assert all(r.disposition == "cold" for r in responses)
+        assert all(r.cache_hits == 0 for r in responses)
+
+    def test_batch_accepts_bare_triples(self, paper_instance):
+        gateway = Gateway(default_pipeline())
+        responses = gateway.solve_batch([(paper_instance, "max-min", {})])
+        assert responses[0].scheduler == "max-min"
+
+    def test_expired_deadline_sheds_on_every_backend(self, paper_instance):
+        """A batch answers exactly like serial calls: deadlines still shed."""
+        expired = Request(
+            instance=paper_instance,
+            scheduler="max-min",
+            deadline=time.monotonic() - 1.0,
+        )
+        fresh = Request(instance=paper_instance, scheduler="oef-coop")
+        serial = Gateway(default_pipeline()).solve_batch([expired, fresh])
+        parallel = Gateway(default_pipeline()).solve_batch(
+            [expired, fresh], backend="thread", max_workers=2
+        )
+        for responses in (serial, parallel):
+            assert responses[0].disposition == "shed-deadline"
+            assert responses[0].allocation is None
+            assert responses[1].ok and responses[1].allocation is not None
+
+    def test_incremental_requests_keep_warm_tiers_in_parallel_batches(
+        self, paper_instance
+    ):
+        gateway = Gateway(default_pipeline())
+        options = {"backend": "simplex"}
+        prev = gateway.solve(
+            paper_instance, "oef-noncoop", options=options, incremental=True
+        )
+        drifted = ProblemInstance(
+            paper_instance.speedups, paper_instance.capacities * 1.1
+        )
+        responses = gateway.solve_batch(
+            [
+                Request(
+                    instance=drifted,
+                    scheduler="oef-noncoop",
+                    options=options,
+                    incremental=True,
+                    prev_result=prev,
+                )
+            ],
+            backend="thread",
+        )
+        assert responses[0].warm  # the verified warm tier still engaged
+        assert gateway.cache_info().structural_hits == 1
+
+    def test_bounded_admission_applies_to_parallel_batches(self, paper_instance):
+        """A capacity bound must shed in batches exactly like serial calls."""
+        requests = [Request(instance=paper_instance, scheduler="max-min")] * 2
+        serial = Gateway(default_pipeline(max_in_flight=0)).solve_batch(requests)
+        with pytest.warns(RuntimeWarning, match="cannot[\\s\\S]*replicate"):
+            parallel = Gateway(default_pipeline(max_in_flight=0)).solve_batch(
+                requests, backend="thread"
+            )
+        for responses in (serial, parallel):
+            assert all(r.disposition == "shed-capacity" for r in responses)
+
+    def test_custom_stages_see_batched_requests(self, paper_instance):
+        """gateway.use() extensions are never bypassed by the batch planner."""
+        recorder = _Recorder()
+        gateway = Gateway(default_pipeline())
+        gateway.use(recorder, before="solver")
+        with pytest.warns(RuntimeWarning, match="custom"):
+            gateway.solve_batch(
+                [Request(instance=paper_instance, scheduler="max-min")],
+                backend="thread",
+            )
+        assert len(recorder.requests) == 1
+
+    def test_custom_request_key_cannot_corrupt_the_batch_cache(
+        self, paper_instance
+    ):
+        """The lane planner derives its own identity; a later plain solve
+        must hit a well-formed entry, not bytes-indexed garbage."""
+        gateway = Gateway(default_pipeline())
+        gateway.solve_batch(
+            [
+                Request(
+                    instance=paper_instance, scheduler="oef-coop", key=b"round-1"
+                )
+            ],
+            backend="thread",
+        )
+        hit = gateway.solve(paper_instance, "oef-coop")
+        assert hit.from_cache
+        assert hit.scheduler == "oef-coop"
+        assert isinstance(hit.fingerprint, str) and len(hit.fingerprint) == 64
+
+
+class TestServiceShim:
+    def test_service_exposes_its_gateway(self, paper_instance):
+        from repro.service import SchedulingService
+
+        service = SchedulingService()
+        assert isinstance(service.gateway, Gateway)
+        via_service = service.solve(paper_instance, "oef-coop")
+        via_gateway = service.gateway.solve(paper_instance, "oef-coop")
+        assert via_gateway.from_cache  # shared pipeline, shared cache
+        np.testing.assert_array_equal(
+            via_service.allocation.matrix, via_gateway.allocation.matrix
+        )
+
+    def test_gateway_and_registry_kwargs_conflict(self):
+        from repro.registry import SchedulerRegistry
+        from repro.service import SchedulingService
+
+        with pytest.raises(ValueError, match="not both"):
+            SchedulingService(
+                registry=SchedulerRegistry(), gateway=Gateway(bare_pipeline())
+            )
+
+    def test_explicit_gateway_is_authoritative_for_the_cache_bound(self):
+        from repro.service import SchedulingService
+
+        service = SchedulingService(
+            gateway=Gateway(default_pipeline(max_cache_entries=7))
+        )
+        assert service.max_cache_entries == 7
+        assert service.cache_info().max_entries == 7
+
+    def test_legacy_batch_kwargs_warn(self, paper_instance):
+        from repro.service import SchedulingService
+
+        with pytest.warns(DeprecationWarning, match="solve_batch"):
+            SchedulingService().solve_batch(
+                paper_instance, "max-min", backend="thread"
+            )
+
+    def test_serial_batch_does_not_warn(self, paper_instance, recwarn):
+        from repro.service import SchedulingService
+
+        SchedulingService().solve_batch(paper_instance, "max-min")
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_warm_startable_stage_keeps_warm_startable_registry_flag(self):
+        from repro import scheduler_info
+
+        # the stage engages exactly for the schedulers flagged warm_startable
+        assert scheduler_info("oef-coop").warm_startable
+        assert not scheduler_info("max-min").warm_startable

@@ -1,0 +1,150 @@
+"""Property-based test: pipeline composition never changes an answer.
+
+For random instances, random schedulers, and **any permutation of the
+optimisation stages** {Cache, WarmStart, Coalesce, Metrics} around the
+terminal :class:`SolverMiddleware`, the gateway must produce allocations
+bit-identical to a bare (solver-only) pipeline — the stages are
+transparent accelerators, never policy.  A second property drives an
+incremental drift chain through permuted pipelines and checks every
+step against an always-cold solve, exercising the warm tiers under
+arbitrary stage orderings.  Hypothesis shrinks any counterexample to a
+minimal (instance, permutation) pair.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ProblemInstance, SpeedupMatrix
+from repro.gateway import (
+    CacheMiddleware,
+    CoalesceMiddleware,
+    Gateway,
+    MetricsMiddleware,
+    SolverMiddleware,
+    WarmStartMiddleware,
+    bare_pipeline,
+)
+from repro.registry import create_scheduler, scheduler_names
+
+#: hypothesis-heavy: deselect with `pytest -m 'not slow'`
+pytestmark = pytest.mark.slow
+_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_STAGE_FACTORIES = (
+    CacheMiddleware,
+    WarmStartMiddleware,
+    CoalesceMiddleware,
+    MetricsMiddleware,
+)
+
+_SCHEDULERS = scheduler_names()
+
+
+@st.composite
+def instances(draw, max_users: int = 4, max_types: int = 3):
+    """Random valid ProblemInstances (monotone speedup rows)."""
+    num_users = draw(st.integers(2, max_users))
+    num_types = draw(st.integers(2, max_types))
+    rows = []
+    for _ in range(num_users):
+        gains = [
+            draw(st.floats(1.0, 3.0, allow_nan=False, allow_infinity=False))
+            for _ in range(num_types - 1)
+        ]
+        rows.append(np.cumprod([1.0] + gains))
+    capacities = [
+        draw(st.floats(0.5, 8.0, allow_nan=False, allow_infinity=False))
+        for _ in range(num_types)
+    ]
+    matrix = SpeedupMatrix(np.vstack(rows), normalise=False)
+    return ProblemInstance(matrix, capacities)
+
+
+def _permuted_gateway(order) -> Gateway:
+    """A gateway running the given stage ordering above the solver."""
+    return Gateway([factory() for factory in order] + [SolverMiddleware()])
+
+
+@given(
+    instance=instances(),
+    order=st.permutations(_STAGE_FACTORIES),
+    scheduler=st.sampled_from(_SCHEDULERS),
+)
+@_SETTINGS
+def test_any_stage_permutation_matches_bare_pipeline(instance, order, scheduler):
+    """Cold solve + repeat solve through any ordering == bare pipeline."""
+    bare = Gateway(bare_pipeline()).solve(instance, scheduler)
+    permuted = _permuted_gateway(order)
+    first = permuted.solve(instance, scheduler)
+    second = permuted.solve(instance, scheduler)  # served by whatever caches
+    np.testing.assert_array_equal(first.allocation.matrix, bare.allocation.matrix)
+    np.testing.assert_array_equal(second.allocation.matrix, bare.allocation.matrix)
+    assert first.scheduler == second.scheduler == bare.scheduler
+    # every call is accounted for exactly once by the cache stage
+    stats = permuted.cache_info()
+    assert stats.hits + stats.misses == 2
+
+
+@given(
+    instance=instances(),
+    order=st.permutations(_STAGE_FACTORIES),
+    subset_mask=st.lists(st.booleans(), min_size=4, max_size=4),
+    scheduler=st.sampled_from(_SCHEDULERS),
+)
+@_SETTINGS
+def test_any_stage_subset_matches_bare_pipeline(
+    instance, order, subset_mask, scheduler
+):
+    """Dropping any subset of optimisation stages changes nothing either."""
+    stages = [
+        factory for factory, keep in zip(order, subset_mask) if keep
+    ]
+    gateway = Gateway([factory() for factory in stages] + [SolverMiddleware()])
+    bare = Gateway(bare_pipeline()).solve(instance, scheduler)
+    response = gateway.solve(instance, scheduler)
+    np.testing.assert_array_equal(
+        response.allocation.matrix, bare.allocation.matrix
+    )
+
+
+@given(
+    instance=instances(),
+    order=st.permutations(_STAGE_FACTORIES),
+    scales=st.lists(
+        st.floats(0.6, 1.6, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=3,
+    ),
+    scheduler=st.sampled_from(["oef-coop", "oef-noncoop", "max-min"]),
+)
+@_SETTINGS
+def test_incremental_drift_chain_matches_cold_under_any_permutation(
+    instance, order, scales, scheduler
+):
+    """Warm tiers stay transparent whatever the stage ordering is."""
+    options = {"backend": "simplex"}
+    if scheduler == "max-min":
+        options = {}
+    permuted = _permuted_gateway(order)
+    prev = permuted.solve(
+        instance, scheduler, options=options, incremental=True
+    )
+    for scale in scales:
+        drifted = ProblemInstance(instance.speedups, instance.capacities * scale)
+        prev = permuted.solve(
+            drifted,
+            scheduler,
+            options=options,
+            incremental=True,
+            prev_result=prev,
+        )
+        cold = create_scheduler(scheduler, **options).allocate(drifted)
+        np.testing.assert_allclose(
+            prev.allocation.matrix, cold.matrix, atol=1e-9
+        )

@@ -45,7 +45,21 @@ echo "== repro frontier (thread backend) =="
     --backend thread --jobs 2 | tee "$TMP/frontier_thread.txt"
 diff "$TMP/frontier.txt" "$TMP/frontier_thread.txt"
 
-echo "== repro bench (+ BENCH_parallel.json record) =="
+echo "== repro solve --pipeline default vs --pipeline bare (gateway gate) =="
+"$PY" -m repro solve "$TMP/instance.json" --scheduler oef-coop \
+    --pipeline default --output "$TMP/alloc_default.json"
+"$PY" -m repro solve "$TMP/instance.json" --scheduler oef-coop \
+    --pipeline bare --output "$TMP/alloc_bare.json"
+# the middleware pipeline must be allocation-transparent: identical JSON
+diff "$TMP/alloc_default.json" "$TMP/alloc_bare.json"
+
+echo "== repro list-middleware =="
+"$PY" -m repro list-middleware | tee "$TMP/middleware.txt"
+for stage in admission metrics coalesce warm-start cache solver; do
+    grep -q "$stage" "$TMP/middleware.txt"
+done
+
+echo "== repro bench (+ BENCH_parallel.json / BENCH_gateway.json records) =="
 "$PY" -m repro bench --instances 4 --users 6 --gpu-types 3 \
     --backends thread --jobs 2 --repeat 2 \
     --json "$TMP/BENCH_parallel.json" | tee "$TMP/bench.txt"
@@ -53,6 +67,9 @@ grep -q "matches serial" "$TMP/bench.txt"
 test -s "$TMP/BENCH_parallel.json"
 grep -q '"schema": "repro/bench-v1"' "$TMP/BENCH_parallel.json"
 grep -q '"p95"' "$TMP/BENCH_parallel.json"
+test -s "$TMP/BENCH_gateway.json"
+grep -q '"benchmark": "gateway"' "$TMP/BENCH_gateway.json"
+grep -q '"matches_bare": true' "$TMP/BENCH_gateway.json"
 
 echo "== repro experiments (2 jobs) =="
 "$PY" -m repro experiments fig1 fig6 --jobs 2 --backend thread \
