@@ -1,0 +1,154 @@
+"""Serving-layer benchmark: warmed throughput/latency + overload shedding.
+
+Two phases against a real :class:`~repro.server.app.ReproServer` on a
+loopback socket, driven by the open-loop bursty load generator
+(:mod:`repro.server.loadgen` — open loop because a closed-loop client
+slows down with the server and hides queue collapse):
+
+1. **steady**: shard caches pre-warmed, unbounded admission.  The
+   acceptance bar is end-to-end: the server must sustain at least
+   ``STEADY_RPS_FLOOR`` of the offered rate with p99 latency under
+   ``P99_CEILING_S``, with zero transport errors — the full
+   socket → HTTP/1.1 → protocol → consistent-hash shard → executor →
+   gateway path, round-tripped per request.
+2. **overload**: ``use_cache: false`` forces every request through a
+   real LP solve against a 1-slot admission stage.  The bar is the
+   paper's middleware story under stress: the server keeps answering —
+   every request gets a response, the excess is shed as 429 with a
+   ``Retry-After`` hint, and nothing times out or errors.
+
+Both phases land in one ``BENCH_serve.json`` record (see
+:mod:`repro.benchio`; the ``run`` block records commit/host/interpreter
+provenance) so serving-perf trajectories are diffable between PRs.
+"""
+
+import asyncio
+
+from repro.benchio import bench_output_path, write_bench_json
+from repro.server.app import ReproServer
+from repro.server.loadgen import (
+    LoadGenConfig,
+    run_load_async,
+    warm_server,
+)
+
+SHARDS = 2
+#: Steady phase: warmed caches, moderate bursty load.
+STEADY = LoadGenConfig(
+    duration_s=2.5,
+    rate=120.0,
+    burst_factor=4.0,
+    num_instances=8,
+    users=8,
+    gpu_types=4,
+    seed=0,
+)
+#: Overload phase: every request is a cold LP against one admission slot.
+OVERLOAD = LoadGenConfig(
+    duration_s=1.5,
+    rate=120.0,
+    burst_factor=5.0,
+    num_instances=10,
+    users=8,
+    gpu_types=4,
+    seed=1,
+    use_cache=False,
+)
+#: The server must complete at least this fraction of offered requests
+#: (steady phase; the load is mostly cache hits, so headroom is large).
+STEADY_RPS_FLOOR = 0.9
+#: End-to-end p99 ceiling for the warmed path, seconds.  Generous for a
+#: shared CI runner; a healthy run sits well under 100ms.
+P99_CEILING_S = 1.0
+#: Overload phase must shed at least this many requests (the 1-slot
+#: admission stage is saturated by design).
+MIN_SHED = 10
+
+
+def test_bench_serve(benchmark):
+    async def drive():
+        steady_server = ReproServer(
+            "127.0.0.1", 0, shards=SHARDS, pipeline="default"
+        )
+        await steady_server.start()
+        try:
+            warmed = await warm_server(
+                "127.0.0.1", steady_server.port, STEADY
+            )
+            steady = await run_load_async(
+                "127.0.0.1", steady_server.port, STEADY
+            )
+        finally:
+            await steady_server.stop()
+        steady_metrics = steady_server.final_metrics
+
+        overload_server = ReproServer(
+            "127.0.0.1", 0, shards=1, pipeline="default", max_in_flight=1
+        )
+        await overload_server.start()
+        try:
+            overload = await run_load_async(
+                "127.0.0.1", overload_server.port, OVERLOAD
+            )
+        finally:
+            await overload_server.stop()
+        return warmed, steady, steady_metrics, overload
+
+    warmed, steady, steady_metrics, overload = benchmark.pedantic(
+        lambda: asyncio.run(drive()), rounds=1, iterations=1
+    )
+
+    # -- steady-phase acceptance -------------------------------------------
+    assert warmed == len(STEADY.schedulers) * STEADY.num_instances
+    assert steady.errors == 0, f"transport errors under steady load: {steady.errors}"
+    assert steady.shed == 0  # unbounded admission never sheds
+    completion = steady.ok / steady.offered
+    assert completion >= STEADY_RPS_FLOOR, (
+        f"only {completion:.0%} of offered requests completed "
+        f"(floor {STEADY_RPS_FLOOR:.0%})"
+    )
+    p99 = steady.latency_quantile(99)
+    assert p99 <= P99_CEILING_S, (
+        f"steady p99 {p99 * 1e3:.1f}ms exceeds the "
+        f"{P99_CEILING_S * 1e3:.0f}ms ceiling"
+    )
+    # the warmed run really was the cache-hit hot path
+    assert steady_metrics["totals"]["cache_hits"] >= steady.ok * 0.9
+
+    # -- overload-phase acceptance -----------------------------------------
+    assert overload.errors == 0, (
+        f"transport errors under overload: {overload.errors} — "
+        "shedding must answer, not collapse"
+    )
+    assert overload.completed == overload.offered  # every request answered
+    assert overload.shed >= MIN_SHED, (
+        f"only {overload.shed} sheds; the 1-slot stage should refuse most "
+        f"of ~{overload.offered} cold solves"
+    )
+    assert overload.ok >= 1  # admitted work still finishes
+    assert overload.retry_after_values, "429s must carry Retry-After"
+    assert min(overload.retry_after_values) >= 1
+
+    rows = steady.bench_rows("serve/steady") + overload.bench_rows(
+        "serve/overload"
+    )
+    rows[0]["cache_hits"] = steady_metrics["totals"]["cache_hits"]
+    rows[1]["retry_after_min_s"] = min(overload.retry_after_values)
+    path = write_bench_json(
+        bench_output_path("BENCH_serve.json"),
+        "serve",
+        rows,
+        meta={
+            "shards": SHARDS,
+            "steady_rate": STEADY.rate,
+            "steady_duration_s": STEADY.duration_s,
+            "overload_rate": OVERLOAD.rate,
+            "overload_max_in_flight": 1,
+            "p99_ceiling_s": P99_CEILING_S,
+            "steady_completion_floor": STEADY_RPS_FLOOR,
+        },
+    )
+    benchmark.extra_info["bench_json"] = path
+    benchmark.extra_info["steady_p99_ms"] = round(p99 * 1e3, 2)
+    benchmark.extra_info["steady_rps"] = round(steady.achieved_rps, 1)
+    benchmark.extra_info["overload_shed"] = overload.shed

@@ -14,19 +14,31 @@ Schema (``repro/bench-v1``)::
       "schema": "repro/bench-v1",
       "benchmark": "warm_start",
       "created_unix": 1722300000.0,
+      "run": {...},                        # environment provenance, see
+                                           # run_metadata(): git SHA,
+                                           # hostname, python, platform
       "meta": {...},                       # free-form context
       "rows": [
         {"name": "steady/warm", "mean": 0.02, "p50": 0.02, "p95": 0.03,
          "samples": 5, ...},               # extra keys pass through
       ]
     }
+
+The ``run`` block is what makes records *comparable across runs* — two
+``BENCH_*.json`` files can be diffed knowing whether they came from the
+same commit, machine, and interpreter (groundwork for the roadmap's
+persistent bench-ledger item).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import platform
+import socket
+import subprocess
 import time
+from datetime import datetime, timezone
 from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
@@ -35,6 +47,38 @@ SCHEMA = "repro/bench-v1"
 
 #: Environment variable overriding where ``BENCH_*.json`` files land.
 OUTPUT_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+def _git_sha() -> str:
+    """The current commit SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def run_metadata() -> Dict[str, object]:
+    """Environment provenance stamped into every benchmark record.
+
+    Git SHA, hostname, python version, platform string, and a UTC
+    timestamp — enough to decide whether two ``BENCH_*.json`` files are
+    comparable (same commit? same machine? same interpreter?).
+    """
+    return {
+        "git_sha": _git_sha(),
+        "hostname": socket.gethostname(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "created_iso": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
 
 
 def bench_stats(seconds: Sequence[float]) -> Dict[str, float]:
@@ -74,6 +118,7 @@ def write_bench_json(
         "schema": SCHEMA,
         "benchmark": benchmark,
         "created_unix": time.time(),
+        "run": run_metadata(),
         "meta": dict(meta or {}),
         "rows": rows,
     }
@@ -88,5 +133,6 @@ __all__ = [
     "SCHEMA",
     "bench_output_path",
     "bench_stats",
+    "run_metadata",
     "write_bench_json",
 ]

@@ -19,6 +19,12 @@ Commands
                      ``--json`` writes a ``BENCH_parallel.json`` record
                      *and* a ``BENCH_gateway.json`` pipeline-on/off
                      comparison next to it
+``serve``            run the async sharded HTTP serving layer
+                     (``--port --shards --pipeline --max-in-flight``;
+                     see :mod:`repro.server` and ``docs/server.md``)
+``loadtest``         drive a running server with the open-loop bursty
+                     load generator and print the latency/throughput
+                     report (``--json`` writes a ``BENCH_serve.json``)
 ``demo``             write a demo instance JSON to get started
 
 ``compare``, ``frontier``, ``experiments``, and ``bench`` accept
@@ -396,6 +402,60 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async sharded serving layer until SIGINT/SIGTERM."""
+    from repro.server import serve
+
+    return serve(
+        args.host,
+        args.port,
+        shards=args.shards,
+        pipeline=args.pipeline,
+        max_in_flight=args.max_in_flight,
+    )
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Drive a running server with the open-loop bursty load generator."""
+    from repro.benchio import write_bench_json
+    from repro.server import LoadGenConfig, run_load
+
+    config = LoadGenConfig(
+        duration_s=args.duration,
+        rate=args.rate,
+        burst_factor=args.burst_factor,
+        num_instances=args.instances,
+        users=args.users,
+        gpu_types=args.gpu_types,
+        schedulers=tuple(args.schedulers),
+        seed=args.seed,
+        use_cache=not args.no_cache,
+    )
+    report = run_load(args.host, args.port, config)
+    _print_table([report.summary_row()])
+    if report.retry_after_values:
+        print(
+            f"{report.shed} requests shed with 429; Retry-After "
+            f"{min(report.retry_after_values):.0f}-"
+            f"{max(report.retry_after_values):.0f}s"
+        )
+    if args.json:
+        meta = {
+            "host": args.host,
+            "port": args.port,
+            "rate": args.rate,
+            "duration_s": args.duration,
+            "burst_factor": args.burst_factor,
+            "schedulers": list(args.schedulers),
+            "use_cache": not args.no_cache,
+        }
+        path = write_bench_json(
+            args.json, "serve", report.bench_rows("loadtest"), meta=meta
+        )
+        print(f"wrote {path}")
+    return 0 if report.errors == 0 else 1
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     from repro.workloads.generator import zoo_instance
 
@@ -576,6 +636,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a machine-readable BENCH_parallel.json record here",
     )
     bench.set_defaults(func=cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="run the async sharded HTTP serving layer"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument(
+        "--shards", type=int, default=2,
+        help="gateway workers behind the consistent-hash ring",
+    )
+    serve.add_argument(
+        "--pipeline",
+        choices=sorted(_PIPELINES),
+        default="default",
+        help="middleware pipeline each shard solves through",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=None,
+        help="per-shard admission bound; excess solves shed as HTTP 429 "
+        "with Retry-After (default: unbounded)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    loadtest = sub.add_parser(
+        "loadtest", help="open-loop bursty load test against a running server"
+    )
+    loadtest.add_argument("--host", default="127.0.0.1")
+    loadtest.add_argument("--port", type=int, default=8080)
+    loadtest.add_argument("--duration", type=float, default=3.0)
+    loadtest.add_argument("--rate", type=float, default=100.0,
+                          help="base arrival rate, requests/second")
+    loadtest.add_argument("--burst-factor", type=float, default=4.0)
+    loadtest.add_argument("--instances", type=int, default=8)
+    loadtest.add_argument("--users", type=int, default=6)
+    loadtest.add_argument("--gpu-types", type=int, default=3)
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument(
+        "--schedulers", nargs="+", default=["oef-coop"], choices=names
+    )
+    loadtest.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="mark every request use_cache:false so each one runs a real "
+        "LP server-side (saturates a bounded admission stage)",
+    )
+    loadtest.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write a machine-readable BENCH_serve.json record here",
+    )
+    loadtest.set_defaults(func=cmd_loadtest)
 
     demo = sub.add_parser("demo", help="write a demo instance JSON")
     demo.add_argument("--output", default="instance.json")

@@ -247,6 +247,12 @@ class Overloaded(Response):
 
     status: str = "overloaded"
     disposition: str = "shed-capacity"
+    #: Machine-readable backoff hint in seconds, derived by the admission
+    #: stage from its queue depth and the recent downstream latency — the
+    #: serving layer maps it onto an HTTP ``Retry-After`` header, and
+    #: programmatic callers should sleep at least this long before
+    #: retrying instead of guessing.
+    retry_after_s: float = 0.0
 
 
 __all__ = [

@@ -198,10 +198,19 @@ class Gateway:
         ``before``/``after`` anchor the insertion point by stage name,
         class, or instance; with neither, the stage lands just above the
         terminal stage (the last position that still runs on cache
-        misses).  Exactly one anchor may be given.
+        misses).  Exactly one anchor may be given.  An unknown anchor
+        raises ``ValueError``, as does inserting the same stage
+        *instance* twice — stages hold per-stage state (locks, counters),
+        so one instance appearing at two pipeline positions would
+        double-count every request.
         """
         if before is not None and after is not None:
             raise ValueError("pass at most one of before=/after=")
+        if any(candidate is middleware for candidate in self._stages):
+            raise ValueError(
+                f"stage {middleware.name!r} is already in the pipeline; "
+                "construct a second instance to insert it again"
+            )
         if before is None and after is None:
             index = max(len(self._stages) - 1, 0)
         else:

@@ -643,28 +643,67 @@ class AdmissionMiddleware(Middleware):
     solves are shed too, except requests with ``priority > 0``, which
     are always admitted.  With the defaults (no bound, no deadline) this
     stage is a transparent counter and the legacy facade never sheds.
+
+    Every :class:`~repro.gateway.envelope.Overloaded` response carries a
+    machine-readable ``retry_after_s`` backoff hint derived from the
+    queue depth and an EWMA of recent downstream completion latency
+    (roughly: how long until enough in-flight work drains for a retry to
+    be admitted).  The serving layer maps it onto the HTTP
+    ``Retry-After`` header; library callers should sleep at least that
+    long before retrying.
     """
 
     name = "admission"
 
-    def __init__(self, max_in_flight: Optional[int] = None):
+    #: EWMA decay for the downstream-latency estimate behind
+    #: ``retry_after_s`` (0.2 ⇒ ~5-completion memory).
+    LATENCY_EWMA_ALPHA = 0.2
+
+    def __init__(
+        self,
+        max_in_flight: Optional[int] = None,
+        retry_after_floor: float = 0.05,
+    ):
         if max_in_flight is not None and max_in_flight < 0:
             raise ValueError("max_in_flight must be >= 0")
+        if retry_after_floor < 0:
+            raise ValueError("retry_after_floor must be >= 0")
         self.max_in_flight = max_in_flight
+        self.retry_after_floor = retry_after_floor
         self._in_flight = 0
         self._admitted = 0
         self._shed_deadline = 0
         self._shed_capacity = 0
+        self._latency_ewma = 0.0
         self._lock = threading.Lock()
+
+    def _retry_after_locked(self) -> float:
+        """Queue-depth-derived backoff hint; call under ``self._lock``.
+
+        Expected drain time for one admission slot: the recent per-solve
+        latency scaled by how oversubscribed the bound is, floored so
+        callers never busy-spin on a cold (no-latency-sample) stage.
+        """
+        base = self._latency_ewma or self.retry_after_floor
+        slots = max(1, self.max_in_flight or 1)
+        depth = (self._in_flight + 1) / slots
+        return max(self.retry_after_floor, base * depth)
+
+    def retry_after_hint(self) -> float:
+        """The backoff hint a request shed *right now* would receive."""
+        with self._lock:
+            return self._retry_after_locked()
 
     def handle(self, request: Request, next: Handler) -> Response:
         if request.deadline is not None and time.monotonic() >= request.deadline:
             with self._lock:
                 self._shed_deadline += 1
+                hint = self._retry_after_locked()
             return Overloaded(
                 scheduler=request.scheduler,
                 disposition="shed-deadline",
                 reason="deadline passed before the request was admitted",
+                retry_after_s=hint,
             )
         with self._lock:
             if (
@@ -674,32 +713,43 @@ class AdmissionMiddleware(Middleware):
             ):
                 self._shed_capacity += 1
                 limit = self.max_in_flight
+                hint = self._retry_after_locked()
                 return Overloaded(
                     scheduler=request.scheduler,
                     disposition="shed-capacity",
                     reason=f"{self._in_flight} request(s) in flight >= bound {limit}",
+                    retry_after_s=hint,
                 )
             self._in_flight += 1
             self._admitted += 1
+        start = time.perf_counter()
         try:
             return next(request)
         finally:
+            elapsed = time.perf_counter() - start
             with self._lock:
                 self._in_flight -= 1
+                if self._latency_ewma:
+                    alpha = self.LATENCY_EWMA_ALPHA
+                    self._latency_ewma += alpha * (elapsed - self._latency_ewma)
+                else:
+                    self._latency_ewma = elapsed
 
     def reset(self) -> None:
         with self._lock:
             self._admitted = 0
             self._shed_deadline = 0
             self._shed_capacity = 0
+            self._latency_ewma = 0.0
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, object]:
         with self._lock:
             return {
                 "admitted": self._admitted,
                 "shed_deadline": self._shed_deadline,
                 "shed_capacity": self._shed_capacity,
                 "in_flight": self._in_flight,
+                "retry_after_hint_s": self._retry_after_locked(),
             }
 
     def describe(self) -> Dict[str, object]:

@@ -1,0 +1,241 @@
+"""Minimal asyncio HTTP/1.1 codec for the serving layer.
+
+Stdlib-only by design (the container bakes in no web framework): an
+:class:`HttpRequest` parser over an :class:`asyncio.StreamReader` plus
+response/chunk encoders.  It speaks exactly the subset the wire protocol
+needs — ``GET``/``POST``, ``Content-Length`` bodies, keep-alive, and
+chunked transfer encoding for the streaming batch endpoint — and maps
+every malformed input onto a typed
+:class:`~repro.server.protocol.ProtocolError` so the connection handler
+can answer with a structured JSON error instead of dying.
+
+The codec is deliberately dumb about semantics: routing, JSON, and
+overload behavior live in :mod:`repro.server.protocol` and
+:mod:`repro.server.app`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.server.protocol import ProtocolError
+
+#: Largest accepted request head (request line + headers).
+MAX_HEAD_BYTES = 64 * 1024
+
+#: Largest accepted request body (instance matrices are dense JSON, so
+#: this is generous; the server can lower it).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split target, headers, body."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def wants_close(self) -> bool:
+        return self.headers.get("connection", "").lower() == "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_body: int = MAX_BODY_BYTES,
+) -> Optional[HttpRequest]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`ProtocolError` (with the right HTTP status) on
+    malformed request lines, oversized heads/bodies, or transfer
+    encodings the codec does not implement.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests (keep-alive close)
+        raise ProtocolError(
+            400, "truncated-request", "connection closed mid-request"
+        ) from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError(
+            431, "head-too-large",
+            f"request head exceeds {MAX_HEAD_BYTES} bytes",
+        ) from exc
+    if len(head) > MAX_HEAD_BYTES:
+        raise ProtocolError(
+            431, "head-too-large",
+            f"request head exceeds {MAX_HEAD_BYTES} bytes",
+        )
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise ProtocolError(400, "bad-request-line", f"malformed: {lines[0]!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise ProtocolError(400, "bad-http-version", f"unsupported {version!r}")
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(400, "bad-header", f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise ProtocolError(
+            501, "chunked-request-unsupported",
+            "request bodies must use Content-Length",
+        )
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ProtocolError(400, "bad-content-length", "not an integer")
+        if length < 0:
+            raise ProtocolError(400, "bad-content-length", "negative length")
+        if length > max_body:
+            raise ProtocolError(
+                413, "body-too-large", f"body exceeds {max_body} bytes"
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError(
+                400, "truncated-request", "connection closed mid-body"
+            ) from exc
+
+    split = urlsplit(target)
+    query = {
+        key: values[-1] for key, values in parse_qs(split.query).items()
+    }
+    return HttpRequest(
+        method=method.upper(),
+        path=split.path or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    headers: Optional[Mapping[str, str]] = None,
+    close: bool = False,
+) -> bytes:
+    """One complete ``Content-Length`` response, ready to write."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'close' if close else 'keep-alive'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+    return head + body
+
+
+def chunked_head(
+    status: int = 200,
+    *,
+    content_type: str = "application/x-ndjson",
+    headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """The head of a chunked (streaming) response."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        "Transfer-Encoding: chunked",
+        "Connection: keep-alive",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+
+
+def chunk(data: bytes) -> bytes:
+    """Encode one non-empty chunk."""
+    return f"{len(data):x}".encode("latin-1") + b"\r\n" + data + b"\r\n"
+
+
+def last_chunk() -> bytes:
+    """The terminating zero-length chunk."""
+    return b"0\r\n\r\n"
+
+
+async def read_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """Client-side response parser (used by the load generator).
+
+    Returns ``(status, headers, body)``; understands ``Content-Length``
+    and ``chunked`` bodies — exactly what this server emits.
+    """
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        body = bytearray()
+        while True:
+            size_line = await reader.readuntil(b"\r\n")
+            size = int(size_line.strip() or b"0", 16)
+            if size == 0:
+                await reader.readexactly(2)  # trailing CRLF
+                break
+            body.extend(await reader.readexactly(size))
+            await reader.readexactly(2)  # chunk CRLF
+        return status, headers, bytes(body)
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body
+
+
+__all__ = [
+    "HttpRequest",
+    "MAX_BODY_BYTES",
+    "MAX_HEAD_BYTES",
+    "REASONS",
+    "chunk",
+    "chunked_head",
+    "last_chunk",
+    "read_request",
+    "read_response",
+    "response_bytes",
+]

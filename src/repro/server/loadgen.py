@@ -1,0 +1,293 @@
+"""Open-loop bursty load generator for the serving layer.
+
+*Open loop* means arrivals are scheduled by wall clock from a seeded
+arrival process, **not** gated on responses — exactly how independent
+clients hit a real service, and the only load model that can expose
+queue collapse (a closed-loop client slows down with the server and
+hides it).  Latency is measured from each request's *scheduled arrival*
+to its response, so local queueing (socket pool saturation) counts
+against the server, as it should.
+
+The arrival process is piecewise-Poisson: a base ``rate`` with periodic
+bursts of ``rate * burst_factor`` (every ``burst_every_s`` for
+``burst_duration_s``), matching the bursty scenario family in
+:mod:`repro.scenarios`.  Same seed ⇒ same arrival offsets and payload
+choices, so load tests are replayable.
+
+``repro loadtest --host H --port P --rate 200 --duration 5`` drives any
+running server; :func:`run_load` is the library entry the serve
+benchmark uses in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.serialization import instance_to_dict
+from repro.server import http11
+from repro.server.protocol import json_bytes
+from repro.workloads.generator import random_instance
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """One replayable open-loop load shape."""
+
+    duration_s: float = 3.0
+    #: Base arrival rate, requests per second.
+    rate: float = 100.0
+    #: Burst multiplier applied periodically on top of ``rate``.
+    burst_factor: float = 4.0
+    burst_every_s: float = 1.0
+    burst_duration_s: float = 0.25
+    #: Distinct instances in the payload pool (requests cycle through
+    #: them, so a warmed server serves most from its shard caches).
+    num_instances: int = 8
+    users: int = 6
+    gpu_types: int = 3
+    schedulers: Tuple[str, ...] = ("oef-coop",)
+    seed: int = 0
+    #: Socket-pool bound; waiting for a slot counts as request latency.
+    max_connections: int = 128
+    request_timeout_s: float = 10.0
+    #: ``False`` marks every request ``use_cache: false`` so each one
+    #: runs a real LP on the server — the way to saturate a bounded
+    #: admission stage and observe 429 shedding; the default exercises
+    #: the cache-hit hot path a warmed production shard serves.
+    use_cache: bool = True
+
+
+@dataclass
+class LoadReport:
+    """What one load run observed."""
+
+    offered: int
+    completed: int
+    ok: int
+    shed: int
+    errors: int
+    duration_s: float
+    #: Response latencies (s) for successful (HTTP 200) requests.
+    ok_latencies: List[float] = field(default_factory=list)
+    statuses: Dict[int, int] = field(default_factory=dict)
+    #: ``Retry-After`` header values observed on 429 responses.
+    retry_after_values: List[float] = field(default_factory=list)
+
+    @property
+    def achieved_rps(self) -> float:
+        return self.ok / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def offered_rps(self) -> float:
+        return self.offered / self.duration_s if self.duration_s > 0 else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.ok_latencies:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.ok_latencies), q))
+
+    def summary_row(self) -> Dict[str, object]:
+        return {
+            "offered": self.offered,
+            "offered_rps": round(self.offered_rps, 1),
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "achieved_rps": round(self.achieved_rps, 1),
+            "p50_ms": round(1e3 * self.latency_quantile(50), 2),
+            "p95_ms": round(1e3 * self.latency_quantile(95), 2),
+            "p99_ms": round(1e3 * self.latency_quantile(99), 2),
+        }
+
+    def bench_rows(self, name: str) -> List[Dict[str, object]]:
+        """``repro/bench-v1`` rows for ``BENCH_serve.json``."""
+        stats = {
+            "mean": float(np.mean(self.ok_latencies)) if self.ok_latencies else 0.0,
+            "p50": self.latency_quantile(50) if self.ok_latencies else 0.0,
+            "p95": self.latency_quantile(95) if self.ok_latencies else 0.0,
+            "samples": len(self.ok_latencies),
+        }
+        return [
+            {
+                "name": name,
+                **stats,
+                "p99": self.latency_quantile(99) if self.ok_latencies else 0.0,
+                "offered": self.offered,
+                "offered_rps": self.offered_rps,
+                "ok": self.ok,
+                "shed": self.shed,
+                "errors": self.errors,
+                "achieved_rps": self.achieved_rps,
+            }
+        ]
+
+
+def arrival_offsets(config: LoadGenConfig) -> List[Tuple[float, int]]:
+    """Deterministic ``(arrival_offset_s, payload_index)`` schedule.
+
+    Piecewise-Poisson: exponential inter-arrival gaps at the rate in
+    force at the current offset (burst windows run at
+    ``rate * burst_factor``).  Seeded, so the same config replays the
+    same open-loop trace.
+    """
+    rng = random.Random(config.seed)
+    pool = max(1, config.num_instances * len(config.schedulers))
+    offsets: List[Tuple[float, int]] = []
+    t = 0.0
+    while True:
+        in_burst = (
+            config.burst_every_s > 0
+            and (t % config.burst_every_s) < config.burst_duration_s
+        )
+        rate = config.rate * (config.burst_factor if in_burst else 1.0)
+        t += rng.expovariate(rate)
+        if t >= config.duration_s:
+            return offsets
+        offsets.append((t, rng.randrange(pool)))
+
+
+def request_bodies(config: LoadGenConfig) -> List[bytes]:
+    """The precomputed ``POST /solve`` bodies the run cycles through."""
+    instances = [
+        instance_to_dict(
+            random_instance(config.users, config.gpu_types, seed=config.seed + i)
+        )
+        for i in range(config.num_instances)
+    ]
+    extra = {} if config.use_cache else {"use_cache": False}
+    return [
+        json_bytes({"instance": instance, "scheduler": scheduler, **extra})
+        for instance in instances
+        for scheduler in config.schedulers
+    ]
+
+
+def _post_bytes(host: str, path: str, body: bytes) -> bytes:
+    return (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin-1") + body
+
+
+async def _one_request(
+    host: str,
+    port: int,
+    wire: bytes,
+    timeout: float,
+) -> Tuple[int, Optional[float]]:
+    """``(status, retry_after)``; status -1 marks a transport error."""
+    reader = writer = None
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+        writer.write(wire)
+        await writer.drain()
+        status, headers, _ = await asyncio.wait_for(
+            http11.read_response(reader), timeout
+        )
+        retry_after = None
+        if "retry-after" in headers:
+            try:
+                retry_after = float(headers["retry-after"])
+            except ValueError:
+                pass
+        return status, retry_after
+    except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError, ValueError):
+        return -1, None
+    finally:
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionResetError):
+                pass
+
+
+async def run_load_async(
+    host: str, port: int, config: LoadGenConfig
+) -> LoadReport:
+    """Fire the open-loop schedule at ``host:port`` and tally the outcome."""
+    schedule = arrival_offsets(config)
+    bodies = request_bodies(config)
+    wires = [_post_bytes(host, "/solve", body) for body in bodies]
+    semaphore = asyncio.Semaphore(config.max_connections)
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    report = LoadReport(
+        offered=len(schedule),
+        completed=0,
+        ok=0,
+        shed=0,
+        errors=0,
+        duration_s=config.duration_s,
+    )
+
+    async def fire(offset: float, payload_index: int) -> None:
+        delay = start + offset - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        scheduled = start + offset
+        async with semaphore:
+            status, retry_after = await _one_request(
+                host, port, wires[payload_index], config.request_timeout_s
+            )
+        latency = loop.time() - scheduled
+        report.completed += 1
+        report.statuses[status] = report.statuses.get(status, 0) + 1
+        if status == 200:
+            report.ok += 1
+            report.ok_latencies.append(latency)
+        elif status == 429:
+            report.shed += 1
+            if retry_after is not None:
+                report.retry_after_values.append(retry_after)
+        else:
+            report.errors += 1
+
+    await asyncio.gather(
+        *(fire(offset, index) for offset, index in schedule)
+    )
+    report.duration_s = max(config.duration_s, loop.time() - start)
+    return report
+
+
+def run_load(host: str, port: int, config: LoadGenConfig) -> LoadReport:
+    """Synchronous wrapper: run one open-loop load test to completion."""
+    return asyncio.run(run_load_async(host, port, config))
+
+
+async def warm_server(host: str, port: int, config: LoadGenConfig) -> int:
+    """Send each distinct payload once (serially) to heat the shard caches.
+
+    Returns how many warm-up requests answered 200.  Benchmarks call
+    this before the timed open-loop run so the measured path is the
+    cache-hit hot path, matching the gateway benchmark's methodology.
+    """
+    ok = 0
+    for body in request_bodies(config):
+        status, _ = await _one_request(
+            host, port, _post_bytes(host, "/solve", body),
+            config.request_timeout_s,
+        )
+        ok += 1 if status == 200 else 0
+    return ok
+
+
+__all__ = [
+    "LoadGenConfig",
+    "LoadReport",
+    "arrival_offsets",
+    "request_bodies",
+    "run_load",
+    "run_load_async",
+    "warm_server",
+]

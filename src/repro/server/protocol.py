@@ -1,0 +1,321 @@
+"""The JSON wire protocol: endpoint schemas over the gateway envelopes.
+
+Pure functions (no sockets, no asyncio) mapping HTTP bodies onto the
+gateway's :class:`~repro.gateway.Request` / :class:`~repro.gateway.Response`
+/ :class:`~repro.gateway.Overloaded` envelopes and back — the network
+layer (:mod:`repro.server.app`) does IO, this module does meaning.
+Keeping it pure makes the wire format unit-testable and doctestable
+(``docs/server.md``) and guarantees the differential property the serve
+benchmark asserts: a server-routed solve serialises through exactly the
+same code path as a direct in-process dispatch, so the results are
+byte-identical.
+
+Endpoints (see ``docs/server.md`` for the full wire reference):
+
+===========================  ================================================
+``POST /solve``              one :class:`Request` → one allocation payload
+``POST /solve_batch``        many requests → streaming NDJSON, one line per
+                             result *in completion order* (each line carries
+                             its request ``index``)
+``POST /audit``              Table-1 property audit of one instance
+``POST /compare``            per-scheduler summary rows for one instance
+``GET /schedulers``          the scheduler registry (``list-schedulers``)
+``GET /healthz``             liveness + shard fan-out
+``GET /metrics``             server counters, per-shard cache/admission stats
+===========================  ================================================
+
+Schema validation is strict: unknown fields are rejected with a typed
+error payload (``{"error": {"code": ..., "message": ...}}``) rather than
+silently ignored, so client typos (``sheduler``) fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.serialization import (
+    allocation_to_dict,
+    instance_from_dict,
+)
+from repro.exceptions import ReproError, ValidationError
+from repro.gateway import Request, Response, deadline_in, instance_fingerprint
+from repro.registry import SchedulerRegistry
+
+#: Version tag stamped on every wire payload this server emits.
+WIRE_SCHEMA = "repro/serve-v1"
+
+#: Upper bound on one batch request's item count.
+MAX_BATCH_ITEMS = 4096
+
+
+class ProtocolError(Exception):
+    """A request the protocol refuses: HTTP status + typed error payload."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    def payload(self) -> Dict[str, object]:
+        return error_payload(self.code, self.message)
+
+
+def error_payload(code: str, message: str, **extra: object) -> Dict[str, object]:
+    """The typed error body every non-2xx response carries."""
+    return {
+        "schema": WIRE_SCHEMA,
+        "error": {"code": code, "message": message, **extra},
+    }
+
+
+def json_bytes(payload: Mapping[str, object]) -> bytes:
+    """Canonical JSON encoding (sorted keys, compact separators).
+
+    One encoder for every payload the server writes, so equality of
+    payloads implies equality of bytes — the differential test compares
+    raw HTTP bodies against locally encoded dispatch results.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def parse_json(body: bytes) -> Dict[str, object]:
+    if not body:
+        raise ProtocolError(400, "empty-body", "expected a JSON body")
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(400, "bad-json", f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(400, "bad-json", "expected a JSON object")
+    return payload
+
+
+# -- solve ------------------------------------------------------------------
+_SOLVE_FIELDS = {
+    "instance", "scheduler", "options", "priority", "deadline_in",
+    "use_cache",
+}
+
+
+def _check_fields(payload: Mapping[str, object], allowed: set, where: str) -> None:
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ProtocolError(
+            400, "unknown-field",
+            f"unknown field(s) in {where}: {', '.join(unknown)} "
+            f"(allowed: {', '.join(sorted(allowed))})",
+        )
+
+
+def _parse_instance(payload: Mapping[str, object], where: str):
+    raw = payload.get("instance")
+    if not isinstance(raw, dict):
+        raise ProtocolError(
+            400, "missing-instance",
+            f"{where} needs an 'instance' object (repro/instance-v1)",
+        )
+    try:
+        return instance_from_dict(raw)
+    except (ValidationError, ReproError, TypeError, ValueError) as exc:
+        raise ProtocolError(400, "bad-instance", str(exc)) from exc
+
+
+def parse_solve(
+    payload: Mapping[str, object],
+    registry: SchedulerRegistry,
+    where: str = "solve request",
+) -> Request:
+    """Validate one solve body and build the normalised gateway request.
+
+    The instance fingerprint is computed here (it is also the shard
+    routing key) and the scheduler alias resolved, so every downstream
+    layer — shard pool, gateway stages — shares one identity without
+    re-hashing.
+    """
+    _check_fields(payload, _SOLVE_FIELDS, where)
+    instance = _parse_instance(payload, where)
+
+    scheduler = payload.get("scheduler", "oef-coop")
+    if not isinstance(scheduler, str):
+        raise ProtocolError(400, "bad-scheduler", "'scheduler' must be a string")
+    try:
+        scheduler = registry.resolve(scheduler)
+    except ReproError as exc:
+        raise ProtocolError(400, "unknown-scheduler", str(exc)) from exc
+
+    options = payload.get("options", {})
+    if not isinstance(options, dict):
+        raise ProtocolError(400, "bad-options", "'options' must be an object")
+
+    priority = payload.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ProtocolError(400, "bad-priority", "'priority' must be an integer")
+
+    use_cache = payload.get("use_cache", True)
+    if not isinstance(use_cache, bool):
+        raise ProtocolError(400, "bad-use-cache", "'use_cache' must be a boolean")
+
+    deadline = None
+    if "deadline_in" in payload:
+        raw_deadline = payload["deadline_in"]
+        if not isinstance(raw_deadline, (int, float)) or isinstance(
+            raw_deadline, bool
+        ) or raw_deadline < 0:
+            raise ProtocolError(
+                400, "bad-deadline",
+                "'deadline_in' must be a non-negative number of seconds",
+            )
+        deadline = deadline_in(float(raw_deadline))
+
+    return Request(
+        instance=instance,
+        scheduler=scheduler,
+        options=options,
+        priority=priority,
+        deadline=deadline,
+        use_cache=use_cache,
+        fingerprint=instance_fingerprint(instance),
+    )
+
+
+def parse_batch(
+    payload: Mapping[str, object], registry: SchedulerRegistry
+) -> List[Request]:
+    """Validate a ``/solve_batch`` body into an ordered request list."""
+    _check_fields(payload, {"requests"}, "batch request")
+    items = payload.get("requests")
+    if not isinstance(items, list) or not items:
+        raise ProtocolError(
+            400, "bad-batch", "'requests' must be a non-empty array"
+        )
+    if len(items) > MAX_BATCH_ITEMS:
+        raise ProtocolError(
+            413, "batch-too-large",
+            f"{len(items)} items exceed the {MAX_BATCH_ITEMS}-item bound",
+        )
+    requests = []
+    for index, item in enumerate(items):
+        if not isinstance(item, dict):
+            raise ProtocolError(
+                400, "bad-batch", f"requests[{index}] must be an object"
+            )
+        requests.append(parse_solve(item, registry, where=f"requests[{index}]"))
+    return requests
+
+
+# -- audit / compare --------------------------------------------------------
+_AUDIT_FIELDS = {"instance", "scheduler", "sp_trials", "seed"}
+
+
+def parse_audit(
+    payload: Mapping[str, object], registry: SchedulerRegistry
+) -> Tuple[Any, str, int, int]:
+    """``(instance, scheduler, sp_trials, seed)`` for ``/audit``."""
+    _check_fields(payload, _AUDIT_FIELDS, "audit request")
+    instance = _parse_instance(payload, "audit request")
+    scheduler = payload.get("scheduler", "oef-coop")
+    if not isinstance(scheduler, str):
+        raise ProtocolError(400, "bad-scheduler", "'scheduler' must be a string")
+    try:
+        scheduler = registry.resolve(scheduler)
+    except ReproError as exc:
+        raise ProtocolError(400, "unknown-scheduler", str(exc)) from exc
+    sp_trials = payload.get("sp_trials", 4)
+    seed = payload.get("seed", 0)
+    for name, value in (("sp_trials", sp_trials), ("seed", seed)):
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ProtocolError(
+                400, f"bad-{name.replace('_', '-')}",
+                f"'{name}' must be a non-negative integer",
+            )
+    return instance, scheduler, sp_trials, seed
+
+
+def parse_compare(
+    payload: Mapping[str, object], registry: SchedulerRegistry
+) -> Tuple[Any, Optional[List[str]]]:
+    """``(instance, scheduler names or None)`` for ``/compare``."""
+    _check_fields(payload, {"instance", "schedulers"}, "compare request")
+    instance = _parse_instance(payload, "compare request")
+    names = payload.get("schedulers")
+    if names is None:
+        return instance, None
+    if not isinstance(names, list) or not all(
+        isinstance(name, str) for name in names
+    ):
+        raise ProtocolError(
+            400, "bad-schedulers", "'schedulers' must be an array of strings"
+        )
+    try:
+        resolved = [registry.resolve(name) for name in names]
+    except ReproError as exc:
+        raise ProtocolError(400, "unknown-scheduler", str(exc)) from exc
+    return instance, resolved
+
+
+# -- responses --------------------------------------------------------------
+def response_payload(response: Response) -> Dict[str, object]:
+    """The wire shape of one successful solve.
+
+    The deterministic core (``scheduler``, ``fingerprint``,
+    ``allocation``) depends only on the request content; telemetry that
+    legitimately varies between servings (disposition, timings, cache
+    counters) sits apart under ``served``, which is what lets the
+    differential test assert byte-identical *results* across transports.
+    """
+    return {
+        "schema": WIRE_SCHEMA,
+        "status": "ok",
+        "scheduler": response.scheduler,
+        "fingerprint": response.fingerprint,
+        "allocation": allocation_to_dict(response.allocation),
+        "served": {
+            "disposition": response.disposition,
+            "solve_seconds": response.solve_seconds,
+            "warm": response.warm,
+            "cache_hits": response.cache_hits,
+            "cache_misses": response.cache_misses,
+        },
+    }
+
+
+def overloaded_payload(response: Response) -> Dict[str, object]:
+    """The typed 429 body for a shed request."""
+    return error_payload(
+        "overloaded",
+        response.reason or "request shed by admission control",
+        disposition=response.disposition,
+        retry_after_s=getattr(response, "retry_after_s", 0.0),
+        scheduler=response.scheduler,
+    )
+
+
+def retry_after_header(response: Response) -> str:
+    """RFC 7231 ``Retry-After`` delta-seconds (integer, >= 1).
+
+    The exact fractional hint rides in the JSON body as
+    ``retry_after_s``; the header is the ceiling so generic HTTP clients
+    back off at least as long as the admission stage asked.
+    """
+    hint = getattr(response, "retry_after_s", 0.0) or 0.0
+    return str(max(1, math.ceil(hint)))
+
+
+__all__ = [
+    "MAX_BATCH_ITEMS",
+    "ProtocolError",
+    "WIRE_SCHEMA",
+    "error_payload",
+    "json_bytes",
+    "overloaded_payload",
+    "parse_audit",
+    "parse_batch",
+    "parse_compare",
+    "parse_json",
+    "parse_solve",
+    "response_payload",
+    "retry_after_header",
+]

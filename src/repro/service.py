@@ -401,6 +401,28 @@ class SchedulingService:
     def cache_info(self) -> CacheStats:
         return self.gateway.cache_info()
 
+    def admission_info(self) -> Dict[str, object]:
+        """The admission stage's counters (zeros without such a stage).
+
+        ``admitted`` / ``shed_deadline`` / ``shed_capacity`` /
+        ``in_flight`` plus ``retry_after_hint_s`` — the queue-depth-
+        derived backoff a request shed right now would carry on
+        :attr:`~repro.gateway.Overloaded.retry_after_s`, so callers can
+        plan backoff instead of guessing.
+        """
+        from repro.gateway.middleware import AdmissionMiddleware
+
+        stage = self.gateway.find(AdmissionMiddleware)
+        if stage is None:
+            return {
+                "admitted": 0,
+                "shed_deadline": 0,
+                "shed_capacity": 0,
+                "in_flight": 0,
+                "retry_after_hint_s": 0.0,
+            }
+        return stage.stats()
+
     def clear_cache(self) -> None:
         self.gateway.clear_cache()
 

@@ -1,0 +1,109 @@
+"""Unit tests for the open-loop load generator (no sockets)."""
+
+import json
+
+import pytest
+
+from repro.server.loadgen import (
+    LoadGenConfig,
+    LoadReport,
+    arrival_offsets,
+    request_bodies,
+)
+
+
+class TestArrivalSchedule:
+    def test_same_seed_same_schedule(self):
+        config = LoadGenConfig(duration_s=2.0, rate=50, seed=42)
+        assert arrival_offsets(config) == arrival_offsets(config)
+
+    def test_different_seed_different_schedule(self):
+        a = arrival_offsets(LoadGenConfig(duration_s=2.0, rate=50, seed=1))
+        b = arrival_offsets(LoadGenConfig(duration_s=2.0, rate=50, seed=2))
+        assert a != b
+
+    def test_offsets_sorted_and_bounded(self):
+        config = LoadGenConfig(duration_s=1.5, rate=80, seed=0)
+        schedule = arrival_offsets(config)
+        offsets = [offset for offset, _ in schedule]
+        assert offsets == sorted(offsets)
+        assert all(0 <= offset < config.duration_s for offset in offsets)
+        pool = config.num_instances * len(config.schedulers)
+        assert all(0 <= index < pool for _, index in schedule)
+
+    def test_burst_windows_are_denser(self):
+        config = LoadGenConfig(
+            duration_s=4.0, rate=100, burst_factor=8.0,
+            burst_every_s=1.0, burst_duration_s=0.25, seed=3,
+        )
+        schedule = arrival_offsets(config)
+        in_burst = sum(
+            1 for offset, _ in schedule if (offset % 1.0) < 0.25
+        )
+        outside = len(schedule) - in_burst
+        # burst windows cover 25% of time but at 8x rate they should carry
+        # well over half the arrivals
+        assert in_burst > outside
+
+    def test_rate_roughly_honoured(self):
+        config = LoadGenConfig(
+            duration_s=5.0, rate=100, burst_factor=1.0, seed=7
+        )
+        schedule = arrival_offsets(config)
+        assert 350 <= len(schedule) <= 650  # ~500 expected
+
+
+class TestRequestBodies:
+    def test_bodies_are_valid_solve_payloads(self):
+        config = LoadGenConfig(num_instances=3, schedulers=("oef-coop", "max-min"))
+        bodies = request_bodies(config)
+        assert len(bodies) == 6  # instances x schedulers
+        for body in bodies:
+            payload = json.loads(body)
+            assert payload["instance"]["schema"] == "repro/instance-v1"
+            assert payload["scheduler"] in ("oef-coop", "max-min")
+            assert "use_cache" not in payload  # default leaves it implicit
+
+    def test_no_cache_flag_marks_every_body(self):
+        config = LoadGenConfig(num_instances=2, use_cache=False)
+        for body in request_bodies(config):
+            assert json.loads(body)["use_cache"] is False
+
+    def test_bodies_deterministic_per_seed(self):
+        config = LoadGenConfig(num_instances=2, seed=9)
+        assert request_bodies(config) == request_bodies(config)
+
+
+class TestLoadReport:
+    def _report(self):
+        return LoadReport(
+            offered=10, completed=10, ok=8, shed=2, errors=0,
+            duration_s=2.0, ok_latencies=[0.01 * i for i in range(1, 9)],
+        )
+
+    def test_throughput_and_quantiles(self):
+        report = self._report()
+        assert report.achieved_rps == pytest.approx(4.0)
+        assert report.offered_rps == pytest.approx(5.0)
+        assert report.latency_quantile(50) <= report.latency_quantile(99)
+
+    def test_summary_row_is_printable(self):
+        row = self._report().summary_row()
+        assert row["ok"] == 8 and row["shed"] == 2
+        assert row["p99_ms"] >= row["p50_ms"]
+
+    def test_bench_rows_schema(self):
+        rows = self._report().bench_rows("serve/steady")
+        assert rows[0]["name"] == "serve/steady"
+        assert rows[0]["samples"] == 8
+        assert set(rows[0]) >= {
+            "mean", "p50", "p95", "p99", "ok", "shed", "achieved_rps",
+        }
+
+    def test_empty_latencies_do_not_crash(self):
+        report = LoadReport(
+            offered=0, completed=0, ok=0, shed=0, errors=0, duration_s=0.0
+        )
+        assert report.achieved_rps == 0.0
+        row = report.bench_rows("empty")[0]
+        assert row["samples"] == 0

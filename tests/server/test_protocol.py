@@ -1,0 +1,294 @@
+"""Unit tests for the pure wire layer: protocol schemas + HTTP/1.1 codec."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.serialization import instance_to_dict
+from repro.gateway import Overloaded, Request, instance_fingerprint
+from repro.registry import REGISTRY
+from repro.server import http11
+from repro.server.protocol import (
+    MAX_BATCH_ITEMS,
+    ProtocolError,
+    WIRE_SCHEMA,
+    error_payload,
+    json_bytes,
+    overloaded_payload,
+    parse_audit,
+    parse_batch,
+    parse_compare,
+    parse_json,
+    parse_solve,
+    retry_after_header,
+)
+
+
+@pytest.fixture
+def registry():
+    return REGISTRY
+
+
+@pytest.fixture
+def instance_dict(paper_instance):
+    return instance_to_dict(paper_instance)
+
+
+# -- json / error scaffolding -----------------------------------------------
+class TestJsonScaffolding:
+    def test_json_bytes_is_canonical(self):
+        a = json_bytes({"b": 1, "a": {"y": 2, "x": 3}})
+        b = json_bytes({"a": {"x": 3, "y": 2}, "b": 1})
+        assert a == b
+        assert b" " not in a  # compact separators
+
+    def test_parse_json_rejects_empty_and_garbage(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_json(b"")
+        assert exc.value.status == 400 and exc.value.code == "empty-body"
+        with pytest.raises(ProtocolError) as exc:
+            parse_json(b"{nope")
+        assert exc.value.code == "bad-json"
+        with pytest.raises(ProtocolError) as exc:
+            parse_json(b"[1, 2]")
+        assert exc.value.code == "bad-json"
+
+    def test_error_payload_shape(self):
+        payload = error_payload("overloaded", "busy", retry_after_s=0.5)
+        assert payload["schema"] == WIRE_SCHEMA
+        assert payload["error"]["code"] == "overloaded"
+        assert payload["error"]["retry_after_s"] == 0.5
+
+    def test_protocol_error_payload_roundtrip(self):
+        exc = ProtocolError(413, "body-too-large", "too big")
+        assert exc.payload()["error"]["code"] == "body-too-large"
+        assert exc.status == 413
+
+
+# -- solve parsing ----------------------------------------------------------
+class TestParseSolve:
+    def test_minimal_body_fills_defaults(self, instance_dict, registry, paper_instance):
+        request = parse_solve({"instance": instance_dict}, registry)
+        assert isinstance(request, Request)
+        assert request.scheduler == registry.resolve("oef-coop")
+        assert request.use_cache is True
+        assert request.priority == 0
+        assert request.deadline is None
+        # the fingerprint is precomputed here — it is the shard routing key
+        assert request.fingerprint == instance_fingerprint(paper_instance)
+
+    def test_scheduler_alias_resolved(self, instance_dict, registry):
+        request = parse_solve(
+            {"instance": instance_dict, "scheduler": "coop"}, registry
+        )
+        assert request.scheduler == "oef-coop"
+
+    def test_unknown_field_rejected_with_allowed_list(self, instance_dict, registry):
+        with pytest.raises(ProtocolError) as exc:
+            parse_solve(
+                {"instance": instance_dict, "sheduler": "oef-coop"}, registry
+            )
+        assert exc.value.code == "unknown-field"
+        assert "sheduler" in exc.value.message
+        assert "scheduler" in exc.value.message  # the allowed list names it
+
+    def test_missing_instance(self, registry):
+        with pytest.raises(ProtocolError) as exc:
+            parse_solve({"scheduler": "oef-coop"}, registry)
+        assert exc.value.code == "missing-instance"
+
+    def test_bad_instance_payload(self, registry):
+        with pytest.raises(ProtocolError) as exc:
+            parse_solve({"instance": {"schema": "bogus"}}, registry)
+        assert exc.value.status == 400
+        assert exc.value.code == "bad-instance"
+
+    def test_unknown_scheduler(self, instance_dict, registry):
+        with pytest.raises(ProtocolError) as exc:
+            parse_solve(
+                {"instance": instance_dict, "scheduler": "no-such"}, registry
+            )
+        assert exc.value.code == "unknown-scheduler"
+
+    @pytest.mark.parametrize(
+        "field,value,code",
+        [
+            ("scheduler", 7, "bad-scheduler"),
+            ("options", [1], "bad-options"),
+            ("priority", "high", "bad-priority"),
+            ("priority", True, "bad-priority"),
+            ("use_cache", "yes", "bad-use-cache"),
+            ("deadline_in", -1, "bad-deadline"),
+            ("deadline_in", True, "bad-deadline"),
+        ],
+    )
+    def test_field_type_validation(self, instance_dict, registry, field, value, code):
+        with pytest.raises(ProtocolError) as exc:
+            parse_solve({"instance": instance_dict, field: value}, registry)
+        assert exc.value.code == code
+
+    def test_deadline_in_becomes_absolute(self, instance_dict, registry):
+        request = parse_solve(
+            {"instance": instance_dict, "deadline_in": 30}, registry
+        )
+        import time
+
+        assert request.deadline is not None
+        assert request.deadline > time.monotonic()
+
+
+# -- batch / audit / compare parsing ---------------------------------------
+class TestParseOthers:
+    def test_batch_preserves_order(self, instance_dict, registry):
+        payload = {"requests": [{"instance": instance_dict}] * 3}
+        requests = parse_batch(payload, registry)
+        assert len(requests) == 3
+        assert all(isinstance(r, Request) for r in requests)
+
+    def test_batch_rejects_empty_and_non_list(self, registry):
+        for bad in ({"requests": []}, {"requests": "x"}, {}):
+            with pytest.raises(ProtocolError) as exc:
+                parse_batch(bad, registry)
+            assert exc.value.code == "bad-batch"
+
+    def test_batch_item_error_names_the_index(self, instance_dict, registry):
+        payload = {"requests": [{"instance": instance_dict}, {"bogus": 1}]}
+        with pytest.raises(ProtocolError) as exc:
+            parse_batch(payload, registry)
+        assert "requests[1]" in exc.value.message
+
+    def test_batch_too_large_is_413(self, instance_dict, registry):
+        payload = {"requests": [{"instance": instance_dict}] * (MAX_BATCH_ITEMS + 1)}
+        with pytest.raises(ProtocolError) as exc:
+            parse_batch(payload, registry)
+        assert exc.value.status == 413
+
+    def test_audit_defaults_and_validation(self, instance_dict, registry):
+        instance, scheduler, sp_trials, seed = parse_audit(
+            {"instance": instance_dict}, registry
+        )
+        assert scheduler == registry.resolve("oef-coop")
+        assert (sp_trials, seed) == (4, 0)
+        with pytest.raises(ProtocolError) as exc:
+            parse_audit({"instance": instance_dict, "sp_trials": -1}, registry)
+        assert exc.value.code == "bad-sp-trials"
+
+    def test_compare_names_resolved_or_none(self, instance_dict, registry):
+        instance, names = parse_compare({"instance": instance_dict}, registry)
+        assert names is None
+        instance, names = parse_compare(
+            {"instance": instance_dict, "schedulers": ["oef-coop"]}, registry
+        )
+        assert names == [registry.resolve("oef-coop")]
+        with pytest.raises(ProtocolError):
+            parse_compare(
+                {"instance": instance_dict, "schedulers": "oef-coop"}, registry
+            )
+
+
+# -- overload serialisation -------------------------------------------------
+class TestOverloadWire:
+    def test_overloaded_payload_carries_hint(self):
+        shed = Overloaded(
+            scheduler="oef-coop",
+            disposition="shed-capacity",
+            reason="4 requests already in flight",
+            retry_after_s=0.75,
+        )
+        payload = overloaded_payload(shed)
+        assert payload["error"]["code"] == "overloaded"
+        assert payload["error"]["retry_after_s"] == 0.75
+        assert payload["error"]["disposition"] == "shed-capacity"
+
+    @pytest.mark.parametrize(
+        "hint,header", [(0.0, "1"), (0.2, "1"), (1.0, "1"), (1.2, "2"), (7.0, "7")]
+    )
+    def test_retry_after_header_is_integer_ceiling(self, hint, header):
+        shed = Overloaded(scheduler="s", retry_after_s=hint)
+        assert retry_after_header(shed) == header
+
+
+# -- http/1.1 codec ---------------------------------------------------------
+def _parse_request(data: bytes, **kwargs):
+    """Run the request parser over a pre-fed stream in a fresh loop."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await http11.read_request(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+def _parse_response(data: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await http11.read_response(reader)
+
+    return asyncio.run(go())
+
+
+class TestHttp11:
+    def test_parse_simple_post(self):
+        wire = (
+            b"POST /solve?x=1 HTTP/1.1\r\nHost: h\r\n"
+            b"Content-Length: 2\r\n\r\n{}"
+        )
+        request = _parse_request(wire)
+        assert request.method == "POST"
+        assert request.path == "/solve"
+        assert request.query == {"x": "1"}
+        assert request.body == b"{}"
+        assert not request.wants_close
+
+    def test_clean_eof_returns_none(self):
+        assert _parse_request(b"") is None
+
+    @pytest.mark.parametrize(
+        "wire,status",
+        [
+            (b"BROKEN\r\n\r\n", 400),
+            (b"GET / HTTP/9.9\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501),
+        ],
+    )
+    def test_malformed_inputs_map_to_typed_errors(self, wire, status):
+        with pytest.raises(ProtocolError) as exc:
+            _parse_request(wire)
+        assert exc.value.status == status
+
+    def test_oversized_body_is_413(self):
+        wire = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100
+        with pytest.raises(ProtocolError) as exc:
+            _parse_request(wire, max_body=10)
+        assert exc.value.status == 413
+
+    def test_response_roundtrip(self):
+        body = json_bytes({"ok": True})
+        wire = http11.response_bytes(200, body, headers={"Retry-After": "3"})
+        status, headers, parsed = _parse_response(wire)
+        assert status == 200
+        assert headers["retry-after"] == "3"
+        assert parsed == body
+
+    def test_chunked_roundtrip(self):
+        wire = (
+            http11.chunked_head(200)
+            + http11.chunk(b'{"a":1}\n')
+            + http11.chunk(b'{"b":2}\n')
+            + http11.last_chunk()
+        )
+        status, headers, body = _parse_response(wire)
+        assert status == 200
+        assert headers["transfer-encoding"] == "chunked"
+        lines = [json.loads(line) for line in body.splitlines()]
+        assert lines == [{"a": 1}, {"b": 2}]

@@ -1,0 +1,424 @@
+"""Integration tests: shard pool routing + the asyncio server end to end.
+
+Every test runs the real server on an OS-assigned port and speaks real
+HTTP over a socket — no mocked transports — because the properties under
+test (byte-identical differential results, 429 + ``Retry-After`` under
+overload, streaming batch framing, graceful drain) live exactly at the
+wire boundary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.core.serialization import instance_to_dict
+from repro.gateway import Gateway, Request, default_pipeline, instance_fingerprint
+from repro.server import http11
+from repro.server.app import ReproServer
+from repro.server.protocol import json_bytes, response_payload
+from repro.server.shards import ShardPool
+from repro.workloads.generator import random_instance
+
+
+def _request_wire(
+    method: str, path: str, body: bytes = b"", close: bool = True
+) -> bytes:
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def _roundtrip(
+    port: int, method: str, path: str, body: bytes = b""
+) -> Tuple[int, Dict[str, str], bytes]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(_request_wire(method, path, body))
+        await writer.drain()
+        return await http11.read_response(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+
+
+def _solve_body(instance, scheduler: str = "oef-coop", **extra) -> bytes:
+    return json_bytes(
+        {"instance": instance_to_dict(instance), "scheduler": scheduler, **extra}
+    )
+
+
+def _with_server(coro_fn, **server_kwargs):
+    """Start a server on port 0, run the test coroutine, always stop."""
+
+    async def go():
+        server = ReproServer("127.0.0.1", 0, **server_kwargs)
+        await server.start()
+        try:
+            return await coro_fn(server)
+        finally:
+            if server.final_metrics is None:  # not already stopped by the test
+                await server.stop()
+
+    return asyncio.run(go())
+
+
+# -- shard pool (no sockets) ------------------------------------------------
+class TestShardPool:
+    def test_routing_is_deterministic_and_spread(self):
+        pool = ShardPool(4, pipeline="bare")
+        fingerprints = [
+            instance_fingerprint(random_instance(4, 3, seed=seed))
+            for seed in range(64)
+        ]
+        shards = [pool.shard_for(f) for f in fingerprints]
+        assert shards == [pool.shard_for(f) for f in fingerprints]  # stable
+        assert len(set(shards)) == 4  # all shards take a share of 64 keys
+        pool.drain()
+
+    def test_consistent_hash_moves_little_on_resize(self):
+        # the scaling story: going 4 -> 5 shards should move ~1/5 of keys,
+        # not reshuffle everything like `hash % N` would
+        before = ShardPool(4, pipeline="bare")
+        after = ShardPool(5, pipeline="bare")
+        fingerprints = [
+            instance_fingerprint(random_instance(4, 3, seed=seed))
+            for seed in range(200)
+        ]
+        moved = sum(
+            1
+            for f in fingerprints
+            if before.shard_for(f) != after.shard_for(f)
+        )
+        assert moved / len(fingerprints) < 0.45  # far from full reshuffle
+        before.drain()
+        after.drain()
+
+    def test_same_instance_lands_on_same_shard_cache(self):
+        pool = ShardPool(3)
+        instance = random_instance(4, 3, seed=7)
+        request = Request(instance=instance)
+        first = pool.dispatch_sync(request)
+        second = pool.dispatch_sync(request)
+        assert second.from_cache
+        # exactly one shard saw both dispatches
+        rows = pool.stats()
+        assert sum(row["dispatched"] for row in rows) == 2
+        assert max(row["dispatched"] for row in rows) == 2
+        assert first.allocation.matrix == pytest.approx(
+            second.allocation.matrix
+        )
+        pool.drain()
+
+    def test_executor_sizing_gives_shed_headroom(self):
+        bounded = ShardPool(1, max_in_flight=3)
+        assert bounded.executor_threads == 5  # max_in_flight + 2
+        unbounded = ShardPool(1)
+        assert unbounded.executor_threads == 1
+        bounded.drain()
+        unbounded.drain()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ShardPool(0)
+        with pytest.raises(ValueError):
+            ShardPool(1, pipeline="nope")
+
+    def test_drained_pool_refuses_dispatch(self):
+        pool = ShardPool(1)
+        pool.drain()
+
+        async def go():
+            await pool.dispatch(Request(instance=random_instance(3, 2)))
+
+        with pytest.raises(RuntimeError):
+            asyncio.run(go())
+
+
+# -- differential: server bytes == direct dispatch bytes --------------------
+class TestDifferential:
+    def test_server_solve_is_byte_identical_to_direct_dispatch(self):
+        """The acceptance property: same payload bytes via HTTP and direct."""
+        instances = [random_instance(5, 3, seed=seed) for seed in range(6)]
+
+        async def run(server):
+            for instance in instances:
+                status, _, body = await _roundtrip(
+                    server.port, "POST", "/solve", _solve_body(instance)
+                )
+                assert status == 200
+                # direct dispatch through an identical pipeline, encoded by
+                # the same canonical serialiser
+                gateway = Gateway(default_pipeline())
+                direct = gateway.solve(
+                    Request(
+                        instance=instance,
+                        scheduler="oef-coop",
+                        fingerprint=instance_fingerprint(instance),
+                    )
+                )
+                direct_payload = response_payload(direct)
+                served = json.loads(body)
+                # the deterministic core must match byte for byte; 'served'
+                # telemetry (timings, cache counters) legitimately varies
+                for payload in (direct_payload, served):
+                    payload.pop("served")
+                assert json_bytes(served) == json_bytes(direct_payload)
+
+        _with_server(run, shards=3)
+
+
+# -- endpoints over the wire ------------------------------------------------
+class TestEndpoints:
+    def test_healthz_and_schedulers(self):
+        async def run(server):
+            status, _, body = await _roundtrip(server.port, "GET", "/healthz")
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["status"] == "ok"
+            assert payload["shards"] == 2
+            status, _, body = await _roundtrip(
+                server.port, "GET", "/schedulers"
+            )
+            names = [row["name"] for row in json.loads(body)["schedulers"]]
+            assert "oef-coop" in names
+
+        _with_server(run)
+
+    def test_solve_validation_errors_are_typed(self):
+        async def run(server):
+            status, _, body = await _roundtrip(
+                server.port, "POST", "/solve", b'{"sheduler": "x"}'
+            )
+            assert status == 400
+            assert json.loads(body)["error"]["code"] == "unknown-field"
+            status, _, body = await _roundtrip(
+                server.port, "POST", "/solve", b"not json"
+            )
+            assert status == 400
+            assert json.loads(body)["error"]["code"] == "bad-json"
+
+        _with_server(run)
+
+    def test_unknown_path_and_method(self):
+        async def run(server):
+            status, _, body = await _roundtrip(server.port, "GET", "/nope")
+            assert status == 404
+            status, _, body = await _roundtrip(server.port, "GET", "/solve")
+            assert status == 405
+
+        _with_server(run)
+
+    def test_metrics_counts_requests_and_shards(self):
+        instance = random_instance(4, 3, seed=1)
+
+        async def run(server):
+            for _ in range(3):
+                await _roundtrip(
+                    server.port, "POST", "/solve", _solve_body(instance)
+                )
+            status, _, body = await _roundtrip(server.port, "GET", "/metrics")
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["server"]["requests_by_status"]["200"] >= 3
+            assert payload["totals"]["dispatched"] == 3
+            assert payload["totals"]["cache_hits"] == 2  # repeat solves hit
+            assert len(payload["shards"]) == 2
+
+        _with_server(run)
+
+    def test_batch_streams_ndjson_with_indices(self):
+        instances = [random_instance(4, 3, seed=seed) for seed in range(5)]
+
+        async def run(server):
+            body = json_bytes(
+                {
+                    "requests": [
+                        {"instance": instance_to_dict(instance)}
+                        for instance in instances
+                    ]
+                }
+            )
+            status, headers, payload = await _roundtrip(
+                server.port, "POST", "/solve_batch", body
+            )
+            assert status == 200
+            assert headers["transfer-encoding"] == "chunked"
+            assert headers["content-type"] == "application/x-ndjson"
+            lines = [json.loads(line) for line in payload.splitlines()]
+            assert len(lines) == 5
+            # completion order may differ; indices must cover the batch
+            assert sorted(line["index"] for line in lines) == list(range(5))
+            assert all(line["status"] == "ok" for line in lines)
+            # every line names its owning shard, consistent with routing
+            for line in lines:
+                expected = server.pool.shard_for(line["fingerprint"])
+                assert line["shard"] == expected
+
+        _with_server(run, shards=3)
+
+    def test_audit_and_compare_route_by_fingerprint(self, paper_instance):
+        async def run(server):
+            body = json_bytes(
+                {"instance": instance_to_dict(paper_instance), "sp_trials": 2}
+            )
+            status, _, payload = await _roundtrip(
+                server.port, "POST", "/audit", body
+            )
+            report = json.loads(payload)
+            assert status == 200
+            expected = server.pool.shard_for(
+                instance_fingerprint(paper_instance)
+            )
+            assert report["shard"] == expected
+            assert report["report"]["scheduler"] == "oef-coop"
+
+            body = json_bytes(
+                {
+                    "instance": instance_to_dict(paper_instance),
+                    "schedulers": ["oef-coop", "max-min"],
+                }
+            )
+            status, _, payload = await _roundtrip(
+                server.port, "POST", "/compare", body
+            )
+            rows = json.loads(payload)["rows"]
+            assert status == 200
+            assert {row["scheduler"] for row in rows} == {"oef-coop", "max-min"}
+
+        _with_server(run)
+
+    def test_keep_alive_serves_sequential_requests(self):
+        instance = random_instance(4, 3, seed=2)
+
+        async def run(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            try:
+                for _ in range(3):
+                    writer.write(
+                        _request_wire(
+                            "POST", "/solve", _solve_body(instance), close=False
+                        )
+                    )
+                    await writer.drain()
+                    status, headers, _ = await http11.read_response(reader)
+                    assert status == 200
+                    assert headers["connection"] == "keep-alive"
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        _with_server(run)
+
+
+# -- overload: 429 + Retry-After, no queue collapse -------------------------
+class TestOverload:
+    def test_cold_burst_sheds_with_retry_after(self):
+        """Saturating a 1-slot admission stage yields 429s, not a queue."""
+        instances = [random_instance(6, 4, seed=seed) for seed in range(12)]
+
+        async def run(server):
+            results = await asyncio.gather(
+                *(
+                    _roundtrip(
+                        server.port,
+                        "POST",
+                        "/solve",
+                        _solve_body(instance, use_cache=False),
+                    )
+                    for instance in instances
+                )
+            )
+            statuses = [status for status, _, _ in results]
+            assert 200 in statuses  # admitted work still completes
+            shed = [
+                (headers, json.loads(body))
+                for status, headers, body in results
+                if status == 429
+            ]
+            assert shed  # concurrent cold solves overflow one slot
+            for headers, payload in shed:
+                assert int(headers["retry-after"]) >= 1
+                error = payload["error"]
+                assert error["code"] == "overloaded"
+                assert error["retry_after_s"] > 0
+                assert error["disposition"] == "shed-capacity"
+
+        _with_server(run, shards=1, max_in_flight=1)
+
+    def test_metrics_expose_shed_counters(self):
+        instances = [random_instance(6, 4, seed=seed) for seed in range(10)]
+
+        async def run(server):
+            await asyncio.gather(
+                *(
+                    _roundtrip(
+                        server.port,
+                        "POST",
+                        "/solve",
+                        _solve_body(instance, use_cache=False),
+                    )
+                    for instance in instances
+                )
+            )
+            status, _, body = await _roundtrip(server.port, "GET", "/metrics")
+            payload = json.loads(body)
+            total = payload["totals"]
+            assert (
+                total["shed_capacity"]
+                == payload["server"]["requests_by_status"].get("429", 0)
+            )
+            admission = payload["shards"][0]["admission"]
+            assert admission["retry_after_hint_s"] > 0  # EWMA has samples
+
+        _with_server(run, shards=1, max_in_flight=1)
+
+
+# -- graceful drain ---------------------------------------------------------
+class TestDrain:
+    def test_stop_finishes_in_flight_and_flushes_metrics(self):
+        instance = random_instance(5, 3, seed=3)
+
+        async def run(server):
+            # launch a solve and immediately begin draining
+            in_flight = asyncio.ensure_future(
+                _roundtrip(
+                    server.port,
+                    "POST",
+                    "/solve",
+                    _solve_body(instance, use_cache=False),
+                )
+            )
+            await asyncio.sleep(0.05)  # connection accepted, solve running
+            await server.stop()
+            status, _, _ = await in_flight
+            assert status == 200  # the in-flight request completed
+            assert server.final_metrics is not None
+            assert server.final_metrics["server"]["draining"] is True
+            assert server.final_metrics["totals"]["dispatched"] == 1
+            # new connections are refused after the listener closed
+            with pytest.raises(OSError):
+                await _roundtrip(server.port, "GET", "/healthz")
+
+        _with_server(run, shards=1)
+
+    def test_healthz_reports_draining(self):
+        async def run(server):
+            assert json.loads(
+                (await _roundtrip(server.port, "GET", "/healthz"))[2]
+            )["status"] == "ok"
+            await server.stop()
+            assert server.final_metrics["server"]["draining"] is True
+
+        _with_server(run)

@@ -1,0 +1,78 @@
+"""Benchmark record IO: schema, stats, and run-provenance metadata."""
+
+import json
+import re
+
+import pytest
+
+from repro.benchio import (
+    OUTPUT_DIR_ENV,
+    SCHEMA,
+    bench_output_path,
+    bench_stats,
+    run_metadata,
+    write_bench_json,
+)
+
+
+class TestRunMetadata:
+    def test_has_every_provenance_field(self):
+        meta = run_metadata()
+        assert set(meta) == {
+            "git_sha", "hostname", "python", "platform", "created_iso",
+        }
+        assert all(isinstance(value, str) and value for value in meta.values())
+
+    def test_git_sha_is_a_commit_or_unknown(self):
+        sha = run_metadata()["git_sha"]
+        assert sha == "unknown" or re.fullmatch(r"[0-9a-f]{40}", sha)
+
+    def test_python_version_matches_interpreter(self):
+        import platform
+
+        assert run_metadata()["python"] == platform.python_version()
+
+    def test_timestamp_is_utc_iso(self):
+        from datetime import datetime
+
+        stamp = run_metadata()["created_iso"]
+        parsed = datetime.fromisoformat(stamp)
+        assert parsed.tzinfo is not None  # timezone-aware, not naive
+
+
+class TestWriteBenchJson:
+    def test_record_carries_run_block(self, tmp_path):
+        path = write_bench_json(
+            str(tmp_path / "BENCH_x.json"),
+            "x",
+            [{"name": "a", "mean": 1.0, "p50": 1.0, "p95": 1.0, "samples": 1}],
+            meta={"k": "v"},
+        )
+        payload = json.loads(open(path).read())
+        assert payload["schema"] == SCHEMA
+        assert payload["benchmark"] == "x"
+        assert payload["meta"] == {"k": "v"}
+        assert payload["run"]["python"]  # provenance is stamped in
+        assert payload["run"]["git_sha"]
+        assert payload["rows"][0]["name"] == "a"
+
+    def test_output_path_prefers_env_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(OUTPUT_DIR_ENV, str(tmp_path / "artifacts"))
+        path = bench_output_path("BENCH_y.json")
+        assert path == str(tmp_path / "artifacts" / "BENCH_y.json")
+        monkeypatch.delenv(OUTPUT_DIR_ENV)
+        assert bench_output_path("BENCH_y.json", str(tmp_path)) == str(
+            tmp_path / "BENCH_y.json"
+        )
+
+
+class TestBenchStats:
+    def test_stats_shape(self):
+        stats = bench_stats([1.0, 2.0, 3.0])
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["samples"] == 3
+        assert stats["p50"] <= stats["p95"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bench_stats([])

@@ -582,3 +582,203 @@ class TestServiceShim:
         # the stage engages exactly for the schedulers flagged warm_startable
         assert scheduler_info("oef-coop").warm_startable
         assert not scheduler_info("max-min").warm_startable
+
+
+class TestUseErrorPaths:
+    """Composition mistakes must fail loudly, not corrupt the pipeline."""
+
+    def test_unknown_before_anchor_raises(self, gateway):
+        with pytest.raises(ValueError, match="no pipeline stage matches"):
+            gateway.use(_Recorder(), before="no-such-stage")
+        # the failed insert left the pipeline untouched
+        assert gateway.find("recorder") is None
+
+    def test_unknown_after_anchor_raises(self, gateway):
+        with pytest.raises(ValueError, match="no pipeline stage matches"):
+            gateway.use(_Recorder(), after="no-such-stage")
+
+    def test_unknown_class_anchor_raises(self, gateway):
+        class _Absent(Middleware):
+            name = "absent"
+
+            def handle(self, request, next):  # pragma: no cover
+                return next(request)
+
+        with pytest.raises(ValueError, match="no pipeline stage matches"):
+            gateway.use(_Recorder(), before=_Absent)
+
+    def test_duplicate_instance_insertion_raises(self, gateway):
+        recorder = _Recorder()
+        gateway.use(recorder)
+        with pytest.raises(ValueError, match="already in the pipeline"):
+            gateway.use(recorder, before="cache")
+        # stages hold per-stage state, so a *second instance* is the
+        # documented way to run the same stage class twice
+        gateway.use(_Recorder(), before="cache")
+        names = [stage.name for stage in gateway.pipeline]
+        assert names.count("recorder") == 2
+
+    def test_duplicate_seed_stage_rejected_too(self, gateway):
+        cache = gateway.find(CacheMiddleware)
+        with pytest.raises(ValueError, match="already in the pipeline"):
+            gateway.use(cache, after="solver")
+
+    def test_pipeline_still_solves_after_rejected_insert(
+        self, gateway, paper_instance
+    ):
+        recorder = _Recorder()
+        gateway.use(recorder)
+        with pytest.raises(ValueError):
+            gateway.use(recorder)
+        assert gateway.solve(paper_instance, "max-min").ok
+
+
+class TestCoalesceLeaderRaises:
+    def test_followers_released_and_answered_when_leader_raises(
+        self, paper_instance
+    ):
+        """A raising leader must not wedge followers behind its event."""
+        entered = threading.Event()
+        release = threading.Event()
+        boom = RuntimeError("leader exploded")
+
+        class _ExplodingSolver(Middleware):
+            name = "exploding"
+
+            def __init__(self):
+                self.calls = 0
+                self._lock = threading.Lock()
+
+            def handle(self, request, next):
+                with self._lock:
+                    self.calls += 1
+                    first = self.calls == 1
+                if first:
+                    entered.set()
+                    release.wait(10.0)
+                    raise boom
+                return Response(scheduler=request.scheduler, result="ok")
+
+        solver = _ExplodingSolver()
+        gateway = Gateway([CoalesceMiddleware(), solver])
+        request = Request(instance=paper_instance, scheduler="max-min", key="k")
+        outcomes: list = []
+        lock = threading.Lock()
+
+        def dispatch():
+            try:
+                response = gateway.dispatch(request)
+                with lock:
+                    outcomes.append(response)
+            except RuntimeError as exc:
+                with lock:
+                    outcomes.append(exc)
+
+        leader = threading.Thread(target=dispatch)
+        leader.start()
+        assert entered.wait(5.0)
+        followers = [threading.Thread(target=dispatch) for _ in range(3)]
+        for thread in followers:
+            thread.start()
+        time.sleep(0.2)  # followers park on the leader's in-flight event
+        release.set()
+        leader.join(timeout=5.0)
+        for thread in followers:
+            thread.join(timeout=5.0)
+        assert not leader.is_alive()
+        assert all(not t.is_alive() for t in followers)  # nobody wedged
+
+        errors = [o for o in outcomes if isinstance(o, Exception)]
+        answers = [o for o in outcomes if isinstance(o, Response)]
+        assert errors == [boom]  # exactly the leader propagated the failure
+        # followers re-entered the downstream chain and solved for real
+        assert len(answers) == 3
+        assert all(response.ok for response in answers)
+        assert solver.calls == 4  # leader + 3 independent follower solves
+        # the in-flight table is clean: a new request leads immediately
+        assert gateway.dispatch(request).ok
+
+
+class TestRetryAfterHint:
+    def test_shed_capacity_carries_positive_hint(self, paper_instance):
+        gateway = Gateway(default_pipeline(max_in_flight=0))
+        response = gateway.solve(paper_instance, "max-min")
+        assert isinstance(response, Overloaded)
+        assert response.retry_after_s >= 0.05  # at least the floor
+
+    def test_shed_deadline_carries_hint(self, gateway, paper_instance):
+        response = gateway.solve(
+            paper_instance, "max-min", deadline=time.monotonic() - 1.0
+        )
+        assert isinstance(response, Overloaded)
+        assert response.retry_after_s > 0
+
+    def test_hint_scales_with_observed_latency(self):
+        admission = AdmissionMiddleware(max_in_flight=1, retry_after_floor=0.01)
+
+        class _Sleepy(Middleware):
+            name = "sleepy"
+
+            def handle(self, request, next):
+                time.sleep(0.05)
+                return Response(scheduler=request.scheduler, result="done")
+
+        gateway = Gateway([admission, _Sleepy()])
+        cold_hint = admission.retry_after_hint()
+        assert cold_hint == pytest.approx(0.01)  # floor before any samples
+        for _ in range(3):
+            gateway.dispatch(Request(instance=None, scheduler="noop"))
+        warmed_hint = admission.retry_after_hint()
+        assert warmed_hint >= 0.04  # EWMA tracked the ~50ms downstream
+        assert admission.stats()["retry_after_hint_s"] == pytest.approx(
+            warmed_hint, rel=0.5
+        )
+
+    def test_reset_clears_the_ewma(self):
+        admission = AdmissionMiddleware(max_in_flight=1, retry_after_floor=0.01)
+
+        class _Sleepy(Middleware):
+            name = "sleepy"
+
+            def handle(self, request, next):
+                time.sleep(0.05)
+                return Response(scheduler=request.scheduler, result="done")
+
+        gateway = Gateway([admission, _Sleepy()])
+        gateway.dispatch(Request(instance=None, scheduler="noop"))
+        assert admission.retry_after_hint() > 0.01  # EWMA has a sample
+        admission.reset()
+        assert admission.retry_after_hint() == pytest.approx(0.01)  # floor
+
+    def test_validation_rejects_negative_floor(self):
+        with pytest.raises(ValueError):
+            AdmissionMiddleware(retry_after_floor=-0.1)
+
+
+class TestServiceAdmissionInfo:
+    def test_admission_info_surfaces_counters(self, paper_instance):
+        from repro.service import SchedulingService
+
+        service = SchedulingService(
+            gateway=Gateway(default_pipeline(max_in_flight=4))
+        )
+        result = service.solve(paper_instance, "max-min")
+        assert result is not None
+        info = service.admission_info()
+        assert info["admitted"] == 1
+        assert info["shed_capacity"] == 0
+        assert info["in_flight"] == 0
+        assert info["retry_after_hint_s"] > 0
+
+    def test_admission_info_zeros_without_admission_stage(self):
+        from repro.service import SchedulingService
+
+        service = SchedulingService(gateway=Gateway(bare_pipeline()))
+        info = service.admission_info()
+        assert info == {
+            "admitted": 0,
+            "shed_deadline": 0,
+            "shed_capacity": 0,
+            "in_flight": 0,
+            "retry_after_hint_s": 0.0,
+        }

@@ -98,6 +98,88 @@ for name in steady bursty diurnal tenant-churn philly-replay; do
     grep -q "$name" "$TMP/scenarios.txt"
 done
 
+echo "== repro serve (serve-smoke: healthz/solve/metrics, 429, drain) =="
+# tiny admission limit so a concurrent cold burst provably sheds
+"$PY" -m repro serve --port 0 --shards 2 --max-in-flight 1 \
+    > "$TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+# the server prints its bound port on startup (port 0 = OS-assigned)
+for _ in $(seq 1 50); do
+    PORT="$(sed -n 's/.*http:\/\/127\.0\.0\.1:\([0-9]*\).*/\1/p' "$TMP/serve.log" | head -1)"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+done
+test -n "$PORT"
+"$PY" - "$PORT" "$TMP/instance.json" <<'SERVE_SMOKE'
+import json, sys, threading, urllib.error, urllib.request
+
+port, instance_path = int(sys.argv[1]), sys.argv[2]
+base = f"http://127.0.0.1:{port}"
+instance = json.load(open(instance_path))
+
+health = json.load(urllib.request.urlopen(f"{base}/healthz"))
+assert health["status"] == "ok" and health["shards"] == 2, health
+
+def post(payload):
+    req = urllib.request.Request(
+        f"{base}/solve", data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req) as resp:
+            return resp.status, dict(resp.headers), json.load(resp)
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.load(exc)
+
+status, _, payload = post({"instance": instance, "scheduler": "oef-coop"})
+assert status == 200 and payload["status"] == "ok", (status, payload)
+assert payload["allocation"]["allocator"] == "oef-coop"
+
+# concurrent cold solves against 1 admission slot must shed with 429
+outcomes = []
+def one():
+    outcomes.append(post({"instance": instance, "use_cache": False}))
+threads = [threading.Thread(target=one) for _ in range(6)]
+for t in threads: t.start()
+for t in threads: t.join()
+sheds = [(h, p) for s, h, p in outcomes if s == 429]
+assert sheds, [s for s, _, _ in outcomes]
+headers, payload = sheds[0]
+assert int(headers["Retry-After"]) >= 1, headers
+assert payload["error"]["code"] == "overloaded", payload
+
+metrics = json.load(urllib.request.urlopen(f"{base}/metrics"))
+assert metrics["totals"]["shed_capacity"] == len(sheds), metrics["totals"]
+assert metrics["totals"]["dispatched"] >= 1
+print(f"serve-smoke: {len(sheds)}/6 burst requests shed with Retry-After")
+SERVE_SMOKE
+# graceful drain: SIGINT must flush final metrics and exit 0
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+trap 'rm -rf "$TMP"' EXIT
+grep -q "draining" "$TMP/serve.log"
+grep -q '"requests_by_status"' "$TMP/serve.log"
+
+echo "== repro loadtest (against a fresh unbounded server) =="
+"$PY" -m repro serve --port 0 --shards 2 > "$TMP/serve2.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+for _ in $(seq 1 50); do
+    PORT2="$(sed -n 's/.*http:\/\/127\.0\.0\.1:\([0-9]*\).*/\1/p' "$TMP/serve2.log" | head -1)"
+    [ -n "$PORT2" ] && break
+    sleep 0.1
+done
+test -n "$PORT2"
+"$PY" -m repro loadtest --port "$PORT2" --duration 1 --rate 60 \
+    --json "$TMP/BENCH_serve.json" | tee "$TMP/loadtest.txt"
+grep -q "offered" "$TMP/loadtest.txt"
+test -s "$TMP/BENCH_serve.json"
+grep -q '"benchmark": "serve"' "$TMP/BENCH_serve.json"
+grep -q '"git_sha"' "$TMP/BENCH_serve.json"
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+trap 'rm -rf "$TMP"' EXIT
+
 echo "== repro list-schedulers =="
 "$PY" -m repro list-schedulers | tee "$TMP/schedulers.txt"
 for name in oef-coop oef-noncoop max-min gandiva-fair gavel drf \
