@@ -116,7 +116,7 @@ from repro.service import (
 )
 from repro.solver.warm import WarmStartState
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AdmissionMiddleware",

@@ -43,10 +43,17 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.benchledger.schema import validate_record
+
 SCHEMA = "repro/bench-v1"
 
 #: Environment variable overriding where ``BENCH_*.json`` files land.
 OUTPUT_DIR_ENV = "REPRO_BENCH_DIR"
+
+#: Records built in this process, in order — the benchmark suite's
+#: conftest drains this to route every written ``BENCH_*.json`` through
+#: the persistent ledger (see :mod:`repro.benchledger`).
+_SESSION_RECORDS: List[Dict[str, object]] = []
 
 
 def _git_sha() -> str:
@@ -106,15 +113,19 @@ def bench_output_path(filename: str, directory: Optional[str] = None) -> str:
     return os.path.join(base, filename)
 
 
-def write_bench_json(
-    path: str,
+def build_bench_record(
     benchmark: str,
     rows: List[Dict[str, object]],
     meta: Optional[Mapping[str, object]] = None,
-) -> str:
-    """Write one benchmark record; returns the path written."""
-    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-    payload = {
+) -> Dict[str, object]:
+    """Assemble and schema-validate one ``repro/bench-v1`` document.
+
+    Raises :class:`repro.benchledger.schema.BenchSchemaError` on a
+    malformed record (row without a name, non-numeric statistic, …) —
+    malformed records used to be silently accepted and only exploded
+    downstream, inside a compare or a plot.
+    """
+    payload: Dict[str, object] = {
         "schema": SCHEMA,
         "benchmark": benchmark,
         "created_unix": time.time(),
@@ -122,10 +133,42 @@ def write_bench_json(
         "meta": dict(meta or {}),
         "rows": rows,
     }
+    return validate_record(payload)
+
+
+def write_bench_json(
+    path: str,
+    benchmark: str,
+    rows: List[Dict[str, object]],
+    meta: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Validate and write one benchmark record; returns the path.
+
+    Every written record is also retained in-process (see
+    :func:`session_records`) so the benchmark suite's conftest can
+    append the session's records to the persistent ledger in one run.
+    """
+    return write_record_json(path, build_bench_record(benchmark, rows, meta=meta))
+
+
+def write_record_json(path: str, record: Dict[str, object]) -> str:
+    """Write an already-built record (re-validated) to ``path``."""
+    validate_record(record)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=False)
+        json.dump(record, handle, indent=2, sort_keys=False)
         handle.write("\n")
+    _SESSION_RECORDS.append(record)
     return path
+
+
+def session_records() -> List[Dict[str, object]]:
+    """Records written by this process so far (oldest first)."""
+    return list(_SESSION_RECORDS)
+
+
+def reset_session_records() -> None:
+    _SESSION_RECORDS.clear()
 
 
 __all__ = [
@@ -133,6 +176,10 @@ __all__ = [
     "SCHEMA",
     "bench_output_path",
     "bench_stats",
+    "build_bench_record",
+    "reset_session_records",
     "run_metadata",
+    "session_records",
     "write_bench_json",
+    "write_record_json",
 ]

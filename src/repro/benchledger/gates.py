@@ -1,0 +1,217 @@
+"""Regression gates: turn a compare report into a pass/fail verdict.
+
+A gate is a per-metric threshold on ``regression_pct`` (normalized in
+:mod:`repro.benchledger.compare` so positive always means worse).  Two
+kinds, with deliberately different provenance rules:
+
+* **Wall-clock gates** (``mean``/``p50``/``p95``) only fire when the
+  two runs are provenance-comparable — same host, interpreter, and
+  platform.  Seconds measured on different machines are different
+  experiments; gating them manufactures both false failures and false
+  confidence.  Non-comparable families are *skipped with a note*, never
+  silently passed.
+
+* **Ratio gates** (``speedup_vs_bare_cold``, ``overhead_vs_bare``, …)
+  fire regardless of provenance: a 44x hot path that drops to 20x is a
+  real regression whether measured on a laptop or a CI runner, because
+  both sides of the ratio moved through the same machine.  These are
+  the hot-path contracts CI enforces against the committed baseline.
+
+A metric additionally has to *classify* as regressed (i.e. clear the
+compare noise floor) before a gate can fail it, so a 0.2 ms blip never
+trips a 25% threshold on a microsecond row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Tuple
+
+from repro.benchledger.compare import (
+    REGRESSED,
+    TIME_METRICS,
+    CompareReport,
+)
+
+
+@dataclass(frozen=True)
+class GateThreshold:
+    """Fail when ``regression_pct`` for ``metric`` exceeds the max."""
+
+    metric: str
+    max_regression_pct: float
+    #: Wall-clock thresholds stand down on provenance mismatch.
+    require_comparable: bool = True
+
+
+#: The default policy: generous enough to absorb CI jitter, tight
+#: enough that losing an order of magnitude on a hot path fails.
+DEFAULT_THRESHOLDS: Tuple[GateThreshold, ...] = (
+    GateThreshold("p50", 25.0, require_comparable=True),
+    GateThreshold("mean", 30.0, require_comparable=True),
+    GateThreshold("p95", 40.0, require_comparable=True),
+    # dimensionless hot-path contracts — gated across machines
+    GateThreshold(
+        "speedup_vs_bare_cold", 30.0, require_comparable=False
+    ),
+    GateThreshold("speedup_vs_serial", 30.0, require_comparable=False),
+    GateThreshold("overhead_vs_bare", 10.0, require_comparable=False),
+)
+
+
+@dataclass(frozen=True)
+class GatePolicy:
+    """Which metrics are gated, and how hard."""
+
+    thresholds: Tuple[GateThreshold, ...] = DEFAULT_THRESHOLDS
+
+    def with_max_regression(self, pct: float) -> "GatePolicy":
+        """One threshold for every gated metric (CLI ``--max-regression``).
+
+        Provenance rules are untouched: wall-clock gates still stand
+        down on non-comparable runs.  Use a loose value (100–500%) when
+        two same-code runs are compared purely to prove the machinery
+        (smoke tests), or a moderate one (50–80%) to absorb runner
+        noise while still catching order-of-magnitude hot-path losses.
+        """
+        return GatePolicy(
+            thresholds=tuple(
+                replace(threshold, max_regression_pct=pct)
+                for threshold in self.thresholds
+            )
+        )
+
+    def with_max_time_regression(self, pct: float) -> "GatePolicy":
+        """Override only the wall-clock (mean/p50/p95) thresholds."""
+        return GatePolicy(
+            thresholds=tuple(
+                replace(threshold, max_regression_pct=pct)
+                if threshold.metric in TIME_METRICS
+                else threshold
+                for threshold in self.thresholds
+            )
+        )
+
+    def threshold_for(self, metric: str) -> GateThreshold | None:
+        for threshold in self.thresholds:
+            if threshold.metric == metric:
+                return threshold
+        return None
+
+
+@dataclass(frozen=True)
+class GateFailure:
+    """One metric that regressed past its threshold."""
+
+    family: str
+    row: str
+    metric: str
+    base: float
+    current: float
+    regression_pct: float
+    max_regression_pct: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.family}/{self.row}.{self.metric}: "
+            f"{self.base:.6g} -> {self.current:.6g} "
+            f"({self.regression_pct:+.1f}% worse, threshold "
+            f"{self.max_regression_pct:.0f}%)"
+        )
+
+
+@dataclass
+class GateResult:
+    """The verdict: ``ok`` plus every failure and every stand-down."""
+
+    ok: bool
+    failures: List[GateFailure] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = []
+        for note in self.skipped:
+            lines.append(f"gate skipped: {note}")
+        for failure in self.failures:
+            lines.append(f"GATE FAILED: {failure.describe()}")
+        lines.append(
+            "regression gates: "
+            + ("OK" if self.ok else f"{len(self.failures)} failure(s)")
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "failures": [
+                {
+                    "family": f.family,
+                    "row": f.row,
+                    "metric": f.metric,
+                    "base": f.base,
+                    "current": f.current,
+                    "regression_pct": f.regression_pct,
+                    "max_regression_pct": f.max_regression_pct,
+                }
+                for f in self.failures
+            ],
+            "skipped": list(self.skipped),
+        }
+
+
+def apply_gates(
+    report: CompareReport, policy: GatePolicy | None = None
+) -> GateResult:
+    """Evaluate every gated metric in a compare report."""
+    policy = policy or GatePolicy()
+    result = GateResult(ok=True)
+    for comparison in report.comparisons:
+        if not comparison.comparable:
+            time_gated = any(
+                threshold.require_comparable
+                for threshold in policy.thresholds
+            )
+            if time_gated:
+                result.skipped.append(
+                    f"[{comparison.family}] wall-clock gates skipped, "
+                    "runs are not provenance-comparable ("
+                    + "; ".join(comparison.provenance_mismatches)
+                    + ")"
+                )
+        for row in comparison.rows:
+            for delta in row.metrics:
+                threshold = policy.threshold_for(delta.metric)
+                if threshold is None:
+                    continue
+                if threshold.require_comparable and not comparison.comparable:
+                    continue
+                if (
+                    delta.classification == REGRESSED
+                    and delta.regression_pct
+                    > threshold.max_regression_pct
+                ):
+                    result.failures.append(
+                        GateFailure(
+                            family=comparison.family,
+                            row=row.name,
+                            metric=delta.metric,
+                            base=delta.base,
+                            current=delta.current,
+                            regression_pct=delta.regression_pct,
+                            max_regression_pct=(
+                                threshold.max_regression_pct
+                            ),
+                        )
+                    )
+    result.ok = not result.failures
+    return result
+
+
+__all__ = [
+    "DEFAULT_THRESHOLDS",
+    "GateFailure",
+    "GatePolicy",
+    "GateResult",
+    "GateThreshold",
+    "apply_gates",
+]

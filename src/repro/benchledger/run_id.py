@@ -1,0 +1,112 @@
+"""Deterministic run ids: ``<git-sha12>-<manifest10>-<seq04>``.
+
+A run id names one benchmark *run* — possibly several families'
+records appended together (``repro bench --json`` writes ``parallel``
+*and* ``gateway`` under one id; a ``pytest benchmarks -m bench``
+session appends every module's record under one id).  It is built from
+facts, not entropy:
+
+* the first 12 hex chars of the git commit SHA the run measured,
+* the first 10 hex chars of the manifest hash
+  (:meth:`repro.benchledger.manifest.Manifest.hash` — machine,
+  interpreter, config; timestamp-free),
+* a 4-digit monotonic sequence scoped to that (sha, manifest) pair,
+  assigned by scanning the ledger's existing ids at append time.
+
+So re-running the same benches on the same checkout and machine yields
+``…-0001``, ``…-0002``, … — ordered, collision-free without
+coordination, and greppable: every run from one commit shares a prefix,
+every run from one machine+commit shares two.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, NamedTuple
+
+SHA_WIDTH = 12
+MANIFEST_WIDTH = 10
+SEQUENCE_WIDTH = 4
+
+_RUN_ID_RE = re.compile(
+    rf"^(?P<sha>[0-9a-f]{{{SHA_WIDTH}}}|unknown)"
+    rf"-(?P<manifest>[0-9a-f]{{{MANIFEST_WIDTH}}})"
+    rf"-(?P<seq>[0-9]{{{SEQUENCE_WIDTH},}})$"
+)
+
+
+class RunId(NamedTuple):
+    """The three components of a parsed run id."""
+
+    sha: str
+    manifest: str
+    sequence: int
+
+    def __str__(self) -> str:
+        return format_run_id(self.sha, self.manifest, self.sequence)
+
+
+def format_run_id(git_sha: str, manifest_hash: str, sequence: int) -> str:
+    """Render the canonical id string from its components."""
+    if sequence < 1:
+        raise ValueError(f"run sequence numbers start at 1, got {sequence}")
+    sha = git_sha[:SHA_WIDTH] if git_sha != "unknown" else "unknown"
+    return (
+        f"{sha}-{manifest_hash[:MANIFEST_WIDTH]}"
+        f"-{sequence:0{SEQUENCE_WIDTH}d}"
+    )
+
+
+def parse_run_id(run_id: str) -> RunId:
+    """Split an id back into ``(sha, manifest, sequence)``.
+
+    Raises ``ValueError`` for anything that is not a well-formed id —
+    callers use this to distinguish an explicit run id from a git ref
+    when resolving a ``--compare`` base.
+    """
+    match = _RUN_ID_RE.match(run_id)
+    if match is None:
+        raise ValueError(f"not a run id: {run_id!r}")
+    return RunId(
+        sha=match.group("sha"),
+        manifest=match.group("manifest"),
+        sequence=int(match.group("seq")),
+    )
+
+
+def is_run_id(candidate: str) -> bool:
+    return _RUN_ID_RE.match(candidate) is not None
+
+
+def next_sequence(
+    existing_ids: Iterable[str], git_sha: str, manifest_hash: str
+) -> int:
+    """The next free sequence for this (sha, manifest) pair.
+
+    Scans the ledger's existing run ids — malformed ids are ignored
+    rather than fatal (the ledger validates entries separately; the
+    sequence scan must not brick appends over one historic oddity).
+    """
+    sha = git_sha[:SHA_WIDTH] if git_sha != "unknown" else "unknown"
+    manifest = manifest_hash[:MANIFEST_WIDTH]
+    highest = 0
+    for candidate in existing_ids:
+        try:
+            parsed = parse_run_id(candidate)
+        except ValueError:
+            continue
+        if parsed.sha == sha and parsed.manifest == manifest:
+            highest = max(highest, parsed.sequence)
+    return highest + 1
+
+
+__all__ = [
+    "MANIFEST_WIDTH",
+    "SEQUENCE_WIDTH",
+    "SHA_WIDTH",
+    "RunId",
+    "format_run_id",
+    "is_run_id",
+    "next_sequence",
+    "parse_run_id",
+]

@@ -18,7 +18,12 @@ Commands
 ``bench``            time a batch of solves serial vs parallel backends;
                      ``--json`` writes a ``BENCH_parallel.json`` record
                      *and* a ``BENCH_gateway.json`` pipeline-on/off
-                     comparison next to it
+                     comparison next to it, appending both to the
+                     persistent benchmark ledger (``--ledger DIR``;
+                     see :mod:`repro.benchledger`); ``--compare BASE``
+                     renders a regression report against a prior run
+                     (run id, git ref, or ``latest``) and exits 1 when
+                     a gated hot-path metric regresses
 ``serve``            run the async sharded HTTP serving layer
                      (``--port --shards --pipeline --max-in-flight``;
                      see :mod:`repro.server` and ``docs/server.md``)
@@ -304,7 +309,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     import numpy as np
 
-    from repro.benchio import bench_stats, write_bench_json
+    from repro.benchio import bench_stats
     from repro.gateway import Request, default_pipeline
     from repro.workloads.generator import random_instance
 
@@ -376,7 +381,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     _print_table(rows)
     ok = all(row["matches serial"] == "yes" for row in rows)
-    if args.json:
+    # --json and --compare both need the full records (the pipeline-on/off
+    # comparison rides along so the gateway perf trajectory stays populated)
+    need_records = args.json is not None or args.compare is not None
+    parallel_record = gateway_record = None
+    if need_records:
+        from repro.benchio import build_bench_record, write_record_json
+
         meta = {
             "instances": args.instances,
             "users": args.users,
@@ -384,22 +395,111 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "schedulers": list(args.schedulers),
             "repeat": max(1, args.repeat),
         }
-        path = write_bench_json(args.json, "parallel", json_rows, meta=meta)
-        print(f"wrote {path}")
-        # --json always also records the pipeline-on/off comparison so the
-        # gateway perf trajectory is populated between PRs
         gateway_rows, gateway_ok = _gateway_bench_rows(
             requests, repeat=max(1, args.repeat)
         )
-        gateway_path = write_bench_json(
-            os.path.join(os.path.dirname(args.json) or ".", "BENCH_gateway.json"),
-            "gateway",
-            gateway_rows,
-            meta=meta,
-        )
-        print(f"wrote {gateway_path}")
         ok = ok and gateway_ok
-    return 0 if ok else 1
+        parallel_record = build_bench_record("parallel", json_rows, meta=meta)
+        gateway_record = build_bench_record("gateway", gateway_rows, meta=meta)
+        if args.json:
+            print(f"wrote {write_record_json(args.json, parallel_record)}")
+            gateway_path = os.path.join(
+                os.path.dirname(args.json) or ".", "BENCH_gateway.json"
+            )
+            print(f"wrote {write_record_json(gateway_path, gateway_record)}")
+    exit_code = 0 if ok else 1
+    if need_records:
+        ledger_code = _bench_ledger_and_compare(
+            args, [parallel_record, gateway_record]
+        )
+        exit_code = exit_code or ledger_code
+    return exit_code
+
+
+def _bench_ledger_and_compare(args: argparse.Namespace, records) -> int:
+    """Append this run to the ledger; with ``--compare``, report + gate.
+
+    Returns 0 when nothing is gated or every gate passes, 1 when a gate
+    fails, 2 on a usage/lookup error (no ledger, unknown base spec).
+    """
+    from repro.benchledger import (
+        BaselineNotFound,
+        BenchLedger,
+        GatePolicy,
+        LedgerError,
+        Manifest,
+        apply_gates,
+        compare_runs,
+        render_text,
+    )
+
+    if args.no_ledger:
+        ledger = None
+    elif args.ledger:
+        ledger = BenchLedger(args.ledger)
+    else:
+        ledger = BenchLedger.default()
+    if ledger is None:
+        if args.compare is not None:
+            print(
+                "error: --compare needs a ledger "
+                "(pass --ledger DIR or set $REPRO_LEDGER_DIR)",
+                file=sys.stderr,
+            )
+            return 2
+        return 0
+
+    config = {
+        "source": "repro bench",
+        "instances": args.instances,
+        "users": args.users,
+        "gpu_types": args.gpu_types,
+        "schedulers": list(args.schedulers),
+        "repeat": max(1, args.repeat),
+    }
+    try:
+        manifest = Manifest.from_record(records[0], config=config)
+        run_id = ledger.begin_run(manifest)
+        entries = [
+            ledger.append(record, run_id=run_id, config=config)
+            for record in records
+        ]
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"ledger: appended run {run_id} -> {ledger.root}")
+    if args.compare is None:
+        return 0
+
+    try:
+        base_id = ledger.resolve_base(args.compare, exclude=run_id)
+    except BaselineNotFound as exc:
+        if args.compare == "latest":
+            # a fresh ledger's first run has nothing to regress against
+            print(f"compare: {exc}; recorded the baseline instead")
+            return 0
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report = compare_runs(ledger.entries_for_run(base_id), entries)
+    policy = GatePolicy()
+    if args.max_regression is not None:
+        policy = policy.with_max_regression(args.max_regression)
+    verdict = apply_gates(report, policy)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {"report": report.to_json(), "gates": verdict.to_json()},
+                indent=2,
+            )
+        )
+    else:
+        print(render_text(report))
+        print(verdict.describe())
+    return 0 if verdict.ok else 1
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -634,6 +734,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write a machine-readable BENCH_parallel.json record here",
+    )
+    bench.add_argument(
+        "--ledger",
+        default=None,
+        metavar="DIR",
+        help="benchmark ledger directory to append this run to "
+        "(default: $REPRO_LEDGER_DIR, else benchmarks/ledger in a "
+        "repo checkout; only used with --json/--compare)",
+    )
+    bench.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not append this run to any ledger",
+    )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASE",
+        help="compare this run against a ledger baseline and apply the "
+        "regression gates; BASE is a run id, a git ref, or 'latest' "
+        "(exit 1 on a gated regression)",
+    )
+    bench.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="how --compare renders the regression report",
+    )
+    bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="override every gate threshold with one value, in percent "
+        "(provenance rules still apply; see docs/benchmarks.md)",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -1,0 +1,74 @@
+"""Shared fixtures: record/entry factories for ledger tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchio import build_bench_record
+
+
+def _default_rows():
+    return [
+        {
+            "name": "pipeline/hot",
+            "mean": 0.010,
+            "p50": 0.010,
+            "p95": 0.012,
+            "samples": 3,
+            "speedup_vs_bare_cold": 40.0,
+        },
+        {
+            "name": "pipeline/cold",
+            "mean": 0.40,
+            "p50": 0.40,
+            "p95": 0.45,
+            "samples": 3,
+            "overhead_vs_bare": 1.01,
+        },
+    ]
+
+
+@pytest.fixture
+def record_factory():
+    """Build valid records with controllable provenance and timing.
+
+    ``factory(benchmark="gateway", rows=None, hostname=None,
+    python=None, git_sha=None, created_unix=None)`` — overrides are
+    applied *after* :func:`repro.benchio.build_bench_record` stamps the
+    real environment, which is how tests fabricate cross-host or
+    cross-commit runs without monkeypatching the world.
+    """
+
+    counter = {"n": 0}
+
+    def factory(
+        benchmark="gateway",
+        rows=None,
+        hostname=None,
+        python=None,
+        git_sha=None,
+        created_unix=None,
+    ):
+        record = build_bench_record(
+            benchmark, rows if rows is not None else _default_rows()
+        )
+        counter["n"] += 1
+        if created_unix is None:
+            # strictly increasing stamps so run ordering is deterministic
+            record["created_unix"] = 1_700_000_000.0 + counter["n"]
+        else:
+            record["created_unix"] = created_unix
+        if hostname is not None:
+            record["run"]["hostname"] = hostname
+        if python is not None:
+            record["run"]["python"] = python
+        if git_sha is not None:
+            record["run"]["git_sha"] = git_sha
+        return record
+
+    return factory
+
+
+@pytest.fixture
+def default_rows():
+    return _default_rows()

@@ -1,0 +1,167 @@
+"""The CLI surface: ``repro bench --ledger/--compare`` end to end.
+
+Small solve shapes keep these in tier-1 territory (~seconds); they
+exercise the full path the CI gate uses: append -> resolve -> compare
+-> gate -> exit code.
+"""
+
+import json
+
+import pytest
+
+from repro.benchledger import BenchLedger
+from repro.cli import main
+
+BENCH = [
+    "bench",
+    "--instances", "2",
+    "--users", "4",
+    "--gpu-types", "2",
+    "--backends", "thread",
+    "--jobs", "2",
+]
+
+
+def _bench(tmp_path, *extra):
+    return main(
+        BENCH
+        + ["--json", str(tmp_path / "BENCH_parallel.json")]
+        + ["--ledger", str(tmp_path / "ledger")]
+        + list(extra)
+    )
+
+
+class TestLedgerAppend:
+    def test_json_run_appends_schema_valid_entries(self, tmp_path, capsys):
+        assert _bench(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "ledger: appended run" in out
+        ledger = BenchLedger(str(tmp_path / "ledger"))
+        assert ledger.families() == ["gateway", "parallel"]
+        # entries() validates on read; one shared run id across families
+        run_ids = {
+            str(e["run_id"])
+            for family in ledger.families()
+            for e in ledger.entries(family)
+        }
+        assert len(run_ids) == 1
+        [entry] = ledger.entries("gateway")
+        assert entry["manifest"]["config"]["source"] == "repro bench"
+
+    def test_no_ledger_flag_skips_append(self, tmp_path, capsys):
+        assert (
+            main(
+                BENCH
+                + ["--json", str(tmp_path / "B.json"), "--no-ledger"]
+            )
+            == 0
+        )
+        assert "ledger: appended" not in capsys.readouterr().out
+
+    def test_plain_bench_never_touches_a_ledger(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "led"))
+        assert main(BENCH) == 0
+        assert "ledger" not in capsys.readouterr().out
+        assert not (tmp_path / "led").exists()
+
+
+class TestCompare:
+    def test_first_run_records_baseline_without_failing(
+        self, tmp_path, capsys
+    ):
+        assert _bench(tmp_path, "--compare", "latest") == 0
+        assert "recorded the baseline instead" in capsys.readouterr().out
+
+    def test_second_run_compares_against_latest(self, tmp_path, capsys):
+        assert _bench(tmp_path) == 0
+        capsys.readouterr()
+        # same code, same machine: with loose thresholds this must pass
+        assert (
+            _bench(
+                tmp_path, "--compare", "latest", "--max-regression", "1000"
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "comparing current run" in out
+        assert "[gateway]" in out and "[parallel]" in out
+        assert "regression gates: OK" in out
+
+    def test_seeded_regression_exits_nonzero(self, tmp_path, capsys):
+        """The acceptance criterion: a regressed hot path fails the CLI."""
+        ledger = BenchLedger(str(tmp_path / "ledger"))
+        # seed a baseline whose hot path is impossibly good: the fresh
+        # run's speedup_vs_bare_cold regresses >30% deterministically
+        from repro.benchio import build_bench_record
+
+        record = build_bench_record(
+            "gateway",
+            [
+                {
+                    "name": "pipeline/hot",
+                    "mean": 1e-9,
+                    "p50": 1e-9,
+                    "p95": 1e-9,
+                    "samples": 3,
+                    "speedup_vs_bare_cold": 1e9,
+                }
+            ],
+        )
+        ledger.append(record)
+        assert _bench(tmp_path, "--compare", "latest") == 1
+        out = capsys.readouterr().out
+        assert "GATE FAILED" in out
+        assert "speedup_vs_bare_cold" in out
+
+    def test_missing_run_id_is_a_usage_error(self, tmp_path, capsys):
+        assert _bench(tmp_path) == 0
+        ghost = "e" * 12 + "-" + "f" * 10 + "-0001"
+        assert _bench(tmp_path, "--compare", ghost) == 2
+        assert "not in the ledger" in capsys.readouterr().err
+
+    def test_compare_without_any_ledger_is_a_usage_error(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", "")
+        code = main(
+            BENCH
+            + [
+                "--json", str(tmp_path / "B.json"),
+                "--compare", "latest",
+            ]
+        )
+        assert code == 2
+        assert "--compare needs a ledger" in capsys.readouterr().err
+
+    def test_json_format_report(self, tmp_path, capsys):
+        assert _bench(tmp_path) == 0
+        capsys.readouterr()
+        assert (
+            _bench(
+                tmp_path,
+                "--compare", "latest",
+                "--format", "json",
+                "--max-regression", "1000",
+            )
+            == 0
+        )
+        lines = capsys.readouterr().out.splitlines()
+        payload = json.loads("\n".join(lines[lines.index("{"):]))
+        assert payload["gates"]["ok"] is True
+        families = {f["family"] for f in payload["report"]["families"]}
+        assert families == {"gateway", "parallel"}
+
+    def test_compare_by_explicit_run_id(self, tmp_path, capsys):
+        assert _bench(tmp_path) == 0
+        ledger = BenchLedger(str(tmp_path / "ledger"))
+        [base_id] = ledger.existing_run_ids()
+        capsys.readouterr()
+        assert (
+            _bench(
+                tmp_path,
+                "--compare", base_id,
+                "--max-regression", "1000",
+            )
+            == 0
+        )
+        assert base_id in capsys.readouterr().out

@@ -1,0 +1,210 @@
+"""Historical compare: classification, noise floors, edge cases."""
+
+import json
+
+import pytest
+
+from repro.benchledger import (
+    BenchLedger,
+    NoiseFloor,
+    compare_runs,
+    render_text,
+)
+from repro.benchledger.compare import (
+    FLAT,
+    IMPROVED,
+    REGRESSED,
+    classify_delta,
+    metric_direction,
+)
+
+
+def _rows(p50=0.010, speedup=40.0, name="pipeline/hot"):
+    return [
+        {
+            "name": name,
+            "mean": p50,
+            "p50": p50,
+            "p95": p50 * 1.2,
+            "samples": 3,
+            "speedup_vs_bare_cold": speedup,
+        }
+    ]
+
+
+def _two_runs(ledger, record_factory, base_kw=None, current_kw=None):
+    base = ledger.append(record_factory(**(base_kw or {})))
+    current = ledger.append(record_factory(**(current_kw or {})))
+    return [base], [current]
+
+
+class TestMetricDirection:
+    def test_time_and_overhead_are_lower_better(self):
+        assert metric_direction("p50") == "lower"
+        assert metric_direction("overhead_vs_bare") == "lower"
+
+    def test_speedups_and_rates_are_higher_better(self):
+        assert metric_direction("speedup_vs_serial") == "higher"
+        assert metric_direction("achieved_rps") == "higher"
+
+
+class TestClassification:
+    def test_slower_time_is_regressed(self):
+        delta = classify_delta("p50", 0.1, 0.2, NoiseFloor())
+        assert delta.classification == REGRESSED
+        assert delta.regression_pct == pytest.approx(100.0)
+
+    def test_faster_time_is_improved(self):
+        delta = classify_delta("p50", 0.2, 0.1, NoiseFloor())
+        assert delta.classification == IMPROVED
+        assert delta.regression_pct == pytest.approx(-50.0)
+
+    def test_higher_speedup_is_improvement_not_regression(self):
+        delta = classify_delta(
+            "speedup_vs_bare_cold", 40.0, 80.0, NoiseFloor()
+        )
+        assert delta.classification == IMPROVED
+        assert delta.regression_pct == pytest.approx(-100.0)
+
+    def test_relative_noise_floor_flattens_jitter(self):
+        delta = classify_delta("p50", 0.100, 0.104, NoiseFloor(rel_pct=5.0))
+        assert delta.classification == FLAT
+
+    def test_absolute_noise_floor_flattens_microsecond_swings(self):
+        # +40% on a 0.3ms timing is scheduler noise, not a regression
+        delta = classify_delta(
+            "p50", 0.0003, 0.00042, NoiseFloor(rel_pct=5.0, abs_s=0.002)
+        )
+        assert delta.classification == FLAT
+
+    def test_absolute_floor_does_not_apply_to_ratios(self):
+        delta = classify_delta(
+            "speedup_vs_bare_cold", 40.0, 39.999, NoiseFloor(abs_s=1.0)
+        )
+        # tiny relative change -> still flat, but via the relative floor
+        assert delta.classification == FLAT
+        delta = classify_delta(
+            "speedup_vs_bare_cold", 40.0, 20.0, NoiseFloor(abs_s=100.0)
+        )
+        assert delta.classification == REGRESSED
+
+    def test_zero_base_handled(self):
+        assert classify_delta("p50", 0.0, 0.0, NoiseFloor()).classification == FLAT
+        delta = classify_delta("p50", 0.0, 1.0, NoiseFloor())
+        assert delta.classification == REGRESSED
+        assert delta.change_pct == float("inf")
+
+
+class TestCompareRuns:
+    def test_aligned_rows_compare(self, tmp_path, record_factory):
+        ledger = BenchLedger(str(tmp_path))
+        base, current = _two_runs(
+            ledger,
+            record_factory,
+            base_kw={"rows": _rows(p50=0.010)},
+            current_kw={"rows": _rows(p50=0.030)},
+        )
+        report = compare_runs(base, current)
+        [comparison] = report.comparisons
+        assert comparison.comparable
+        [row] = comparison.rows
+        assert row.classification == REGRESSED
+        assert row.metric("p50").regression_pct == pytest.approx(200.0)
+
+    def test_partially_overlapping_rows_reported_not_fatal(
+        self, tmp_path, record_factory
+    ):
+        ledger = BenchLedger(str(tmp_path))
+        base, current = _two_runs(
+            ledger,
+            record_factory,
+            base_kw={"rows": _rows() + _rows(name="retired/row")},
+            current_kw={"rows": _rows() + _rows(name="brand/new")},
+        )
+        report = compare_runs(base, current)
+        [comparison] = report.comparisons
+        assert comparison.only_in_base == ("retired/row",)
+        assert comparison.only_in_current == ("brand/new",)
+        assert [row.name for row in comparison.rows] == ["pipeline/hot"]
+
+    def test_partially_overlapping_families_reported_not_fatal(
+        self, tmp_path, record_factory
+    ):
+        ledger = BenchLedger(str(tmp_path))
+        base = [
+            ledger.append(record_factory("gateway")),
+            ledger.append(record_factory("retired_bench")),
+        ]
+        current = [
+            ledger.append(record_factory("gateway")),
+            ledger.append(record_factory("new_bench")),
+        ]
+        report = compare_runs(base, current)
+        assert [c.family for c in report.comparisons] == ["gateway"]
+        assert report.families_only_in_base == ["retired_bench"]
+        assert report.families_only_in_current == ["new_bench"]
+
+    def test_provenance_mismatch_flagged_non_comparable(
+        self, tmp_path, record_factory
+    ):
+        ledger = BenchLedger(str(tmp_path))
+        base, current = _two_runs(
+            ledger,
+            record_factory,
+            base_kw={"hostname": "devbox", "python": "3.11.4"},
+            current_kw={"hostname": "ci-runner", "python": "3.12.1"},
+        )
+        report = compare_runs(base, current)
+        [comparison] = report.comparisons
+        assert not comparison.comparable
+        joined = "; ".join(comparison.provenance_mismatches)
+        assert "hostname" in joined and "python" in joined
+        # the rows still compare — only the *gates* stand down
+        assert comparison.rows
+
+    def test_cross_commit_same_machine_stays_comparable(
+        self, tmp_path, record_factory
+    ):
+        ledger = BenchLedger(str(tmp_path))
+        base, current = _two_runs(
+            ledger,
+            record_factory,
+            base_kw={"git_sha": "a" * 40},
+            current_kw={"git_sha": "b" * 40},
+        )
+        [comparison] = compare_runs(base, current).comparisons
+        assert comparison.comparable
+
+    def test_empty_sides_produce_empty_report(self):
+        report = compare_runs([], [])
+        assert report.comparisons == []
+        assert report.base_run_id == "<none>"
+
+
+class TestRendering:
+    def test_text_report_names_runs_classes_and_skips(
+        self, tmp_path, record_factory
+    ):
+        ledger = BenchLedger(str(tmp_path))
+        base = [
+            ledger.append(record_factory("gateway", rows=_rows(p50=0.01))),
+            ledger.append(record_factory("retired_bench")),
+        ]
+        current = [
+            ledger.append(record_factory("gateway", rows=_rows(p50=0.05)))
+        ]
+        report = compare_runs(base, current)
+        text = render_text(report)
+        assert str(base[0]["run_id"]) in text
+        assert str(current[0]["run_id"]) in text
+        assert "regressed" in text
+        assert "[retired_bench] only in base run" in text
+
+    def test_json_report_round_trips(self, tmp_path, record_factory):
+        ledger = BenchLedger(str(tmp_path))
+        base, current = _two_runs(ledger, record_factory)
+        payload = compare_runs(base, current).to_json()
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["summary"]["regressed"] == 0
+        assert decoded["families"][0]["family"] == "gateway"
+        assert decoded["families"][0]["comparable"] is True

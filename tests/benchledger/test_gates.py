@@ -1,0 +1,168 @@
+"""Regression gates: thresholds, provenance stand-down, seeded failures."""
+
+import pytest
+
+from repro.benchledger import (
+    BenchLedger,
+    GatePolicy,
+    GateThreshold,
+    apply_gates,
+    compare_runs,
+)
+
+
+def _rows(p50=0.010, speedup=40.0):
+    return [
+        {
+            "name": "pipeline/hot",
+            "mean": p50,
+            "p50": p50,
+            "p95": p50 * 1.2,
+            "samples": 3,
+            "speedup_vs_bare_cold": speedup,
+        }
+    ]
+
+
+def _report(tmp_path, record_factory, base_kw, current_kw):
+    ledger = BenchLedger(str(tmp_path))
+    base = ledger.append(record_factory(**base_kw))
+    current = ledger.append(record_factory(**current_kw))
+    return compare_runs([base], [current])
+
+
+class TestSeededRegression:
+    def test_seeded_hot_path_regression_fails_the_gate(
+        self, tmp_path, record_factory
+    ):
+        """The acceptance-criteria scenario: a 3x p50 slowdown gates."""
+        report = _report(
+            tmp_path,
+            record_factory,
+            {"rows": _rows(p50=0.010)},
+            {"rows": _rows(p50=0.030)},
+        )
+        verdict = apply_gates(report)
+        assert not verdict.ok
+        failed = {(f.metric, f.row) for f in verdict.failures}
+        assert ("p50", "pipeline/hot") in failed
+        assert "GATE FAILED" in verdict.describe()
+
+    def test_ratio_collapse_fails_even_cross_host(
+        self, tmp_path, record_factory
+    ):
+        """Losing the 40x hot path gates regardless of provenance."""
+        report = _report(
+            tmp_path,
+            record_factory,
+            {"rows": _rows(speedup=40.0), "hostname": "devbox"},
+            {"rows": _rows(speedup=15.0), "hostname": "ci-runner"},
+        )
+        verdict = apply_gates(report)
+        assert not verdict.ok
+        assert [f.metric for f in verdict.failures] == [
+            "speedup_vs_bare_cold"
+        ]
+
+    def test_identical_runs_pass(self, tmp_path, record_factory):
+        report = _report(
+            tmp_path, record_factory, {"rows": _rows()}, {"rows": _rows()}
+        )
+        verdict = apply_gates(report)
+        assert verdict.ok and not verdict.failures
+
+    def test_improvement_passes(self, tmp_path, record_factory):
+        report = _report(
+            tmp_path,
+            record_factory,
+            {"rows": _rows(p50=0.030, speedup=20.0)},
+            {"rows": _rows(p50=0.010, speedup=40.0)},
+        )
+        assert apply_gates(report).ok
+
+
+class TestProvenanceStandDown:
+    def test_wall_clock_gates_skip_on_host_mismatch(
+        self, tmp_path, record_factory
+    ):
+        # 5x slower p50, but measured on a different machine: skipped
+        report = _report(
+            tmp_path,
+            record_factory,
+            {"rows": _rows(p50=0.010), "hostname": "devbox"},
+            {"rows": _rows(p50=0.050), "hostname": "ci-runner"},
+        )
+        verdict = apply_gates(report)
+        assert verdict.ok
+        assert any("not provenance-comparable" in s for s in verdict.skipped)
+        assert any("hostname" in s for s in verdict.skipped)
+
+    def test_python_mismatch_also_stands_down(self, tmp_path, record_factory):
+        report = _report(
+            tmp_path,
+            record_factory,
+            {"rows": _rows(p50=0.010), "python": "3.11.4"},
+            {"rows": _rows(p50=0.050), "python": "3.12.1"},
+        )
+        verdict = apply_gates(report)
+        assert verdict.ok and verdict.skipped
+
+
+class TestPolicy:
+    def test_noise_floor_suppresses_sub_threshold_blips(
+        self, tmp_path, record_factory
+    ):
+        # +40% on 0.3ms is inside the absolute noise floor -> flat -> no gate
+        report = _report(
+            tmp_path,
+            record_factory,
+            {"rows": _rows(p50=0.0003)},
+            {"rows": _rows(p50=0.00042)},
+        )
+        policy = GatePolicy(
+            thresholds=(GateThreshold("p50", 10.0, require_comparable=True),)
+        )
+        assert apply_gates(report, policy).ok
+
+    def test_with_max_regression_overrides_every_threshold(self):
+        policy = GatePolicy().with_max_regression(300.0)
+        assert all(
+            t.max_regression_pct == 300.0 for t in policy.thresholds
+        )
+        # provenance behavior is preserved
+        assert policy.threshold_for("p50").require_comparable
+        assert not policy.threshold_for(
+            "speedup_vs_bare_cold"
+        ).require_comparable
+
+    def test_with_max_time_regression_leaves_ratios_alone(self):
+        policy = GatePolicy().with_max_time_regression(99.0)
+        assert policy.threshold_for("p50").max_regression_pct == 99.0
+        assert (
+            policy.threshold_for("speedup_vs_bare_cold").max_regression_pct
+            == 30.0
+        )
+
+    def test_ungated_metrics_never_fail(self, tmp_path, record_factory):
+        rows_base = _rows()
+        rows_base[0]["custom_metric"] = 1.0
+        rows_cur = _rows()
+        rows_cur[0]["custom_metric"] = 100.0
+        report = _report(
+            tmp_path,
+            record_factory,
+            {"rows": rows_base},
+            {"rows": rows_cur},
+        )
+        assert apply_gates(report).ok
+
+    def test_gate_result_json_shape(self, tmp_path, record_factory):
+        report = _report(
+            tmp_path,
+            record_factory,
+            {"rows": _rows(p50=0.010)},
+            {"rows": _rows(p50=0.030)},
+        )
+        payload = apply_gates(report).to_json()
+        assert payload["ok"] is False
+        assert payload["failures"][0]["metric"] in {"p50", "mean", "p95"}

@@ -8,6 +8,19 @@ import pytest
 from repro.core import ProblemInstance, SpeedupMatrix
 
 
+@pytest.fixture(autouse=True)
+def _isolate_bench_ledger(monkeypatch):
+    """Keep tier-1 tests away from the committed benchmark ledger.
+
+    An empty ``$REPRO_LEDGER_DIR`` disables default-ledger discovery
+    (see :mod:`repro.benchledger.ledger`), so in-process CLI invocations
+    like ``repro bench --json`` never append to ``benchmarks/ledger/``
+    from a test run.  Ledger tests opt back in with ``--ledger DIR`` or
+    by setting the variable themselves.
+    """
+    monkeypatch.setenv("REPRO_LEDGER_DIR", "")
+
+
 @pytest.fixture
 def paper_instance() -> ProblemInstance:
     """§2.4 running example: W = [[1,2],[1,3],[1,4]], one GPU per type."""

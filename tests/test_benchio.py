@@ -66,6 +66,68 @@ class TestWriteBenchJson:
         )
 
 
+class TestSchemaValidation:
+    """Every written ``BENCH_*.json`` is validated against repro/bench-v1."""
+
+    def test_malformed_rows_rejected_at_write_time(self, tmp_path):
+        from repro.benchledger import BenchSchemaError
+
+        target = tmp_path / "BENCH_bad.json"
+        with pytest.raises(BenchSchemaError, match="p50"):
+            write_bench_json(
+                str(target), "bad", [{"name": "a", "mean": 1.0, "p95": 1.0}]
+            )
+        assert not target.exists()  # nothing lands on disk
+
+    def test_row_without_name_rejected(self, tmp_path):
+        from repro.benchledger import BenchSchemaError
+
+        with pytest.raises(BenchSchemaError, match="name"):
+            write_bench_json(
+                str(tmp_path / "BENCH_bad.json"),
+                "bad",
+                [{"mean": 1.0, "p50": 1.0, "p95": 1.0}],
+            )
+
+    def test_round_trip_write_read_validate(self, tmp_path):
+        from repro.benchledger import validate_record
+
+        path = write_bench_json(
+            str(tmp_path / "BENCH_rt.json"),
+            "round_trip",
+            [
+                {
+                    "name": "hot",
+                    "mean": 0.01,
+                    "p50": 0.01,
+                    "p95": 0.02,
+                    "samples": 5,
+                    "speedup_vs_bare_cold": 12.5,
+                    "matches_bare": True,
+                }
+            ],
+            meta={"repeat": 5},
+        )
+        reread = json.loads(open(path).read())
+        assert validate_record(reread) is reread
+        assert reread["rows"][0]["speedup_vs_bare_cold"] == 12.5
+        assert reread["meta"] == {"repeat": 5}
+
+    def test_written_records_tracked_for_the_session(self, tmp_path):
+        from repro.benchio import reset_session_records, session_records
+
+        reset_session_records()
+        write_bench_json(
+            str(tmp_path / "BENCH_a.json"),
+            "fam_a",
+            [{"name": "x", "mean": 1.0, "p50": 1.0, "p95": 1.0, "samples": 1}],
+        )
+        records = session_records()
+        assert [r["benchmark"] for r in records] == ["fam_a"]
+        reset_session_records()
+        assert session_records() == []
+
+
 class TestBenchStats:
     def test_stats_shape(self):
         stats = bench_stats([1.0, 2.0, 3.0])

@@ -60,8 +60,10 @@ for stage in admission metrics coalesce warm-start cache solver; do
 done
 
 echo "== repro bench (+ BENCH_parallel.json / BENCH_gateway.json records) =="
+# --no-ledger: the smoke test must not append to the repo's committed
+# ledger when run from a checkout (the ledger steps below use $TMP)
 "$PY" -m repro bench --instances 4 --users 6 --gpu-types 3 \
-    --backends thread --jobs 2 --repeat 2 \
+    --backends thread --jobs 2 --repeat 2 --no-ledger \
     --json "$TMP/BENCH_parallel.json" | tee "$TMP/bench.txt"
 grep -q "matches serial" "$TMP/bench.txt"
 test -s "$TMP/BENCH_parallel.json"
@@ -70,6 +72,46 @@ grep -q '"p95"' "$TMP/BENCH_parallel.json"
 test -s "$TMP/BENCH_gateway.json"
 grep -q '"benchmark": "gateway"' "$TMP/BENCH_gateway.json"
 grep -q '"matches_bare": true' "$TMP/BENCH_gateway.json"
+
+echo "== benchmark ledger: append + same-machine compare (gates OK) =="
+"$PY" -m repro bench --instances 2 --users 4 --gpu-types 2 \
+    --backends thread --jobs 2 --repeat 1 \
+    --json "$TMP/BENCH_parallel2.json" --ledger "$TMP/ledger" \
+    | tee "$TMP/bench_ledger.txt"
+grep -q "ledger: appended run" "$TMP/bench_ledger.txt"
+test -s "$TMP/ledger/parallel.jsonl"
+test -s "$TMP/ledger/gateway.jsonl"
+# second run vs the first: same code, same machine — must pass the gate
+# (loose threshold purely to keep tiny-shape timing noise out of CI)
+"$PY" -m repro bench --instances 2 --users 4 --gpu-types 2 \
+    --backends thread --jobs 2 --repeat 1 \
+    --json "$TMP/BENCH_parallel3.json" --ledger "$TMP/ledger" \
+    --compare latest --max-regression 500 | tee "$TMP/bench_compare.txt"
+grep -q "comparing current run" "$TMP/bench_compare.txt"
+grep -q "regression gates: OK" "$TMP/bench_compare.txt"
+
+echo "== benchmark ledger: seeded regression must fail the gate =="
+"$PY" - "$TMP/seeded-ledger" <<'SEED_LEDGER'
+import sys
+
+from repro.benchio import build_bench_record
+from repro.benchledger import BenchLedger
+
+# a baseline whose hot path is impossibly good: any real run regresses
+BenchLedger(sys.argv[1]).append(build_bench_record(
+    "gateway",
+    [{"name": "pipeline/hot", "mean": 1e-9, "p50": 1e-9, "p95": 1e-9,
+      "samples": 3, "speedup_vs_bare_cold": 1e9}],
+))
+SEED_LEDGER
+if "$PY" -m repro bench --instances 2 --users 4 --gpu-types 2 \
+    --backends thread --jobs 2 --repeat 1 \
+    --json "$TMP/BENCH_parallel4.json" --ledger "$TMP/seeded-ledger" \
+    --compare latest > "$TMP/bench_gate.txt" 2>&1; then
+    echo "seeded regression did not fail the gate" >&2
+    exit 1
+fi
+grep -q "GATE FAILED" "$TMP/bench_gate.txt"
 
 echo "== repro experiments (2 jobs) =="
 "$PY" -m repro experiments fig1 fig6 --jobs 2 --backend thread \
