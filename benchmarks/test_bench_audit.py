@@ -1,0 +1,152 @@
+"""Continuous-audit overhead benchmark: audited vs un-audited hot path.
+
+The acceptance bar of the auditing layer: a default pipeline carrying an
+:class:`~repro.auditor.middleware.AuditMiddleware` at sampling rate 1.0
+must serve the steady-state hot path **within 5%** of the same pipeline
+without the stage.  In steady state the stage's settled-key memo
+short-circuits the capture to a single set lookup — every
+(fingerprint, scheduler) pair already sampled or rejected never takes
+a lock again — so the audit tax is bookkeeping, not LP work: the
+property suite runs once per distinct request, off the hot path, on
+the worker thread.
+
+Allocations must match the un-audited pipeline bit for bit.  Stats land
+in ``BENCH_audit.json`` (see :mod:`repro.benchio`) and the persistent
+ledger gates ``audit_overhead_vs_hot`` at +5% between runs (see
+:mod:`repro.benchledger.gates`); ``repro bench`` records the same ratio
+as the ``pipeline+audit/hot`` row.
+"""
+
+import statistics
+import time
+
+import numpy as np
+
+from repro.auditor import AuditMiddleware, AuditWorker
+from repro.benchio import bench_output_path, bench_stats, write_bench_json
+from repro.gateway import Gateway, Request, default_pipeline
+from repro.workloads.generator import random_instance
+
+#: timed (plain, audited) pass pairs — each pair is adjacent in time so
+#: machine-load drift cancels inside it, and the overhead estimate is
+#: the *median* of the per-pair ratios, which a burst of host noise
+#: (that would wreck a min- or mean-of-totals estimator on a shared VM)
+#: cannot move
+PAIRS = 150
+INSTANCES = 8
+USERS = 12
+GPU_TYPES = 4
+SCHEDULERS = ("oef-coop", "max-min")
+#: Steady-state audit tax ceiling: the 5% acceptance criterion.
+OVERHEAD_CEILING = 1.05
+
+
+def _requests():
+    instances = [
+        random_instance(USERS, GPU_TYPES, seed=seed) for seed in range(INSTANCES)
+    ]
+    return [
+        Request(instance=instance, scheduler=scheduler)
+        for instance in instances
+        for scheduler in SCHEDULERS
+    ]
+
+
+def _one_pass(gateway, requests):
+    """(seconds for one full pass over the requests, its responses)."""
+    start = time.perf_counter()
+    responses = [gateway.solve(request) for request in requests]
+    return time.perf_counter() - start, responses
+
+
+def test_bench_audit_overhead(benchmark):
+    requests = _requests()
+
+    def run():
+        plain = Gateway(default_pipeline())
+        worker = AuditWorker(None)  # in-memory: no ledger IO in the timings
+        audited = Gateway(
+            default_pipeline(audit=AuditMiddleware(1.0, worker=worker))
+        )
+        for request in requests:  # warm both caches, enqueue every audit
+            plain.solve(request)
+            audited.solve(request)
+        worker.drain()  # steady state: settled-key memo armed
+
+        # tightly paired passes, order alternating each pair, so drift
+        # hits both sides of every ratio equally
+        plain_samples, audited_samples = [], []
+        plain_responses = audited_responses = None
+        for pair in range(PAIRS):
+            if pair % 2 == 0:
+                seconds, plain_responses = _one_pass(plain, requests)
+                plain_samples.append(seconds)
+                seconds, audited_responses = _one_pass(audited, requests)
+                audited_samples.append(seconds)
+            else:
+                seconds, audited_responses = _one_pass(audited, requests)
+                audited_samples.append(seconds)
+                seconds, plain_responses = _one_pass(plain, requests)
+                plain_samples.append(seconds)
+        worker.stop()
+        return (
+            (plain_samples, plain_responses),
+            (audited_samples, audited_responses),
+            worker.stats(),
+        )
+
+    (plain, audited, worker_stats) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    plain_samples, plain_responses = plain
+    audited_samples, audited_responses = audited
+
+    # the audit stage is a pure observer: answers match bit for bit
+    for response, reference in zip(audited_responses, plain_responses):
+        np.testing.assert_array_equal(
+            response.allocation.matrix, reference.allocation.matrix
+        )
+    assert all(r.disposition == "cache-hit" for r in audited_responses)
+    # every distinct (instance, scheduler) pair was audited exactly once
+    assert worker_stats["audited"] == len(requests)
+    # the settled-key memo short-circuits every hot-pass re-offer before
+    # it ever reaches the worker
+    assert worker_stats["duplicates"] == 0
+
+    plain_stats = bench_stats(plain_samples)
+    audited_stats = bench_stats(audited_samples)
+    overhead = statistics.median(
+        audited / plain
+        for audited, plain in zip(audited_samples, plain_samples)
+    )
+
+    rows = [
+        {"name": "pipeline/hot", **plain_stats},
+        {
+            "name": "pipeline+audit/hot",
+            **audited_stats,
+            "audit_overhead_vs_hot": overhead,
+            "audited": worker_stats["audited"],
+            "matches_plain": True,
+        },
+    ]
+    path = write_bench_json(
+        bench_output_path("BENCH_audit.json"),
+        "audit",
+        rows,
+        meta={
+            "instances": INSTANCES,
+            "users": USERS,
+            "gpu_types": GPU_TYPES,
+            "schedulers": list(SCHEDULERS),
+            "pairs": PAIRS,
+            "overhead_ceiling": OVERHEAD_CEILING,
+        },
+    )
+    benchmark.extra_info["bench_json"] = path
+    benchmark.extra_info["audit_overhead_vs_hot"] = round(overhead, 4)
+
+    assert overhead <= OVERHEAD_CEILING, (
+        f"audited hot path {overhead:.3f}x the un-audited hot path "
+        f"(ceiling {OVERHEAD_CEILING:.2f}x)"
+    )

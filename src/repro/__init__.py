@@ -36,7 +36,9 @@ The public API re-exports the pieces a downstream user needs:
   :class:`WeightedOEF` and the baselines (:class:`MaxMinFairness`,
   :class:`GandivaFair`, :class:`Gavel`);
 * fairness auditors -- :func:`audit_allocator` and the individual property
-  checkers;
+  checkers, plus the continuous-auditing layer (:class:`AuditMiddleware`,
+  :class:`AuditWorker`, :class:`AuditLedger`, :func:`replay_audit`; see
+  :mod:`repro.auditor` and ``docs/auditing.md``);
 * dynamic workloads -- :class:`Scenario`, :class:`ScenarioRunner`,
   :class:`ScenarioResult`, :func:`make_scenario`, :func:`scenario_names`,
   :func:`run_scenario`, :func:`scenario_sweep` (see :mod:`repro.scenarios`);
@@ -44,6 +46,14 @@ The public API re-exports the pieces a downstream user needs:
   :mod:`repro.workloads`, and paper experiments in :mod:`repro.experiments`.
 """
 
+from repro.auditor import (
+    AuditLedger,
+    AuditMiddleware,
+    AuditSampler,
+    AuditWorker,
+    replay_audit,
+    summarize_records,
+)
 from repro.baselines import EfficiencyMaxAllocator, GandivaFair, Gavel, MaxMinFairness
 from repro.core import (
     Allocation,
@@ -116,12 +126,16 @@ from repro.service import (
 )
 from repro.solver.warm import WarmStartState
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AdmissionMiddleware",
     "Allocation",
     "Allocator",
+    "AuditLedger",
+    "AuditMiddleware",
+    "AuditSampler",
+    "AuditWorker",
     "CacheMiddleware",
     "CacheStats",
     "CoalesceMiddleware",
@@ -174,6 +188,7 @@ __all__ = [
     "parallel_map",
     "register_scheduler",
     "registry_rows",
+    "replay_audit",
     "resolve_scheduler_name",
     "run_scenario",
     "scenario_names",
@@ -181,4 +196,5 @@ __all__ = [
     "scheduler_info",
     "scheduler_names",
     "structural_fingerprint",
+    "summarize_records",
 ]

@@ -1,0 +1,134 @@
+"""The append-only audit ledger: one JSONL file per audit stream.
+
+Every audited response becomes one ``repro/audit-v1`` line under
+``<root>/<scenario>.jsonl`` — the durable record ``repro audit-report``
+summarizes.  The write discipline is the benchmark ledger's
+(:mod:`repro.benchledger.ledger`): each record is serialized to a
+single line and written with one ``O_APPEND`` ``write(2)`` + fsync, so
+concurrent audit workers interleave whole lines, never halves, and a
+crash leaves either the full new line or nothing.  Lines are
+schema-validated on both write and read
+(:mod:`repro.auditor.schema`), so a corrupt line is caught with its
+file and line number.
+
+``$REPRO_AUDIT_DIR`` overrides where :meth:`AuditLedger.default`
+looks; an *empty* value disables default-ledger discovery entirely
+(tier-1 test isolation — see ``tests/conftest.py``).  There is no
+committed default location: audits are operational telemetry, not a
+repo artifact, so callers outside ``$REPRO_AUDIT_DIR`` must name a
+directory explicitly (``repro serve --audit-ledger DIR``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Mapping, Optional
+
+from repro.auditor.schema import AuditSchemaError, validate_audit_record
+
+#: Environment variable naming the default audit-ledger directory.
+#: Set to the empty string to disable default-ledger discovery.
+AUDIT_DIR_ENV = "REPRO_AUDIT_DIR"
+
+
+class AuditLedgerError(RuntimeError):
+    """An audit ledger file that cannot be read (corrupt line, bad schema)."""
+
+
+def _stream_filename(scenario: str) -> str:
+    safe = "".join(
+        ch if ch.isalnum() or ch in "-_." else "_" for ch in scenario
+    )
+    return f"{safe}.jsonl"
+
+
+class AuditLedger:
+    """Append and read ``repro/audit-v1`` records in one directory."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+
+    @classmethod
+    def default(cls) -> Optional["AuditLedger"]:
+        """The ``$REPRO_AUDIT_DIR`` ledger, or ``None``.
+
+        An empty value explicitly disables audit recording (records then
+        live only in the worker's in-memory buffer).
+        """
+        if AUDIT_DIR_ENV in os.environ:
+            value = os.environ[AUDIT_DIR_ENV]
+            return cls(value) if value else None
+        return None
+
+    # -- paths -----------------------------------------------------------
+
+    def path_for(self, scenario: str) -> str:
+        return os.path.join(self.root, _stream_filename(scenario))
+
+    def scenarios(self) -> List[str]:
+        """Audit streams present, from the ``*.jsonl`` files on disk."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            name[: -len(".jsonl")]
+            for name in os.listdir(self.root)
+            if name.endswith(".jsonl")
+        )
+
+    # -- reading ---------------------------------------------------------
+
+    def records(self, scenario: str) -> List[Dict[str, object]]:
+        """All validated records of one stream, in append order."""
+        path = self.path_for(scenario)
+        if not os.path.exists(path):
+            return []
+        records: List[Dict[str, object]] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise AuditLedgerError(
+                        f"{path}:{lineno}: not valid JSON ({exc})"
+                    ) from None
+                try:
+                    validate_audit_record(record)
+                except AuditSchemaError as exc:
+                    raise AuditLedgerError(
+                        f"{path}:{lineno}: {exc}"
+                    ) from None
+                records.append(record)
+        return records
+
+    def all_records(self) -> List[Dict[str, object]]:
+        records: List[Dict[str, object]] = []
+        for scenario in self.scenarios():
+            records.extend(self.records(scenario))
+        return records
+
+    # -- writing ---------------------------------------------------------
+
+    def append(self, record: Mapping[str, object]) -> Dict[str, object]:
+        """Validate and atomically append one record; returns it."""
+        validate_audit_record(record)
+        entry = dict(record)
+        os.makedirs(self.root, exist_ok=True)
+        line = json.dumps(entry, sort_keys=True, default=float) + "\n"
+        data = line.encode("utf-8")
+        fd = os.open(
+            self.path_for(str(entry["scenario"])),
+            os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+            0o644,
+        )
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return entry
+
+
+__all__ = ["AUDIT_DIR_ENV", "AuditLedger", "AuditLedgerError"]

@@ -1,0 +1,240 @@
+"""Audit-report assembly: replay, summarize, classify — exit non-zero.
+
+Three layers, mirroring the orchestrating-runner shape (run all checks
+→ classify → pass/fail summary):
+
+* :func:`replay_audit` — a *seeded, reproducible* audit pass: for each
+  named scenario it derives the tenant-population timeline
+  (arrivals/departures from the scenario script), synthesizes one
+  seeded instance per distinct population size — prefixed by the
+  paper's §2.4 worked example as a fixed canary, so every stream
+  reproduces the Table-1 verdicts — and drives every requested
+  scheduler through an *audited* default gateway pipeline at sampling
+  rate 1.0.  The worker drains before returning, so the records are
+  complete.
+* :func:`summarize_records` — one printable row per
+  ``(scenario, scheduler)``: combined Table-1 marks (a property is
+  ``yes`` only if it held on every audited instance), verdict counts,
+  and the violated-property set.
+* :func:`confirmed_violations` — the ``fail``-verdict records that make
+  ``repro audit-report`` exit non-zero.  ``error`` verdicts are
+  surfaced in the summary but never gate: a broken check is an
+  operational problem, not a fairness violation.
+
+:class:`UnfairAllocator` (``--inject-unfair``) is the report's own
+negative control: a scheduler that hands every device to tenant 0.  It
+is registered only for the duration of the replay and — being absent
+from :data:`~repro.auditor.worker.EXPECTED_PROPERTIES` — is held to
+every property, so the report must exit non-zero or the wall is broken.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.auditor.ledger import AuditLedger
+from repro.auditor.middleware import AuditMiddleware
+from repro.auditor.sampler import AuditSampler
+from repro.auditor.schema import PROPERTY_KEYS
+from repro.auditor.worker import AuditWorker
+from repro.core.allocation import Allocation
+from repro.core.base import Allocator
+from repro.core.instance import ProblemInstance
+
+#: Registry name the injected negative control uses.
+UNFAIR_SCHEDULER = "unfair-grab"
+
+#: Default replay coverage: the two stationary-vs-churn scenario shapes
+#: and the three Table-1 schedulers the acceptance criteria name.
+DEFAULT_REPLAY_SCENARIOS = ("steady", "tenant-churn")
+DEFAULT_REPLAY_SCHEDULERS = ("oef-coop", "gandiva-fair", "gavel")
+
+
+class UnfairAllocator(Allocator):
+    """Negative control: every device goes to tenant 0, everyone else starves."""
+
+    name = UNFAIR_SCHEDULER
+
+    def allocate(self, instance: ProblemInstance) -> Allocation:
+        matrix = np.zeros((instance.num_users, instance.num_gpu_types))
+        matrix[0, :] = instance.capacities
+        return Allocation(matrix, instance)
+
+
+@contextmanager
+def injected_unfair_scheduler(registry=None):
+    """Temporarily register :class:`UnfairAllocator`; always unregister."""
+    from repro.registry import REGISTRY, register_scheduler
+
+    registry = REGISTRY if registry is None else registry
+    register_scheduler(
+        UnfairAllocator,
+        name=UNFAIR_SCHEDULER,
+        family="adversarial",
+        description="audit-report negative control (starves all but tenant 0)",
+        registry=registry,
+    )
+    try:
+        yield UNFAIR_SCHEDULER
+    finally:
+        registry.unregister(UNFAIR_SCHEDULER)
+
+
+# -- replay -----------------------------------------------------------------
+
+
+def _population_sizes(scenario) -> List[int]:
+    """Distinct active-tenant counts along one scenario's timeline."""
+    from repro.scenarios.events import TenantArrival, TenantDeparture
+
+    script = scenario.materialize()
+    active = len(script.initial_tenants)
+    sizes = [active]
+    for event in script.events:
+        if isinstance(event, TenantArrival):
+            active += 1
+        elif isinstance(event, TenantDeparture):
+            active -= 1
+        else:
+            continue
+        if active >= 2 and active not in sizes:
+            sizes.append(active)
+    return sizes
+
+
+def replay_instances(
+    scenario_name: str,
+    *,
+    rounds: Optional[int] = None,
+    seed: int = 7,
+) -> List[ProblemInstance]:
+    """The seeded instance stream one scenario replays through the auditor.
+
+    The paper's §2.4 worked example leads as a fixed canary (it pins the
+    Table-1 verdicts: Gavel's dense PE violation, Gandiva_fair's envy,
+    OEF-coop's SP gap), followed by one random instance per distinct
+    tenant-population size the scenario's arrival/departure timeline
+    visits — same name + seed ⇒ identical stream.
+    """
+    from repro.experiments.table1_properties import paper_example_instance
+    from repro.scenarios import make_scenario
+    from repro.workloads.generator import random_instance
+
+    scenario = make_scenario(scenario_name, seed=seed, rounds=rounds)
+    instances = [paper_example_instance()]
+    for size in _population_sizes(scenario):
+        instances.append(
+            random_instance(
+                num_users=size,
+                num_gpu_types=3,
+                seed=seed * 997 + size,
+                devices_per_type=4.0,
+            )
+        )
+    return instances
+
+
+def replay_audit(
+    scenarios: Sequence[str] = DEFAULT_REPLAY_SCENARIOS,
+    schedulers: Sequence[str] = DEFAULT_REPLAY_SCHEDULERS,
+    *,
+    rounds: Optional[int] = None,
+    seed: int = 7,
+    sp_trials: int = 2,
+    rate: float = 1.0,
+    ledger: Optional[AuditLedger] = None,
+    registry=None,
+) -> List[Dict[str, object]]:
+    """Audit every ``scheduler x scenario`` replay pair; returns records.
+
+    Each scenario gets its own worker (its records land in that
+    scenario's ledger stream) feeding an audited default pipeline, and
+    every worker drains before the function returns.
+    """
+    from repro.gateway import Gateway, default_pipeline
+
+    records: List[Dict[str, object]] = []
+    for scenario_name in scenarios:
+        worker = AuditWorker(
+            ledger,
+            registry=registry,
+            scenario=scenario_name,
+            sp_trials=sp_trials,
+            seed=seed,
+        )
+        stage = AuditMiddleware(
+            sampler=AuditSampler(rate, seed=seed), worker=worker
+        )
+        gateway = Gateway(default_pipeline(registry, audit=stage))
+        for instance in replay_instances(
+            scenario_name, rounds=rounds, seed=seed
+        ):
+            for scheduler in schedulers:
+                gateway.solve(instance, scheduler)
+        worker.stop()
+        records.extend(worker.records())
+    return records
+
+
+# -- summary / classification ----------------------------------------------
+
+
+def _combined_mark(marks: List[str]) -> str:
+    if "no" in marks:
+        return "no"
+    return "yes" if "yes" in marks else "n/a"
+
+
+def summarize_records(
+    records: Iterable[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """One row per ``(scenario, scheduler)`` with combined Table-1 marks."""
+    groups: Dict[Tuple[str, str], List[Dict[str, object]]] = {}
+    for record in records:
+        key = (str(record["scenario"]), str(record["scheduler"]))
+        groups.setdefault(key, []).append(record)
+
+    rows: List[Dict[str, object]] = []
+    for (scenario, scheduler) in sorted(groups):
+        group = groups[(scenario, scheduler)]
+        judged = [r for r in group if r["verdict"] != "error"]
+        row: Dict[str, object] = {
+            "scenario": scenario,
+            "scheduler": scheduler,
+        }
+        for prop in PROPERTY_KEYS:
+            row[prop] = _combined_mark(
+                [str(r["properties"][prop]) for r in judged]  # type: ignore[index]
+            )
+        row["audited"] = len(group)
+        for verdict in ("pass", "fail", "error"):
+            row[verdict] = sum(1 for r in group if r["verdict"] == verdict)
+        violated = sorted(
+            {str(v) for r in group for v in r["violations"]}  # type: ignore[union-attr]
+        )
+        row["violations"] = ",".join(violated) if violated else "-"
+        rows.append(row)
+    return rows
+
+
+def confirmed_violations(
+    records: Iterable[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """The ``fail``-verdict records (a violated *expected* property)."""
+    return [record for record in records if record["verdict"] == "fail"]
+
+
+__all__ = [
+    "DEFAULT_REPLAY_SCENARIOS",
+    "DEFAULT_REPLAY_SCHEDULERS",
+    "UNFAIR_SCHEDULER",
+    "UnfairAllocator",
+    "confirmed_violations",
+    "injected_unfair_scheduler",
+    "replay_audit",
+    "replay_instances",
+    "summarize_records",
+]

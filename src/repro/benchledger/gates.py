@@ -56,6 +56,10 @@ DEFAULT_THRESHOLDS: Tuple[GateThreshold, ...] = (
     ),
     GateThreshold("speedup_vs_serial", 30.0, require_comparable=False),
     GateThreshold("overhead_vs_bare", 10.0, require_comparable=False),
+    # the continuous-audit tax on the hot path: a 5% budget, period
+    GateThreshold(
+        "audit_overhead_vs_hot", 5.0, require_comparable=False
+    ),
 )
 
 

@@ -6,6 +6,11 @@ Commands
                      (alias: ``solve``; ``--pipeline {default,bare}``
                      selects the gateway middleware pipeline)
 ``audit``            run the Table-1 property audit on a JSON instance
+``audit-report``     continuous-auditing report: summarize an audit
+                     ledger, or replay the seeded scenario streams
+                     through an audited pipeline (``--replay``,
+                     ``--inject-unfair``); exits 1 on any confirmed
+                     fairness violation (see ``docs/auditing.md``)
 ``compare``          efficiency/fairness summary of all schedulers on an instance
 ``frontier``         print the efficiency-fairness frontier of an instance
 ``list-schedulers``  render the scheduler registry (name, family, capabilities)
@@ -23,10 +28,15 @@ Commands
                      see :mod:`repro.benchledger`); ``--compare BASE``
                      renders a regression report against a prior run
                      (run id, git ref, or ``latest``) and exits 1 when
-                     a gated hot-path metric regresses
+                     a gated hot-path metric regresses — including the
+                     5% ``audit_overhead_vs_hot`` budget of the audited
+                     pipeline
 ``serve``            run the async sharded HTTP serving layer
                      (``--port --shards --pipeline --max-in-flight``;
-                     see :mod:`repro.server` and ``docs/server.md``)
+                     ``--audit RATE`` samples responses into the
+                     continuous fairness auditor and serves
+                     ``GET /audit/report``; see :mod:`repro.server`
+                     and ``docs/server.md``)
 ``loadtest``         drive a running server with the open-loop bursty
                      load generator and print the latency/throughput
                      report (``--json`` writes a ``BENCH_serve.json``)
@@ -248,18 +258,29 @@ def cmd_experiments(args: argparse.Namespace) -> int:
 def _gateway_bench_rows(requests, repeat: int):
     """Pipeline-on/off comparison rows for ``BENCH_gateway.json``.
 
-    Times the same request set three ways: through a bare pipeline (the
+    Times the same request set four ways: through a bare pipeline (the
     terminal solver only — every pass is a cold LP), through the default
     pipeline with the caches cleared each pass (cold, measuring pipeline
-    overhead on the LP-dominated path), and through the default pipeline
-    pre-warmed (the cache+warm hot path).  Returns the ``repro/bench-v1``
-    rows plus a correctness flag: hot-path allocations must match the
-    bare pipeline bit for bit.
+    overhead on the LP-dominated path), through the default pipeline
+    pre-warmed (the cache+warm hot path), and through the default
+    pipeline pre-warmed *with continuous auditing on* (sample rate 1.0,
+    audit worker drained before timing — steady state, where the stage's
+    settled-key memo reduces the capture to one set lookup).  Hot and
+    audited samples are taken as tightly adjacent pairs with the order
+    alternating each pair, and the audited row carries
+    ``audit_overhead_vs_hot`` — the *median* of the per-pair ratios,
+    which host-noise bursts on a shared machine cannot move — the
+    lower-is-better ratio the 5% ledger gate watches.
+    Returns the ``repro/bench-v1`` rows plus a correctness flag:
+    hot-path allocations must match the bare pipeline bit for bit.
     """
+    import statistics as _statistics
     import time as _time
 
     import numpy as np
 
+    from repro.auditor.middleware import AuditMiddleware
+    from repro.auditor.worker import AuditWorker
     from repro.benchio import bench_stats
     from repro.gateway import default_pipeline
 
@@ -278,13 +299,65 @@ def _gateway_bench_rows(requests, repeat: int):
     cold_stats, _ = time_passes(pipeline, clear=True)
     for request in requests:  # warm the cache for the hot passes
         pipeline.solve(request)
-    hot_stats, hot_responses = time_passes(pipeline, clear=False)
+
+    audit_worker = AuditWorker(None)  # in-memory only: no ledger IO in timings
+    audited = Gateway(
+        default_pipeline(audit=AuditMiddleware(1.0, worker=audit_worker))
+    )
+    for request in requests:  # warm the cache and enqueue every audit once
+        audited.solve(request)
+    audit_worker.drain()  # steady state: settled-key memo armed
+
+    # pair the hot and audited samples tightly in time, alternating the
+    # order each pair: the audit ratio divides two sub-millisecond
+    # numbers, so machine-load drift must hit both sides of every pair
+    # equally or it shows up as phantom overhead — and batch enough
+    # passes per sample that the clock sees milliseconds, not ticks
+    probe_start = _time.perf_counter()
+    hot_responses = [pipeline.solve(request) for request in requests]
+    probe = _time.perf_counter() - probe_start
+    inner = max(1, int(0.02 / max(probe, 1e-7)))
+
+    def _hot_sample():
+        start = _time.perf_counter()
+        responses = None
+        for _ in range(inner):
+            responses = [pipeline.solve(request) for request in requests]
+        return (_time.perf_counter() - start) / inner, responses
+
+    def _audited_sample():
+        start = _time.perf_counter()
+        responses = None
+        for _ in range(inner):
+            responses = [audited.solve(request) for request in requests]
+        return (_time.perf_counter() - start) / inner, responses
+
+    hot_samples, audited_samples = [], []
+    audited_responses = None
+    for pair in range(max(repeat, 9)):
+        if pair % 2 == 0:
+            sample, hot_responses = _hot_sample()
+            hot_samples.append(sample)
+            sample, audited_responses = _audited_sample()
+            audited_samples.append(sample)
+        else:
+            sample, audited_responses = _audited_sample()
+            audited_samples.append(sample)
+            sample, hot_responses = _hot_sample()
+            hot_samples.append(sample)
+    audit_worker.stop()
+    hot_stats = bench_stats(hot_samples)
+    audited_stats = bench_stats(audited_samples)
 
     identical = all(
         np.allclose(a.allocation.matrix, b.allocation.matrix, atol=1e-9)
         for a, b in zip(hot_responses, bare_responses)
+    ) and all(
+        np.allclose(a.allocation.matrix, b.allocation.matrix, atol=1e-9)
+        for a, b in zip(audited_responses, bare_responses)
     )
     bare_p50 = bare_stats["p50"] or float("inf")
+    hot_p50 = hot_stats["p50"] or float("inf")
     rows = [
         {"name": "bare/cold", **bare_stats},
         {
@@ -295,8 +368,21 @@ def _gateway_bench_rows(requests, repeat: int):
         {
             "name": "pipeline/hot",
             **hot_stats,
-            "speedup_vs_bare_cold": bare_p50 / (hot_stats["p50"] or float("inf")),
+            "speedup_vs_bare_cold": bare_p50 / hot_p50,
             "matches_bare": bool(identical),
+        },
+        {
+            "name": "pipeline+audit/hot",
+            **audited_stats,
+            "speedup_vs_bare_cold": bare_p50
+            / (audited_stats["p50"] or float("inf")),
+            # median of per-pair ratios: drift cancels inside each
+            # adjacent pair and a noise burst only costs its pair
+            # (mirrors benchmarks/test_bench_audit.py)
+            "audit_overhead_vs_hot": _statistics.median(
+                audited / (hot or float("inf"))
+                for audited, hot in zip(audited_samples, hot_samples)
+            ),
         },
     ]
     return rows, identical
@@ -502,6 +588,110 @@ def _bench_ledger_and_compare(args: argparse.Namespace, records) -> int:
     return 0 if verdict.ok else 1
 
 
+def cmd_audit_report(args: argparse.Namespace) -> int:
+    """Continuous-auditing report; exit 1 on any confirmed violation.
+
+    Two modes.  With a ledger (``--ledger DIR`` or ``$REPRO_AUDIT_DIR``)
+    and no ``--replay``, summarizes the records already on disk — the
+    operational "what did the live auditor see" view.  Otherwise replays
+    the seeded scenario streams through an audited default pipeline
+    (``docs/auditing.md``): same scenarios + seed ⇒ identical records,
+    which is how CI pins the Table-1 verdicts.  ``--inject-unfair``
+    registers the starve-everyone negative control for the replay; the
+    report then *must* exit 1 or the audit wall is broken.
+    """
+    from repro.auditor import (
+        UNFAIR_SCHEDULER,
+        AuditLedger,
+        AuditLedgerError,
+        confirmed_violations,
+        injected_unfair_scheduler,
+        replay_audit,
+        summarize_records,
+    )
+    from repro.auditor.report import (
+        DEFAULT_REPLAY_SCENARIOS,
+        DEFAULT_REPLAY_SCHEDULERS,
+    )
+
+    if args.no_ledger:
+        ledger = None
+    elif args.ledger:
+        ledger = AuditLedger(args.ledger)
+    else:
+        ledger = AuditLedger.default()
+
+    replay = args.replay or args.inject_unfair or ledger is None
+    scenarios = args.scenarios or list(DEFAULT_REPLAY_SCENARIOS)
+    if replay:
+        schedulers = list(args.schedulers or DEFAULT_REPLAY_SCHEDULERS)
+        replay_kwargs = dict(
+            rounds=args.rounds,
+            seed=args.seed,
+            sp_trials=args.sp_trials,
+            rate=args.rate,
+            ledger=ledger,
+        )
+        if args.inject_unfair:
+            with injected_unfair_scheduler():
+                records = replay_audit(
+                    scenarios, schedulers + [UNFAIR_SCHEDULER], **replay_kwargs
+                )
+        else:
+            records = replay_audit(scenarios, schedulers, **replay_kwargs)
+    else:
+        try:
+            records = ledger.all_records()
+        except AuditLedgerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.scenarios:
+            records = [r for r in records if r["scenario"] in set(args.scenarios)]
+        if args.schedulers:
+            records = [
+                r for r in records if r["scheduler"] in set(args.schedulers)
+            ]
+
+    rows = summarize_records(records)
+    confirmed = confirmed_violations(records)
+    errors = sum(1 for record in records if record["verdict"] == "error")
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "records": len(records),
+                    "summary": rows,
+                    "confirmed_violations": len(confirmed),
+                    "errors": errors,
+                },
+                indent=2,
+                default=float,
+            )
+        )
+    else:
+        if not records:
+            print("no audit records" + ("" if replay else f" in {ledger.root}"))
+            return 0
+        _print_table(rows)
+        if errors:
+            print(f"{errors} audit(s) errored (not gating; see the ledger)")
+        if confirmed:
+            print(
+                f"{len(confirmed)} confirmed violation(s): "
+                + ", ".join(
+                    sorted(
+                        {
+                            f"{r['scenario']}/{r['scheduler']}"
+                            for r in confirmed
+                        }
+                    )
+                )
+            )
+        else:
+            print("no confirmed violations")
+    return 1 if confirmed else 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the async sharded serving layer until SIGINT/SIGTERM."""
     from repro.server import serve
@@ -512,6 +702,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         pipeline=args.pipeline,
         max_in_flight=args.max_in_flight,
+        audit=args.audit,
+        audit_ledger=args.audit_ledger,
+        audit_seed=args.audit_seed,
     )
 
 
@@ -611,6 +804,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the registered optimal-efficiency constraint set",
     )
     audit.set_defaults(func=cmd_audit)
+
+    audit_report = sub.add_parser(
+        "audit-report",
+        help="summarize the continuous-audit ledger or replay the "
+        "seeded audit streams (exit 1 on a confirmed violation)",
+    )
+    audit_report.add_argument(
+        "--ledger",
+        default=None,
+        metavar="DIR",
+        help="audit ledger directory (default: $REPRO_AUDIT_DIR); "
+        "summarized as-is unless --replay/--inject-unfair runs a "
+        "fresh replay (which appends here)",
+    )
+    audit_report.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="ignore any configured ledger (replay in memory only)",
+    )
+    audit_report.add_argument(
+        "--replay",
+        action="store_true",
+        help="replay the seeded scenario streams through an audited "
+        "pipeline instead of reading the ledger",
+    )
+    audit_report.add_argument(
+        "--inject-unfair",
+        action="store_true",
+        help="register the deliberately unfair negative-control "
+        "scheduler for the replay; the report must then exit 1",
+    )
+    audit_report.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="scenario streams to replay or filter to "
+        "(default: steady tenant-churn)",
+    )
+    audit_report.add_argument(
+        "--schedulers",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="schedulers to replay or filter to "
+        "(default: oef-coop gandiva-fair gavel)",
+    )
+    audit_report.add_argument("--rounds", type=int, default=None)
+    audit_report.add_argument("--seed", type=int, default=7)
+    audit_report.add_argument("--sp-trials", type=int, default=2)
+    audit_report.add_argument(
+        "--rate", type=float, default=1.0,
+        help="replay sampling rate in [0, 1] (default: audit everything)",
+    )
+    audit_report.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+    audit_report.set_defaults(func=cmd_audit_report)
 
     def add_parallel_flags(command, default_backend=None):
         command.add_argument(
@@ -792,6 +1043,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-in-flight", type=int, default=None,
         help="per-shard admission bound; excess solves shed as HTTP 429 "
         "with Retry-After (default: unbounded)",
+    )
+    serve.add_argument(
+        "--audit", type=float, default=None, metavar="RATE",
+        help="sample this fraction of responses (in [0, 1]) into the "
+        "continuous fairness auditor and serve GET /audit/report "
+        "(default: auditing off)",
+    )
+    serve.add_argument(
+        "--audit-ledger", default=None, metavar="DIR",
+        help="append audit records to this ledger directory "
+        "(default: $REPRO_AUDIT_DIR, else in-memory only)",
+    )
+    serve.add_argument(
+        "--audit-seed", type=int, default=0,
+        help="seed for the audit sampler and strategyproofness probes",
     )
     serve.set_defaults(func=cmd_serve)
 

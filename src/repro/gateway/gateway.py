@@ -116,19 +116,34 @@ def default_pipeline(
     max_cache_entries: int = 4096,
     max_in_flight: Optional[int] = None,
     metrics: bool = True,
+    audit: Union[None, float, "Middleware"] = None,
 ) -> List[Middleware]:
     """The full middleware stack, outermost first.
 
     Order rationale (the stage-ordering contract, see
     ``docs/middleware.md``): admission sheds before any work happens;
-    metrics time everything below; coalesce sits above the cache so a
-    coalesced follower's retry is a cache hit; warm-start sits above the
-    cache so exact-tier hits still carry a chainable LP state; the
-    solver terminates the chain.
+    metrics time everything below; the audit tap (when enabled) sits
+    below metrics and above coalesce/cache so it observes every
+    admitted response, cache hits included; coalesce sits above the
+    cache so a coalesced follower's retry is a cache hit; warm-start
+    sits above the cache so exact-tier hits still carry a chainable LP
+    state; the solver terminates the chain.
+
+    ``audit`` enables continuous fairness auditing
+    (:mod:`repro.auditor`): pass a sampling rate in ``[0, 1]`` for a
+    stage with default worker/ledger wiring, or a preconfigured
+    :class:`~repro.auditor.middleware.AuditMiddleware` instance.
     """
     stages: List[Middleware] = [AdmissionMiddleware(max_in_flight=max_in_flight)]
     if metrics:
         stages.append(MetricsMiddleware())
+    if audit is not None:
+        from repro.auditor.middleware import AuditMiddleware
+
+        if isinstance(audit, Middleware):
+            stages.append(audit)
+        else:
+            stages.append(AuditMiddleware(float(audit), registry=registry))
     stages.extend(
         [
             CoalesceMiddleware(registry),
@@ -438,14 +453,20 @@ class Gateway:
         set, would be silently bypassed — those pipelines dispatch
         per-request instead.
         """
+        from repro.auditor.middleware import AuditMiddleware
+
         # exact types: a subclass (e.g. a custom cache entry format) may
-        # change semantics the lanes would silently violate
+        # change semantics the lanes would silently violate.  The audit
+        # tap is a pure observer, so lanes may bypass it: batch fan-out
+        # responses go unsampled (they still warm the cache the audited
+        # singleton traffic reads).
         for stage in self._stages[:-1]:
             if type(stage) is AdmissionMiddleware:
                 if stage.max_in_flight is not None:
                     return False
             elif type(stage) not in (
                 MetricsMiddleware,
+                AuditMiddleware,
                 CoalesceMiddleware,
                 WarmStartMiddleware,
                 CacheMiddleware,

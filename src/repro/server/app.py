@@ -17,9 +17,12 @@ stays at microseconds even while every admission slot is blocked in a
 solve (see :mod:`repro.server.shards`).
 
 Shutdown is a graceful drain: :meth:`ReproServer.stop` stops accepting,
-lets in-flight requests finish (bounded by ``drain_timeout``), snapshots
-the final metrics payload to :attr:`ReproServer.final_metrics`, and
-releases the shard executors.
+lets in-flight requests finish (bounded by ``drain_timeout``), flushes
+the continuous-audit worker (when ``audit=`` is enabled, every shard's
+:class:`~repro.auditor.middleware.AuditMiddleware` feeds one shared
+:class:`~repro.auditor.worker.AuditWorker`; ``GET /audit/report``
+exposes its verdicts), snapshots the final metrics payload to
+:attr:`ReproServer.final_metrics`, and releases the shard executors.
 
 Usage::
 
@@ -86,16 +89,56 @@ class ReproServer:
         registry: Optional[SchedulerRegistry] = None,
         max_body: int = http11.MAX_BODY_BYTES,
         drain_timeout: float = 10.0,
+        audit: Optional[float] = None,
+        audit_ledger: Optional[str] = None,
+        audit_seed: int = 0,
     ):
         self.host = host
         self.port = port
         self.max_body = max_body
         self.drain_timeout = drain_timeout
+        #: One worker shared by every shard's audit stage, so the ledger
+        #: and the in-memory record buffer see the whole pool's traffic.
+        self.audit_worker = None
+        pipeline_factory = None
+        if audit is not None:
+            from repro.auditor.ledger import AuditLedger
+            from repro.auditor.middleware import AuditMiddleware
+            from repro.auditor.sampler import AuditSampler
+            from repro.auditor.worker import AuditWorker
+            from repro.gateway import bare_pipeline, default_pipeline
+
+            ledger = (
+                AuditLedger(audit_ledger)
+                if audit_ledger
+                else AuditLedger.default()
+            )
+            self.audit_worker = AuditWorker(
+                ledger,
+                registry=registry,
+                scenario="serve",
+                seed=int(audit_seed),
+            )
+            rate = float(audit)
+            worker = self.audit_worker
+
+            def pipeline_factory():
+                stage = AuditMiddleware(
+                    sampler=AuditSampler(rate, seed=int(audit_seed)),
+                    worker=worker,
+                )
+                if pipeline == "bare":
+                    return [stage] + bare_pipeline(registry)
+                return default_pipeline(
+                    registry, max_in_flight=max_in_flight, audit=stage
+                )
+
         self.pool = ShardPool(
             shards,
             pipeline=pipeline,
             max_in_flight=max_in_flight,
             registry=registry,
+            pipeline_factory=pipeline_factory,
         )
         self.registry = self.pool.gateways[0].registry
         self._server: Optional[asyncio.AbstractServer] = None
@@ -114,6 +157,7 @@ class ReproServer:
         ] = {
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/audit/report"): self._handle_audit_report,
             ("GET", "/schedulers"): self._handle_schedulers,
             ("POST", "/solve"): self._handle_solve,
             ("POST", "/solve_batch"): self._handle_solve_batch,
@@ -148,6 +192,12 @@ class ReproServer:
             and asyncio.get_running_loop().time() < deadline
         ):
             await asyncio.sleep(0.02)
+        if self.audit_worker is not None:
+            # flush in-flight audits off-loop so the final metrics (and
+            # the ledger) include every sample captured before the drain
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.audit_worker.stop, self.drain_timeout
+            )
         self.final_metrics = self._metrics_payload()
         for writer in list(self._writers):
             writer.close()
@@ -277,7 +327,7 @@ class ReproServer:
                 row["admission"].get("shed_deadline", 0) for row in shard_rows
             ),
         }
-        return {
+        payload = {
             "schema": WIRE_SCHEMA,
             "server": {
                 "draining": self._draining,
@@ -287,9 +337,45 @@ class ReproServer:
             "totals": totals,
             "shards": shard_rows,
         }
+        if self.audit_worker is not None:
+            payload["audit"] = self.audit_worker.stats()
+        return payload
 
     async def _handle_metrics(self, request, writer) -> bool:
         self._respond(writer, request.path, 200, self._metrics_payload())
+        return True
+
+    def _audit_payload(self) -> Dict[str, object]:
+        """The ``/audit/report`` body: worker + per-shard capture stats,
+        one combined-marks summary row per (scenario, scheduler), and the
+        confirmed-violation count operators alert on."""
+        if self.audit_worker is None:
+            return {"schema": WIRE_SCHEMA, "enabled": False}
+        from repro.auditor.middleware import AuditMiddleware
+        from repro.auditor.report import (
+            confirmed_violations,
+            summarize_records,
+        )
+
+        records = self.audit_worker.records()
+        capture = []
+        for index, gateway in enumerate(self.pool.gateways):
+            stage = gateway.find(AuditMiddleware)
+            row: Dict[str, object] = {"shard": index}
+            if stage is not None:
+                row.update(stage.stats())
+            capture.append(row)
+        return {
+            "schema": WIRE_SCHEMA,
+            "enabled": True,
+            "worker": self.audit_worker.stats(),
+            "capture": capture,
+            "summary": summarize_records(records),
+            "confirmed_violations": len(confirmed_violations(records)),
+        }
+
+    async def _handle_audit_report(self, request, writer) -> bool:
+        self._respond(writer, request.path, 200, self._audit_payload())
         return True
 
     async def _handle_schedulers(self, request, writer) -> bool:
@@ -429,6 +515,9 @@ def serve(
     shards: int = 2,
     pipeline: str = "default",
     max_in_flight: Optional[int] = None,
+    audit: Optional[float] = None,
+    audit_ledger: Optional[str] = None,
+    audit_seed: int = 0,
 ) -> int:
     """Blocking entry point behind ``repro serve``."""
     server = ReproServer(
@@ -437,6 +526,9 @@ def serve(
         shards=shards,
         pipeline=pipeline,
         max_in_flight=max_in_flight,
+        audit=audit,
+        audit_ledger=audit_ledger,
+        audit_seed=audit_seed,
     )
     try:
         asyncio.run(_serve_until_interrupted(server))

@@ -423,6 +423,39 @@ class SchedulingService:
             }
         return stage.stats()
 
+    def audit_stats(self) -> Dict[str, object]:
+        """The audit stage's counters (zeros without such a stage).
+
+        Sampler counters (``offered``/``admitted``), capture counters,
+        and the async worker's verdict tallies
+        (``audited``/``passed``/``failed``/``errors``/``pending``) —
+        the live view behind the server's ``/audit/report`` endpoint.
+        See :mod:`repro.auditor`.
+        """
+        from repro.auditor.middleware import AuditMiddleware
+
+        stage = self.gateway.find(AuditMiddleware)
+        if stage is None:
+            return {
+                "captured": 0,
+                "capture_errors": 0,
+                "rate": 0.0,
+                "seed": 0,
+                "offered": 0,
+                "admitted": 0,
+                "enqueued": 0,
+                "audited": 0,
+                "passed": 0,
+                "failed": 0,
+                "errors": 0,
+                "dropped": 0,
+                "duplicates": 0,
+                "ledger_errors": 0,
+                "pending": 0,
+                "scenario": "",
+            }
+        return stage.stats()
+
     def clear_cache(self) -> None:
         self.gateway.clear_cache()
 

@@ -1,0 +1,239 @@
+"""Replay determinism, summary semantics, and the ``repro audit-report`` CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.auditor.ledger import AuditLedger
+from repro.auditor.report import (
+    UNFAIR_SCHEDULER,
+    confirmed_violations,
+    injected_unfair_scheduler,
+    replay_audit,
+    replay_instances,
+    summarize_records,
+)
+from repro.auditor.schema import AUDIT_SCHEMA, PROPERTY_KEYS
+from repro.cli import main
+from repro.experiments.table1_properties import paper_example_instance
+from repro.registry import scheduler_names
+
+
+def _record(scenario, scheduler, verdict="pass", violations=(), **marks):
+    properties = {key: "yes" for key in PROPERTY_KEYS}
+    properties.update(marks)
+    return {
+        "schema": AUDIT_SCHEMA,
+        "created_unix": 1722300000.0,
+        "scenario": scenario,
+        "scheduler": scheduler,
+        "fingerprint": "fp",
+        "seed": 7,
+        "verdict": verdict,
+        "properties": properties,
+        "violations": list(violations),
+        "elapsed_s": 0.01,
+        "error": "RuntimeError: boom" if verdict == "error" else None,
+    }
+
+
+class TestReplayInstances:
+    def test_same_name_and_seed_is_identical(self):
+        first = replay_instances("steady", rounds=3, seed=7)
+        second = replay_instances("steady", rounds=3, seed=7)
+        assert len(first) == len(second) >= 2
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.speedups.values, b.speedups.values)
+            np.testing.assert_array_equal(a.capacities, b.capacities)
+
+    def test_paper_canary_leads_every_stream(self):
+        canary = paper_example_instance()
+        for scenario in ("steady", "tenant-churn"):
+            stream = replay_instances(scenario, rounds=3, seed=7)
+            np.testing.assert_array_equal(
+                stream[0].speedups.values, canary.speedups.values
+            )
+
+    def test_seed_changes_the_tail(self):
+        a = replay_instances("steady", rounds=3, seed=7)[-1]
+        b = replay_instances("steady", rounds=3, seed=8)[-1]
+        assert not np.array_equal(a.speedups.values, b.speedups.values)
+
+
+class TestSummarize:
+    def test_one_row_per_scenario_scheduler_pair(self):
+        rows = summarize_records(
+            [
+                _record("steady", "gavel"),
+                _record("steady", "oef-coop"),
+                _record("tenant-churn", "gavel"),
+            ]
+        )
+        assert [(r["scenario"], r["scheduler"]) for r in rows] == [
+            ("steady", "gavel"),
+            ("steady", "oef-coop"),
+            ("tenant-churn", "gavel"),
+        ]
+
+    def test_combined_mark_is_no_if_any_no(self):
+        rows = summarize_records(
+            [
+                _record("steady", "gavel", PE="yes"),
+                _record(
+                    "steady", "gavel", verdict="fail",
+                    violations=["PE"], PE="no",
+                ),
+            ]
+        )
+        (row,) = rows
+        assert row["PE"] == "no"
+        assert (row["audited"], row["pass"], row["fail"]) == (2, 1, 1)
+        assert row["violations"] == "PE"
+
+    def test_error_records_counted_but_not_marked(self):
+        rows = summarize_records(
+            [
+                _record("steady", "gavel"),
+                _record(
+                    "steady", "gavel", verdict="error",
+                    **{key: "n/a" for key in PROPERTY_KEYS},
+                ),
+            ]
+        )
+        (row,) = rows
+        assert row["PE"] == "yes"  # the error's n/a marks do not dilute
+        assert row["error"] == 1
+        assert row["audited"] == 2
+
+    def test_confirmed_violations_are_fail_records_only(self):
+        records = [
+            _record("steady", "gavel"),
+            _record("steady", "gavel", verdict="fail", violations=["EF"]),
+            _record(
+                "steady", "gavel", verdict="error",
+                **{key: "n/a" for key in PROPERTY_KEYS},
+            ),
+        ]
+        confirmed = confirmed_violations(records)
+        assert len(confirmed) == 1
+        assert confirmed[0]["verdict"] == "fail"
+
+
+class TestInjectedUnfairScheduler:
+    def test_registered_only_inside_the_context(self):
+        assert UNFAIR_SCHEDULER not in scheduler_names()
+        with injected_unfair_scheduler() as name:
+            assert name == UNFAIR_SCHEDULER
+            assert UNFAIR_SCHEDULER in scheduler_names()
+        assert UNFAIR_SCHEDULER not in scheduler_names()
+
+    def test_unregisters_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with injected_unfair_scheduler():
+                raise RuntimeError("boom")
+        assert UNFAIR_SCHEDULER not in scheduler_names()
+
+
+class TestReplayAudit:
+    def test_table1_verdicts_reproduce_for_oef_coop(self, tmp_path):
+        ledger = AuditLedger(str(tmp_path))
+        records = replay_audit(
+            ["steady"], ["oef-coop"], rounds=2, sp_trials=1, ledger=ledger
+        )
+        assert records
+        assert all(r["scenario"] == "steady" for r in records)
+        assert all(r["verdict"] == "pass" for r in records)
+        (row,) = summarize_records(records)
+        # Table 1: OEF-coop holds everything but strategy-proofness
+        assert row["PE"] == row["EF"] == row["SI"] == "yes"
+        assert row["optimal efficiency"] == "yes"
+        # and the records landed in the scenario's ledger stream
+        assert len(ledger.records("steady")) == len(records)
+
+    def test_injected_unfair_scheduler_fails_the_audit(self):
+        with injected_unfair_scheduler() as name:
+            records = replay_audit(
+                ["steady"], [name], rounds=2, sp_trials=1
+            )
+        confirmed = confirmed_violations(records)
+        assert confirmed  # the negative control must be caught
+        violated = {v for r in confirmed for v in r["violations"]}
+        assert "EF" in violated or "SI" in violated
+
+
+class TestAuditReportCli:
+    def test_replay_exits_zero_when_fair(self, capsys):
+        code = main(
+            [
+                "audit-report", "--replay", "--no-ledger",
+                "--scenarios", "steady", "--schedulers", "oef-coop",
+                "--rounds", "2", "--sp-trials", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no confirmed violations" in out
+        assert "oef-coop" in out
+
+    def test_inject_unfair_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "audit-report", "--replay", "--no-ledger", "--inject-unfair",
+                "--scenarios", "steady", "--schedulers", "oef-coop",
+                "--rounds", "2", "--sp-trials", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert UNFAIR_SCHEDULER in out
+        assert UNFAIR_SCHEDULER not in scheduler_names()  # cleaned up
+
+    def test_ledger_summarize_mode(self, tmp_path, capsys):
+        ledger = AuditLedger(str(tmp_path))
+        ledger.append(_record("steady", "gavel"))
+        ledger.append(
+            _record("steady", "gavel", verdict="fail", violations=["SI"], SI="no")
+        )
+        code = main(["audit-report", "--ledger", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "steady/gavel" in out
+
+    def test_ledger_scenario_filter(self, tmp_path, capsys):
+        ledger = AuditLedger(str(tmp_path))
+        ledger.append(
+            _record("steady", "gavel", verdict="fail", violations=["SI"], SI="no")
+        )
+        ledger.append(_record("tenant-churn", "gavel"))
+        code = main(
+            ["audit-report", "--ledger", str(tmp_path),
+             "--scenarios", "tenant-churn"]
+        )
+        assert code == 0  # the failing steady records were filtered out
+        assert "tenant-churn" in capsys.readouterr().out
+
+    def test_empty_ledger_exits_zero(self, tmp_path, capsys):
+        code = main(["audit-report", "--ledger", str(tmp_path / "empty")])
+        assert code == 0
+        assert "no audit records" in capsys.readouterr().out
+
+    def test_corrupt_ledger_exits_two(self, tmp_path, capsys):
+        ledger = AuditLedger(str(tmp_path))
+        ledger.append(_record("steady", "gavel"))
+        with open(ledger.path_for("steady"), "a", encoding="utf-8") as handle:
+            handle.write("{torn write\n")
+        code = main(["audit-report", "--ledger", str(tmp_path)])
+        assert code == 2
+
+    def test_json_format_round_trips(self, tmp_path, capsys):
+        ledger = AuditLedger(str(tmp_path))
+        ledger.append(_record("steady", "oef-coop"))
+        code = main(
+            ["audit-report", "--ledger", str(tmp_path), "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["confirmed_violations"] == 0
+        assert payload["summary"][0]["scheduler"] == "oef-coop"
+        assert payload["records"] == 1

@@ -1,0 +1,161 @@
+"""Property-based audit wall: async verdicts == sync audits, seeded sampling.
+
+Two families:
+
+* For random instances and every registered scheduler, the asynchronous
+  worker's ledger row must match a synchronous
+  ``audit_allocator(registry.create(s), instance,
+  **worker.audit_parameters(s))`` mark for mark and verdict for verdict
+  — the auditor adds concurrency, never a different answer.
+* The seeded sampler admits a *deterministic* subset at any rate in
+  ``[0, 1]``, monotone in the rate: raising the rate only ever adds
+  fingerprints, and the endpoints admit nothing / everything.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.auditor.sampler import AuditSampler
+from repro.auditor.schema import PROPERTY_KEYS
+from repro.auditor.worker import AuditWorker, classify_marks
+from repro.core import ProblemInstance, SpeedupMatrix
+from repro.core.properties import audit_allocator
+from repro.registry import scheduler_names
+
+import numpy as np
+
+#: hypothesis-heavy: deselect with `pytest -m 'not slow'`
+pytestmark = pytest.mark.slow
+_SETTINGS = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_SCHEDULERS = scheduler_names()
+_KEYS = st.lists(
+    st.text(
+        alphabet="abcdef0123456789", min_size=1, max_size=12
+    ),
+    min_size=1,
+    max_size=24,
+    unique=True,
+)
+
+
+@st.composite
+def instances(draw, max_users: int = 3, max_types: int = 3):
+    """Random valid ProblemInstances (monotone speedup rows)."""
+    num_users = draw(st.integers(2, max_users))
+    num_types = draw(st.integers(2, max_types))
+    rows = []
+    for _ in range(num_users):
+        gains = [
+            draw(st.floats(1.0, 3.0, allow_nan=False, allow_infinity=False))
+            for _ in range(num_types - 1)
+        ]
+        rows.append(np.cumprod([1.0] + gains))
+    capacities = [
+        draw(st.floats(0.5, 8.0, allow_nan=False, allow_infinity=False))
+        for _ in range(num_types)
+    ]
+    matrix = SpeedupMatrix(np.vstack(rows), normalise=False)
+    return ProblemInstance(matrix, capacities)
+
+
+@given(instance=instances(), scheduler=st.sampled_from(_SCHEDULERS))
+@_SETTINGS
+def test_async_verdict_matches_synchronous_audit(instance, scheduler):
+    """The worker's ledger row is exactly the synchronous audit's row."""
+    worker = AuditWorker(None, sp_trials=1, seed=3)
+    try:
+        assert worker.submit(instance, scheduler, "fp-parity")
+        assert worker.drain(timeout=60.0)
+        (record,) = worker.records()
+
+        report = audit_allocator(
+            worker.registry.create(scheduler),
+            instance,
+            **worker.audit_parameters(scheduler),
+        )
+        row = report.as_row()
+        sync_marks = {key: row[key] for key in PROPERTY_KEYS}
+        assert record["properties"] == sync_marks
+
+        verdict, violations = classify_marks(record["scheduler"], sync_marks)
+        assert record["verdict"] == verdict
+        assert record["violations"] == violations
+    finally:
+        worker.stop()
+
+
+@given(
+    keys=_KEYS,
+    rate=st.floats(0.0, 1.0, allow_nan=False),
+    seed=st.integers(0, 2**16),
+    scheduler=st.sampled_from(_SCHEDULERS),
+)
+@_SETTINGS
+def test_sampler_is_deterministic(keys, rate, seed, scheduler):
+    """Two samplers with the same (rate, seed) admit the same subset."""
+    first = AuditSampler(rate, seed=seed)
+    second = AuditSampler(rate, seed=seed)
+    for fingerprint in keys:
+        assert first.would_admit(fingerprint, scheduler) == second.would_admit(
+            fingerprint, scheduler
+        )
+        # and would_admit is pure: asking twice never changes the answer
+        assert first.would_admit(fingerprint, scheduler) == second.would_admit(
+            fingerprint, scheduler
+        )
+
+
+@given(
+    keys=_KEYS,
+    rates=st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0)),
+    seed=st.integers(0, 2**16),
+    scheduler=st.sampled_from(_SCHEDULERS),
+)
+@_SETTINGS
+def test_admitted_subset_is_monotone_in_rate(keys, rates, seed, scheduler):
+    """Raising the rate only ever *adds* fingerprints to the sample."""
+    low_rate, high_rate = sorted(rates)
+    low = AuditSampler(low_rate, seed=seed)
+    high = AuditSampler(high_rate, seed=seed)
+    for fingerprint in keys:
+        if low.would_admit(fingerprint, scheduler):
+            assert high.would_admit(fingerprint, scheduler)
+
+
+@given(keys=_KEYS, seed=st.integers(0, 2**16))
+@_SETTINGS
+def test_rate_endpoints(keys, seed):
+    """Rate 0 admits nothing; rate 1 admits everything."""
+    none = AuditSampler(0.0, seed=seed)
+    everything = AuditSampler(1.0, seed=seed)
+    for fingerprint in keys:
+        assert not none.would_admit(fingerprint, "oef-coop")
+        assert everything.would_admit(fingerprint, "oef-coop")
+
+
+@given(
+    keys=_KEYS,
+    rate=st.floats(0.0, 1.0, allow_nan=False),
+    seed=st.integers(0, 2**16),
+)
+@_SETTINGS
+def test_admit_counters_are_consistent(keys, rate, seed):
+    """offered == calls over distinct keys, admitted == positive decisions,
+    and ``admit`` agrees with the pure ``would_admit`` oracle."""
+    oracle = AuditSampler(rate, seed=seed)
+    sampler = AuditSampler(rate, seed=seed)
+    decisions = []
+    for fingerprint in keys:
+        decision = sampler.admit(fingerprint, "oef-coop")
+        assert decision == oracle.would_admit(fingerprint, "oef-coop")
+        decisions.append(decision)
+    stats = sampler.stats()
+    assert stats["offered"] == len(keys)
+    assert stats["admitted"] == sum(decisions)
+    assert stats["rate"] == rate

@@ -16,9 +16,12 @@ def _isolate_bench_ledger(monkeypatch):
     (see :mod:`repro.benchledger.ledger`), so in-process CLI invocations
     like ``repro bench --json`` never append to ``benchmarks/ledger/``
     from a test run.  Ledger tests opt back in with ``--ledger DIR`` or
-    by setting the variable themselves.
+    by setting the variable themselves.  Same deal for the audit ledger
+    (:mod:`repro.auditor.ledger`): an empty ``$REPRO_AUDIT_DIR`` keeps
+    audited pipelines built by tests purely in memory.
     """
     monkeypatch.setenv("REPRO_LEDGER_DIR", "")
+    monkeypatch.setenv("REPRO_AUDIT_DIR", "")
 
 
 @pytest.fixture

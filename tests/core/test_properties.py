@@ -180,3 +180,82 @@ class TestFullAudit:
         row = report.as_row()
         assert row["SP"] == "yes"
         assert row["optimal efficiency"] == "yes"
+
+
+class _RewardsAnyMisreport:
+    """Stub allocator: honest reports get nothing extra, any misreport
+    earns user 0 exactly ``bonus`` extra true throughput via GPU type 1."""
+
+    name = "rewards-misreport"
+
+    def __init__(self, truth, bonus):
+        self._truth = np.asarray(truth, dtype=float)
+        self._bonus = float(bonus)
+
+    def allocate(self, instance):
+        matrix = np.zeros((instance.num_users, instance.num_gpu_types))
+        matrix[0, 0] = 1.0
+        if not np.array_equal(instance.speedups.row(0), self._truth):
+            # true speedup on type 1 is 2.0, so share bonus/2 => gain bonus
+            matrix[0, 1] = self._bonus / 2.0
+        return Allocation(matrix, instance)
+
+
+class TestToleranceEdges:
+    """Ties at exactly the checker tolerances are *not* violations."""
+
+    def test_sp_gain_of_exactly_tol_is_not_a_violation(self):
+        # one honest tenant: throughput 1.0, so the slack is tol * 1.0
+        instance = ProblemInstance(SpeedupMatrix([[1, 2]]), [1.0, 1.0])
+        tol = 1e-4
+        report = check_strategy_proofness(
+            _RewardsAnyMisreport([1.0, 2.0], bonus=tol),
+            instance,
+            trials=3,
+            tol=tol,
+        )
+        assert report.satisfied
+        assert report.max_gain == 0.0
+
+    def test_sp_gain_just_past_tol_is_a_violation(self):
+        instance = ProblemInstance(SpeedupMatrix([[1, 2]]), [1.0, 1.0])
+        tol = 1e-4
+        report = check_strategy_proofness(
+            _RewardsAnyMisreport([1.0, 2.0], bonus=2 * tol),
+            instance,
+            trials=3,
+            tol=tol,
+        )
+        assert not report.satisfied
+        assert report.max_gain == pytest.approx(2 * tol)
+
+    def test_envy_of_exactly_default_tol_is_envy_free(self):
+        from repro.core.properties import _DEFAULT_TOL
+
+        instance = ProblemInstance(SpeedupMatrix([[1], [1]]), [1.0])
+        # user 0 owns nothing, so envy[0, 1] is user 1's share, exactly
+        allocation = Allocation([[0.0], [_DEFAULT_TOL]], instance)
+        report = check_envy_freeness(allocation)
+        assert report.satisfied
+        assert report.worst_pair is None
+
+    def test_envy_past_default_tol_is_not(self):
+        from repro.core.properties import _DEFAULT_TOL
+
+        instance = ProblemInstance(SpeedupMatrix([[1], [1]]), [1.0])
+        allocation = Allocation([[0.0], [2 * _DEFAULT_TOL]], instance)
+        report = check_envy_freeness(allocation)
+        assert not report.satisfied
+        assert report.worst_pair == (0, 1)
+        assert report.worst_envy == pytest.approx(2 * _DEFAULT_TOL)
+
+
+class TestReportRowMarks:
+    def test_sp_row_is_na_when_sp_not_audited(self, instance):
+        report = audit_allocator(MaxMinFairness(), instance, sp_trials=1)
+        report.strategy_proofness = None
+        row = report.as_row()
+        assert row["SP"] == "n/a"
+        assert set(row) == {
+            "scheduler", "PE", "EF", "SI", "SP", "optimal efficiency"
+        }

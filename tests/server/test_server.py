@@ -385,6 +385,81 @@ class TestOverload:
         _with_server(run, shards=1, max_in_flight=1)
 
 
+# -- continuous auditing over the wire --------------------------------------
+class TestAuditReportEndpoint:
+    def test_disabled_by_default(self):
+        async def run(server):
+            status, _, body = await _roundtrip(
+                server.port, "GET", "/audit/report"
+            )
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["enabled"] is False
+            assert server.audit_worker is None
+
+        _with_server(run)
+
+    def test_audited_server_reports_verdicts(self, tmp_path):
+        instances = [random_instance(4, 3, seed=seed) for seed in range(2)]
+
+        async def run(server):
+            for instance in instances:
+                status, _, _ = await _roundtrip(
+                    server.port, "POST", "/solve", _solve_body(instance)
+                )
+                assert status == 200
+            # flush the async auditor so the report is complete
+            await asyncio.get_running_loop().run_in_executor(
+                None, server.audit_worker.drain
+            )
+            status, _, body = await _roundtrip(
+                server.port, "GET", "/audit/report"
+            )
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["enabled"] is True
+            assert payload["worker"]["audited"] == 2
+            assert payload["worker"]["passed"] == 2
+            assert payload["confirmed_violations"] == 0
+            assert len(payload["capture"]) == 2  # one entry per shard
+            assert sum(entry["captured"] for entry in payload["capture"]) == 2
+            (row,) = payload["summary"]
+            assert (row["scenario"], row["scheduler"]) == ("serve", "oef-coop")
+
+        _with_server(
+            run, shards=2, audit=1.0, audit_ledger=str(tmp_path / "audit")
+        )
+        # the records were durably appended to the serve stream
+        from repro.auditor.ledger import AuditLedger
+
+        assert len(AuditLedger(str(tmp_path / "audit")).records("serve")) == 2
+
+    def test_broken_audit_check_never_surfaces_to_callers(self, tmp_path):
+        instance = random_instance(4, 3, seed=11)
+
+        async def run(server):
+            def torn_down(allocator, inst):
+                raise RuntimeError("audit gateway torn down")
+
+            server.audit_worker.add_check("torn-down", torn_down)
+            status, _, body = await _roundtrip(
+                server.port, "POST", "/solve", _solve_body(instance)
+            )
+            assert status == 200  # the caller never sees the audit crash
+            assert json.loads(body)["scheduler"] == "oef-coop"
+            await server.stop()
+            assert server.final_metrics["audit"]["errors"] == 1
+
+        _with_server(
+            run, shards=1, audit=1.0, audit_ledger=str(tmp_path / "audit")
+        )
+        from repro.auditor.ledger import AuditLedger
+
+        (record,) = AuditLedger(str(tmp_path / "audit")).records("serve")
+        assert record["verdict"] == "error"
+        assert "audit gateway torn down" in record["error"]
+
+
 # -- graceful drain ---------------------------------------------------------
 class TestDrain:
     def test_stop_finishes_in_flight_and_flushes_metrics(self):
@@ -422,3 +497,22 @@ class TestDrain:
             assert server.final_metrics["server"]["draining"] is True
 
         _with_server(run)
+
+    def test_stop_flushes_in_flight_audits(self):
+        """Drain must wait for queued audits: no pending work is abandoned."""
+        instances = [random_instance(4, 3, seed=seed) for seed in range(4)]
+
+        async def run(server):
+            for instance in instances:
+                status, _, _ = await _roundtrip(
+                    server.port, "POST", "/solve", _solve_body(instance)
+                )
+                assert status == 200
+            # stop immediately: queued audits may still be in flight
+            await server.stop()
+            audit = server.final_metrics["audit"]
+            assert audit["pending"] == 0
+            assert audit["audited"] == audit["enqueued"] == 4
+            assert len(server.audit_worker.records()) == 4
+
+        _with_server(run, shards=2, audit=1.0)

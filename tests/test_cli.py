@@ -198,8 +198,14 @@ class TestBenchGatewayRecord:
         assert gateway_record["schema"] == "repro/bench-v1"
         assert gateway_record["benchmark"] == "gateway"
         rows = {row["name"]: row for row in gateway_record["rows"]}
-        assert set(rows) == {"bare/cold", "pipeline/cold", "pipeline/hot"}
+        assert set(rows) == {
+            "bare/cold",
+            "pipeline/cold",
+            "pipeline/hot",
+            "pipeline+audit/hot",
+        }
         assert rows["pipeline/hot"]["matches_bare"] is True
+        assert rows["pipeline+audit/hot"]["audit_overhead_vs_hot"] > 0
 
 
 class TestListSchedulers:

@@ -113,6 +113,70 @@ def test_any_stage_subset_matches_bare_pipeline(
     )
 
 
+class _StubAuditReport:
+    """Cheap stand-in for a PropertyReport (the differential property is
+    about the hot path, not the audit verdicts)."""
+
+    def as_row(self):
+        return {
+            "scheduler": "stub",
+            "PE": "yes",
+            "EF": "yes",
+            "SI": "yes",
+            "SP": "yes",
+            "optimal efficiency": "yes",
+        }
+
+
+@given(
+    instance=instances(),
+    order=st.permutations(_STAGE_FACTORIES),
+    position=st.integers(0, len(_STAGE_FACTORIES)),
+    scheduler=st.sampled_from(_SCHEDULERS),
+)
+@_SETTINGS
+def test_audit_stage_at_any_anchor_is_invisible(
+    instance, order, position, scheduler
+):
+    """AuditMiddleware at every legal anchor: byte-identical payloads,
+    untouched cache/coalesce counters — a pure observer wherever it sits."""
+    from repro.auditor.middleware import AuditMiddleware
+    from repro.auditor.worker import AuditWorker
+    from repro.server.protocol import json_bytes, response_payload
+
+    worker = AuditWorker(None, audit_fn=lambda inst, sched: _StubAuditReport())
+    try:
+        stages = [factory() for factory in order]
+        stages.insert(position, AuditMiddleware(1.0, worker=worker))
+        audited = Gateway(stages + [SolverMiddleware()])
+        plain = _permuted_gateway(order)
+        bare = Gateway(bare_pipeline()).solve(instance, scheduler)
+        audited_response = plain_response = None
+        for _ in range(2):  # cold pass, then whatever-cache-serves pass
+            audited_response = audited.solve(instance, scheduler)
+            plain_response = plain.solve(instance, scheduler)
+            audited_payload = response_payload(audited_response)
+            plain_payload = response_payload(plain_response)
+            audited_payload.pop("served")  # wall-clock timings differ
+            plain_payload.pop("served")
+            assert json_bytes(audited_payload) == json_bytes(plain_payload)
+        np.testing.assert_array_equal(
+            audited_response.allocation.matrix, bare.allocation.matrix
+        )
+        audited_cache, plain_cache = audited.cache_info(), plain.cache_info()
+        assert (audited_cache.hits, audited_cache.misses) == (
+            plain_cache.hits,
+            plain_cache.misses,
+        )
+        assert audited_cache.hits + audited_cache.misses == 2
+        assert (
+            audited.find(CoalesceMiddleware).stats()
+            == plain.find(CoalesceMiddleware).stats()
+        )
+    finally:
+        worker.stop(timeout=5.0)
+
+
 @given(
     instance=instances(),
     order=st.permutations(_STAGE_FACTORIES),

@@ -222,6 +222,56 @@ kill -INT "$SERVE_PID"
 wait "$SERVE_PID"
 trap 'rm -rf "$TMP"' EXIT
 
+echo "== audit-smoke: audited server -> ledger -> repro audit-report =="
+"$PY" -m repro serve --port 0 --shards 2 --audit 1.0 \
+    --audit-ledger "$TMP/audit" > "$TMP/serve3.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+for _ in $(seq 1 50); do
+    PORT3="$(sed -n 's/.*http:\/\/127\.0\.0\.1:\([0-9]*\).*/\1/p' "$TMP/serve3.log" | head -1)"
+    [ -n "$PORT3" ] && break
+    sleep 0.1
+done
+test -n "$PORT3"
+"$PY" - "$PORT3" "$TMP/instance.json" <<'AUDIT_SMOKE'
+import json, sys, urllib.request
+
+port, instance_path = int(sys.argv[1]), sys.argv[2]
+base = f"http://127.0.0.1:{port}"
+instance = json.load(open(instance_path))
+
+req = urllib.request.Request(
+    f"{base}/solve",
+    data=json.dumps({"instance": instance, "scheduler": "oef-coop"}).encode(),
+    headers={"Content-Type": "application/json"})
+with urllib.request.urlopen(req) as resp:
+    assert resp.status == 200
+
+report = json.load(urllib.request.urlopen(f"{base}/audit/report"))
+assert report["enabled"] is True, report
+assert len(report["capture"]) == 2, report  # one tap per shard
+print("audit-smoke: /audit/report live with per-shard capture stats")
+AUDIT_SMOKE
+# drain must flush in-flight audits to the ledger before exit
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+trap 'rm -rf "$TMP"' EXIT
+test -s "$TMP/audit/serve.jsonl"
+grep -q '"verdict": "pass"' "$TMP/audit/serve.jsonl"
+
+echo "== repro audit-report (ledger summary must pass) =="
+"$PY" -m repro audit-report --ledger "$TMP/audit" | tee "$TMP/audit_report.txt"
+grep -q "no confirmed violations" "$TMP/audit_report.txt"
+
+echo "== repro audit-report --inject-unfair (negative control must fail) =="
+if "$PY" -m repro audit-report --replay --no-ledger --inject-unfair \
+    --scenarios steady --schedulers oef-coop --rounds 2 --sp-trials 1 \
+    > "$TMP/audit_unfair.txt" 2>&1; then
+    echo "injected unfair scheduler did not fail the audit" >&2
+    exit 1
+fi
+grep -q "unfair-grab" "$TMP/audit_unfair.txt"
+
 echo "== repro list-schedulers =="
 "$PY" -m repro list-schedulers | tee "$TMP/schedulers.txt"
 for name in oef-coop oef-noncoop max-min gandiva-fair gavel drf \
