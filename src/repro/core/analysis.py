@@ -26,7 +26,7 @@ from repro.core.allocation import Allocation
 from repro.core.base import Allocator
 from repro.core.instance import ProblemInstance
 from repro.core.properties import check_envy_freeness, check_sharing_incentive
-from repro.solver import LinearProgram, dot
+from repro.solver import FORM_CACHE, StandardForm, fingerprint_arrays, solve_form
 
 
 def jain_index(throughputs: Sequence[float] | np.ndarray) -> float:
@@ -80,30 +80,84 @@ def frontier_point(
     """
     speedups = instance.speedups.values
     num_users, num_types = speedups.shape
-    fair = instance.equal_split_throughput()
-
-    lp = LinearProgram(f"frontier-{alpha}")
-    shares = lp.new_variable_array("x", (num_users, num_types), lower=0.0)
-    flat = list(shares.ravel())
-    for type_index in range(num_types):
-        row = np.zeros((1, num_users * num_types))
-        row[0, type_index::num_types] = 1.0
-        lp.add_matrix_constraints(
-            row, flat, "<=", float(instance.capacities[type_index])
-        )
-    for user in range(num_users):
-        lp.add_constraint(
-            dot(speedups[user], shares[user]) >= float(alpha * fair[user])
-        )
-    lp.set_objective(dot(speedups.ravel(), flat), sense="max")
-    solution = lp.solve(backend=backend)
-    matrix = np.clip(solution.value(shares), 0.0, None)
+    solution = solve_form(_frontier_form(instance, float(alpha)), backend=backend)
+    matrix = np.clip(solution.values.reshape(num_users, num_types), 0.0, None)
     throughputs = np.einsum("lj,lj->l", speedups, matrix)
     return FrontierPoint(
         alpha=float(alpha),
         total_efficiency=float(throughputs.sum()),
         min_throughput=float(throughputs.min()),
         jain=jain_index(throughputs),
+    )
+
+
+def _frontier_form(instance: ProblemInstance, alpha: float) -> StandardForm:
+    """The epsilon-constraint LP as a direct sparse standard form.
+
+    Assembly is vectorized block composition (one capacity block, one
+    per-user throughput block) instead of the historical per-row Python
+    loops, and the ``alpha``-independent part — the matrices, which is
+    all of the assembly cost — is memoised in the shared form cache;
+    each alpha then only rewrites the throughput-floor right-hand side.
+    """
+    from scipy import sparse
+
+    speedups = instance.speedups.values
+    num_users, num_types = speedups.shape
+    fair = instance.equal_split_throughput()
+    key = fingerprint_arrays(
+        speedups, instance.capacities, fair, extra=("frontier-base",)
+    )
+
+    def build() -> StandardForm:
+        capacity = sparse.csr_matrix(
+            (
+                np.ones(num_users * num_types),
+                (
+                    np.tile(np.arange(num_types), num_users),
+                    np.arange(num_users * num_types),
+                ),
+            ),
+            shape=(num_types, num_users * num_types),
+        )
+        # W_l . x_l >= alpha * fair_l, negated into the <= system; the
+        # block is block-diagonal in the users: speedups.ravel() laid out
+        # one user-row at a time
+        floors = sparse.csr_matrix(
+            (
+                -speedups.ravel(),
+                (
+                    np.repeat(np.arange(num_users), num_types),
+                    np.arange(num_users * num_types),
+                ),
+            ),
+            shape=(num_users, num_users * num_types),
+        )
+        return StandardForm(
+            c=-speedups.ravel(),
+            a_ub=sparse.vstack([capacity, floors], format="csr"),
+            b_ub=np.concatenate(
+                [np.asarray(instance.capacities, dtype=float), np.zeros(num_users)]
+            ),
+            a_eq=None,
+            b_eq=None,
+            bounds=[(0.0, None)] * (num_users * num_types),
+            maximise=True,
+        )
+
+    base = FORM_CACHE.get_or_build(key, build)
+    if alpha == 0.0:
+        return base
+    b_ub = base.b_ub.copy()
+    b_ub[num_types:] = -alpha * fair
+    return StandardForm(
+        c=base.c,
+        a_ub=base.a_ub,
+        b_ub=b_ub,
+        a_eq=None,
+        b_eq=None,
+        bounds=base.bounds,
+        maximise=True,
     )
 
 

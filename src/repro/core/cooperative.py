@@ -12,9 +12,20 @@ the optimum (sum the n constraints of one user and use full capacity use).
 Strategy-proofness is *not* provided — that is the point of the split into
 cooperative and non-cooperative variants (Theorems 3.2/3.3 prove the
 combination is impossible at optimal efficiency).
+
+Assembly is sparse and vectorized end-to-end: the capacity and envy
+systems are composed as index arrays (no Python-level row loops), the
+standard form is built directly and memoised in the shared
+:data:`~repro.solver.formcache.FORM_CACHE` keyed by the instance's
+content, and the cutting-plane path keeps one *incremental* HiGHS session
+alive across rounds (new cuts are appended rows; each re-solve is a warm
+dual-simplex run) with slack-based cut dropping — see
+:meth:`CooperativeOEF._cutting_plane_incremental`.
 """
 
 from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -22,13 +33,21 @@ from scipy import sparse
 from repro.core.allocation import Allocation
 from repro.core.base import Allocator
 from repro.core.instance import ProblemInstance
+from repro.exceptions import SolverError
 from repro.registry import register_scheduler
-from repro.solver import LinearProgram, dot, lin_sum
+from repro.solver import (
+    FORM_CACHE,
+    IncrementalLP,
+    StandardForm,
+    fingerprint_arrays,
+    incremental_available,
+    solve_form,
+)
 
 
-def _capacity_rows(num_users: int, num_types: int) -> sparse.coo_matrix:
+def _capacity_rows(num_users: int, num_types: int) -> sparse.csr_matrix:
     """Sparse rows for (10b): sum over users of x_l^j, one row per type."""
-    return sparse.coo_matrix(
+    return sparse.csr_matrix(
         (
             np.ones(num_users * num_types),
             (
@@ -38,6 +57,10 @@ def _capacity_rows(num_users: int, num_types: int) -> sparse.coo_matrix:
         ),
         shape=(num_types, num_users * num_types),
     )
+
+
+def _share_bounds(count: int) -> List[Tuple[float, None]]:
+    return [(0.0, None)] * count
 
 
 @register_scheduler(
@@ -67,6 +90,15 @@ class CooperativeOEF(Allocator):
     CUTTING_PLANE_THRESHOLD = 64
     #: safety cap before falling back to the full O(n^2) program
     MAX_CUT_ROUNDS = 60
+    #: at most this many cuts per user enter the LP each round
+    CUT_BUDGET_FACTOR = 4
+    #: slack cuts are dropped only after surviving this many rounds ...
+    CUT_DROP_MIN_AGE = 2
+    #: ... when at least this many are droppable at once ...
+    CUT_DROP_MIN_COUNT = 100
+    #: ... and never after this round (guarantees add/drop cannot cycle
+    #: against the MAX_CUT_ROUNDS termination cap)
+    CUT_DROP_LAST_ROUND = 30
 
     name = "oef-coop"
 
@@ -80,17 +112,12 @@ class CooperativeOEF(Allocator):
         return self.allocate_with_state(instance)[0]
 
     def allocate_with_state(self, instance, warm_start=None):
-        speedups = instance.speedups.values
-        num_users, num_types = speedups.shape
-
+        num_users = instance.speedups.values.shape[0]
         if num_users == 1:
-            matrix = instance.capacities.reshape(1, num_types).copy()
+            matrix = instance.capacities.reshape(1, -1).copy()
             return Allocation(matrix, instance, allocator_name=self.name), None, False
 
-        use_cuts = self.method == "cutting-plane" or (
-            self.method == "auto" and num_users > self.CUTTING_PLANE_THRESHOLD
-        )
-        if use_cuts:
+        if self._use_cuts(num_users):
             # the cutting-plane row set varies run to run, so no stable
             # program structure exists to warm-start against
             matrix = self._solve_cutting_plane(instance)
@@ -99,122 +126,322 @@ class CooperativeOEF(Allocator):
         matrix, state, warm_used = self._solve_full(instance, warm_start)
         return Allocation(matrix, instance, allocator_name=self.name), state, warm_used
 
+    def _use_cuts(self, num_users: int) -> bool:
+        return self.method == "cutting-plane" or (
+            self.method == "auto" and num_users > self.CUTTING_PLANE_THRESHOLD
+        )
+
+    # -- batch protocol -----------------------------------------------------
+    def compile_form(self, instance: ProblemInstance) -> Optional[StandardForm]:
+        """The instance's full-program form, for the batched solve pass.
+
+        ``None`` when this instance would not route through a single
+        static LP (the lone-tenant closed form, or the cutting-plane
+        path, whose row set is discovered iteratively).
+        """
+        num_users = instance.speedups.values.shape[0]
+        if num_users == 1 or self._use_cuts(num_users):
+            return None
+        return self._full_form(instance)
+
+    def allocation_from_values(
+        self, instance: ProblemInstance, values: np.ndarray
+    ) -> Allocation:
+        matrix = np.clip(
+            np.asarray(values, dtype=float).reshape(instance.speedups.values.shape),
+            0.0,
+            None,
+        )
+        return Allocation(matrix, instance, allocator_name=self.name)
+
     # -- full O(n^2) formulation -------------------------------------------
+    def _full_form(self, instance: ProblemInstance) -> StandardForm:
+        """Direct sparse standard form of Eq. 10, memoised by content."""
+        speedups = instance.speedups.values
+        key = fingerprint_arrays(
+            speedups, instance.capacities, extra=("oef-coop-full",)
+        )
+
+        def build() -> StandardForm:
+            num_users, num_types = speedups.shape
+            # row order mirrors the historical LinearProgram compile:
+            # capacity "<=" rows first, then the ">=" envy rows negated
+            a_ub = sparse.vstack(
+                [
+                    _capacity_rows(num_users, num_types),
+                    -self._envy_rows(speedups),
+                ],
+                format="csr",
+            )
+            b_ub = np.concatenate(
+                [
+                    np.asarray(instance.capacities, dtype=float),
+                    np.zeros(num_users * (num_users - 1)),
+                ]
+            )
+            return StandardForm(
+                c=-speedups.ravel(),
+                a_ub=a_ub,
+                b_ub=b_ub,
+                a_eq=None,
+                b_eq=None,
+                bounds=_share_bounds(num_users * num_types),
+                maximise=True,
+            )
+
+        return FORM_CACHE.get_or_build(key, build)
+
     def _solve_full(self, instance: ProblemInstance, warm_start=None):
         speedups = instance.speedups.values
-        num_users, num_types = speedups.shape
-        lp = LinearProgram("oef-coop")
-        shares = lp.new_variable_array("x", (num_users, num_types), lower=0.0)
-        flat_shares = list(shares.ravel())
-        lp.add_matrix_constraints(
-            _capacity_rows(num_users, num_types), flat_shares, "<=", instance.capacities
-        )
-        # (10c) envy-freeness: W_l . (x_l - x_i) >= 0 for every ordered pair
-        lp.add_matrix_constraints(self._envy_rows(speedups), flat_shares, ">=", 0.0)
-        # (10a) total normalised throughput
-        lp.set_objective(dot(speedups.ravel(), flat_shares), sense="max")
-        solution = lp.solve(backend=self.backend, warm_start=warm_start)
-        matrix = np.clip(solution.value(shares), 0.0, None)
+        form = self._full_form(instance)
+        solution = solve_form(form, backend=self.backend, warm_start=warm_start)
+        matrix = np.clip(solution.values.reshape(speedups.shape), 0.0, None)
         return matrix, solution.warm_state, solution.stats.warm_start_used
 
     # -- cutting-plane formulation ------------------------------------------
     def _solve_cutting_plane(
         self, instance: ProblemInstance, tol: float = 1e-7
-    ) -> np.ndarray | None:
+    ) -> Optional[np.ndarray]:
+        seeds = self._seed_pairs(instance, tol)
+        if self.backend in ("auto", "scipy") and incremental_available():
+            try:
+                return self._cutting_plane_incremental(instance, seeds, tol)
+            except SolverError:
+                pass  # vendored-API hiccup: fall through to the plain loop
+        return self._cutting_plane_linprog(instance, seeds, tol)
+
+    def _seed_pairs(
+        self, instance: ProblemInstance, tol: float
+    ) -> List[Tuple[int, int]]:
+        """Initial cut set: profile neighbours + greedy-point violations.
+
+        Two cheap heuristics cover most binding rows before round one:
+
+        * neighbours in "steepness" order — with monotone speedup rows,
+          binding envy constraints overwhelmingly involve users with
+          adjacent speedup profiles (the adjacent-allocation structure of
+          Theorem 5.2);
+        * the envy pairs most violated by the *efficiency-max* point
+          (each GPU type handed to its fastest user) — the relaxation's
+          round-one optimum is exactly that point, so seeding its worst
+          violations saves the first, most expensive, cut rounds.
+        """
         speedups = instance.speedups.values
         num_users, num_types = speedups.shape
-        # seed with neighbours in "steepness" order: with monotone speedup
-        # rows, binding envy constraints overwhelmingly involve users with
-        # adjacent speedup profiles (the adjacent-allocation structure of
-        # Theorem 5.2), so these O(n) cuts remove most early violations
         order = np.argsort(speedups[:, -1])
-        active_pairs: set = set()
+        pairs: set = set()
         for position in range(num_users):
             for distance in (1, 2):
                 if position + distance < num_users:
                     first = int(order[position])
                     second = int(order[position + distance])
-                    active_pairs.add((first, second))
-                    active_pairs.add((second, first))
+                    pairs.add((first, second))
+                    pairs.add((second, first))
 
-        for _ in range(self.MAX_CUT_ROUNDS):
-            lp = LinearProgram("oef-coop-cuts")
-            shares = lp.new_variable_array("x", (num_users, num_types), lower=0.0)
-            flat_shares = list(shares.ravel())
-            lp.add_matrix_constraints(
-                _capacity_rows(num_users, num_types),
-                flat_shares,
-                "<=",
-                instance.capacities,
-            )
-            lp.add_matrix_constraints(
-                self._envy_rows(speedups, sorted(active_pairs)),
-                flat_shares,
-                ">=",
-                0.0,
-            )
-            lp.set_objective(dot(speedups.ravel(), flat_shares), sense="max")
-            matrix = np.clip(lp.solve(backend=self.backend).value(shares), 0.0, None)
+        greedy = np.zeros((num_users, num_types))
+        greedy[np.argmax(speedups, axis=0), np.arange(num_types)] = instance.capacities
+        pairs.update(self._violated_pairs(speedups, greedy, tol))
+        return sorted(pairs)
 
-            # find envy violations: cross[l, i] = W_l . x_i vs own diagonal
-            cross = speedups @ matrix.T
-            own = np.diag(cross)
-            envy = cross - own[:, None]
-            np.fill_diagonal(envy, -np.inf)
-            scale = max(1.0, float(np.abs(own).max()))
-            violated = np.argwhere(envy > tol * scale)
-            if violated.shape[0] == 0:
-                return matrix
-            # cap cuts per round: take the most-violated pairs, at most a
-            # few per user — adding every violated pair balloons the LP
-            # back to O(n^2) rows, one per user converges too slowly
-            budget = 4 * num_users
-            if violated.shape[0] > budget:
-                magnitudes = envy[violated[:, 0], violated[:, 1]]
-                keep = np.argsort(-magnitudes)[:budget]
-                violated = violated[keep]
-            new_pairs = {
-                (int(l), int(i))
-                for l, i in violated
-                if (int(l), int(i)) not in active_pairs
-            }
+    def _violated_pairs(
+        self, speedups: np.ndarray, matrix: np.ndarray, tol: float
+    ) -> List[Tuple[int, int]]:
+        """Envy violations of ``matrix``, budget-capped, worst first."""
+        num_users = speedups.shape[0]
+        # cross[l, i] = W_l . x_i, compared against the own diagonal
+        cross = speedups @ matrix.T
+        own = np.diag(cross)
+        envy = cross - own[:, None]
+        np.fill_diagonal(envy, -np.inf)
+        scale = max(1.0, float(np.abs(own).max()))
+        violated = np.argwhere(envy > tol * scale)
+        if violated.shape[0] == 0:
+            return []
+        # cap cuts per round: take the most-violated pairs, at most a
+        # few per user — adding every violated pair balloons the LP
+        # back to O(n^2) rows, one per user converges too slowly
+        budget = self.CUT_BUDGET_FACTOR * num_users
+        if violated.shape[0] > budget:
+            magnitudes = envy[violated[:, 0], violated[:, 1]]
+            keep = np.argsort(-magnitudes)[:budget]
+            violated = violated[keep]
+        return [(int(l), int(i)) for l, i in violated]
+
+    def _cut_rows(
+        self, speedups: np.ndarray, pairs: Sequence[Tuple[int, int]]
+    ) -> sparse.csr_matrix:
+        """Cuts as ``<= 0`` rows (the ">=" envy rows of (10c), negated)."""
+        return (-self._envy_rows(speedups, pairs)).tocsr()
+
+    def _cutting_plane_incremental(
+        self,
+        instance: ProblemInstance,
+        seeds: List[Tuple[int, int]],
+        tol: float,
+    ) -> Optional[np.ndarray]:
+        """Cutting planes over one persistent, incrementally-grown LP.
+
+        The HiGHS session keeps its basis between rounds, so adding a few
+        hundred cut rows costs a warm dual-simplex run that only has to
+        price the new rows in — instead of a cold solve of the whole,
+        ever-growing program.  Cuts whose slack is strictly basic (their
+        envy inequality is slack at the current vertex) are dropped in
+        bulk once they have survived a couple of rounds, keeping the
+        working LP near the O(n + k) active set the theory promises; a
+        dropped pair may re-enter later, which is why membership is
+        tracked per pair rather than per row.
+        """
+        speedups = instance.speedups.values
+        num_users, num_types = speedups.shape
+        session = IncrementalLP(
+            c=-speedups.ravel(),
+            col_lower=np.zeros(num_users * num_types),
+            col_upper=np.full(num_users * num_types, np.inf),
+            a_ub=sparse.vstack(
+                [_capacity_rows(num_users, num_types), self._cut_rows(speedups, seeds)],
+                format="csr",
+            ),
+            b_ub=np.concatenate(
+                [np.asarray(instance.capacities, dtype=float), np.zeros(len(seeds))]
+            ),
+        )
+        cut_pairs: List[Tuple[int, int]] = list(seeds)
+        cut_born: List[int] = [0] * len(seeds)
+        in_lp = set(seeds)
+
+        for round_number in range(self.MAX_CUT_ROUNDS):
+            matrix = np.clip(
+                session.solve().reshape(num_users, num_types), 0.0, None
+            )
+            violated = self._violated_pairs(speedups, matrix, tol)
+            new_pairs = [pair for pair in violated if pair not in in_lp]
             if not new_pairs:
                 return matrix
-            active_pairs |= new_pairs
+
+            if round_number <= self.CUT_DROP_LAST_ROUND:
+                self._drop_slack_cuts(
+                    session, speedups, matrix, cut_pairs, cut_born,
+                    in_lp, round_number, tol,
+                )
+            session.add_rows(
+                self._cut_rows(speedups, new_pairs), np.zeros(len(new_pairs))
+            )
+            cut_pairs.extend(new_pairs)
+            cut_born.extend([round_number + 1] * len(new_pairs))
+            in_lp.update(new_pairs)
+        return None  # fall back to the full program
+
+    def _drop_slack_cuts(
+        self,
+        session: IncrementalLP,
+        speedups: np.ndarray,
+        matrix: np.ndarray,
+        cut_pairs: List[Tuple[int, int]],
+        cut_born: List[int],
+        in_lp: set,
+        round_number: int,
+        tol: float,
+    ) -> None:
+        """Bulk-delete aged cut rows that are strictly slack and basic."""
+        num_types = speedups.shape[1]
+        basic = session.basic_row_mask()[num_types:]
+        activity = session.row_values()[num_types:]
+        own = np.einsum("lj,lj->l", speedups, matrix)
+        scale = max(1.0, float(np.abs(own).max()))
+        age = round_number - np.asarray(cut_born)
+        droppable = np.nonzero(
+            basic & (activity < -tol * scale) & (age >= self.CUT_DROP_MIN_AGE)
+        )[0]
+        if droppable.shape[0] < self.CUT_DROP_MIN_COUNT:
+            return
+        session.delete_rows(num_types + droppable)
+        dropped = set(droppable.tolist())
+        kept = [
+            (pair, born)
+            for position, (pair, born) in enumerate(zip(cut_pairs, cut_born))
+            if position not in dropped
+        ]
+        in_lp.difference_update(cut_pairs[position] for position in dropped)
+        cut_pairs[:] = [pair for pair, _born in kept]
+        cut_born[:] = [born for _pair, born in kept]
+
+    def _cutting_plane_linprog(
+        self,
+        instance: ProblemInstance,
+        seeds: List[Tuple[int, int]],
+        tol: float,
+    ) -> Optional[np.ndarray]:
+        """Per-round cold solves — the portable cutting-plane loop."""
+        speedups = instance.speedups.values
+        num_users, num_types = speedups.shape
+        capacity = _capacity_rows(num_users, num_types)
+        capacities = np.asarray(instance.capacities, dtype=float)
+        active = set(seeds)
+
+        for _round in range(self.MAX_CUT_ROUNDS):
+            pairs = sorted(active)
+            form = StandardForm(
+                c=-speedups.ravel(),
+                a_ub=sparse.vstack(
+                    [capacity, self._cut_rows(speedups, pairs)], format="csr"
+                ),
+                b_ub=np.concatenate([capacities, np.zeros(len(pairs))]),
+                a_eq=None,
+                b_eq=None,
+                bounds=_share_bounds(num_users * num_types),
+                maximise=True,
+            )
+            solution = solve_form(form, backend=self.backend)
+            matrix = np.clip(
+                solution.values.reshape(num_users, num_types), 0.0, None
+            )
+            new_pairs = [
+                pair
+                for pair in self._violated_pairs(speedups, matrix, tol)
+                if pair not in active
+            ]
+            if not new_pairs:
+                return matrix
+            active.update(new_pairs)
         return None  # fall back to the full program
 
     @staticmethod
-    def _envy_rows(speedups: np.ndarray, pairs=None) -> sparse.coo_matrix:
+    def _envy_rows(
+        speedups: np.ndarray, pairs: Optional[Sequence[Tuple[int, int]]] = None
+    ) -> sparse.coo_matrix:
         """Sparse envy rows over flattened x, one per ordered pair (l, i).
 
         Row for (l, i): +W_l at user l's columns, -W_l at user i's.
         ``pairs`` restricts to a subset (cutting-plane path); ``None``
-        builds all n(n-1) rows.
+        builds all n(n-1) rows.  Assembly is pure index arithmetic —
+        no per-pair Python loop.
         """
         num_users, num_types = speedups.shape
         if pairs is None:
-            pairs = [
-                (l, i) for l in range(num_users) for i in range(num_users) if i != l
-            ]
-        num_rows = len(pairs)
+            envious = np.repeat(np.arange(num_users), num_users)
+            envied = np.tile(np.arange(num_users), num_users)
+            keep = envious != envied
+            envious, envied = envious[keep], envied[keep]
+        else:
+            pair_array = np.asarray(list(pairs), dtype=np.int64).reshape(-1, 2)
+            envious, envied = pair_array[:, 0], pair_array[:, 1]
+        num_rows = envious.shape[0]
 
-        row_idx = np.repeat(np.arange(num_rows), 2 * num_types)
-        col_idx = np.empty(num_rows * 2 * num_types, dtype=int)
-        data = np.empty(num_rows * 2 * num_types, dtype=float)
         type_range = np.arange(num_types)
-        cursor = 0
-        for l, i in pairs:
-            col_idx[cursor : cursor + num_types] = l * num_types + type_range
-            data[cursor : cursor + num_types] = speedups[l]
-            cursor += num_types
-            col_idx[cursor : cursor + num_types] = i * num_types + type_range
-            data[cursor : cursor + num_types] = -speedups[l]
-            cursor += num_types
+        # per row: the envious user's columns (+W_l), then the envied's (-W_l)
+        col_idx = np.concatenate(
+            [
+                envious[:, None] * num_types + type_range,
+                envied[:, None] * num_types + type_range,
+            ],
+            axis=1,
+        ).ravel()
+        data = np.concatenate([speedups[envious], -speedups[envious]], axis=1).ravel()
+        row_idx = np.repeat(np.arange(num_rows), 2 * num_types)
         return sparse.coo_matrix(
             (data, (row_idx, col_idx)),
             shape=(num_rows, num_users * num_types),
         )
-
 
 
 @register_scheduler(
@@ -240,18 +467,39 @@ class EfficiencyMaxAllocator(Allocator):
     def allocate(self, instance: ProblemInstance) -> Allocation:
         return self.allocate_with_state(instance)[0]
 
-    def allocate_with_state(self, instance, warm_start=None):
+    def compile_form(self, instance: ProblemInstance) -> StandardForm:
+        """Eq. 4 as a direct sparse form: capacity rows only."""
         speedups = instance.speedups.values
-        num_users, num_types = speedups.shape
+        key = fingerprint_arrays(
+            speedups, instance.capacities, extra=("efficiency-max",)
+        )
 
-        lp = LinearProgram("efficiency-max")
-        shares = lp.new_variable_array("x", (num_users, num_types), lower=0.0)
-        for type_index in range(num_types):
-            lp.add_constraint(
-                lin_sum(shares[:, type_index]) <= float(instance.capacities[type_index])
+        def build() -> StandardForm:
+            num_users, num_types = speedups.shape
+            return StandardForm(
+                c=-speedups.ravel(),
+                a_ub=_capacity_rows(num_users, num_types),
+                b_ub=np.asarray(instance.capacities, dtype=float),
+                a_eq=None,
+                b_eq=None,
+                bounds=_share_bounds(num_users * num_types),
+                maximise=True,
             )
-        lp.set_objective(dot(speedups.ravel(), list(shares.ravel())), sense="max")
-        solution = lp.solve(backend=self.backend, warm_start=warm_start)
-        matrix = np.clip(solution.value(shares), 0.0, None)
-        allocation = Allocation(matrix, instance, allocator_name=self.name)
+
+        return FORM_CACHE.get_or_build(key, build)
+
+    def allocation_from_values(
+        self, instance: ProblemInstance, values: np.ndarray
+    ) -> Allocation:
+        matrix = np.clip(
+            np.asarray(values, dtype=float).reshape(instance.speedups.values.shape),
+            0.0,
+            None,
+        )
+        return Allocation(matrix, instance, allocator_name=self.name)
+
+    def allocate_with_state(self, instance, warm_start=None):
+        form = self.compile_form(instance)
+        solution = solve_form(form, backend=self.backend, warm_start=warm_start)
+        allocation = self.allocation_from_values(instance, solution.values)
         return allocation, solution.warm_state, solution.stats.warm_start_used

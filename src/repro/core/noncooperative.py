@@ -12,6 +12,10 @@ what yields strategy-proofness: a tenant inflating its reported speedups
 cannot raise its *true* throughput.  We model (9c) with one auxiliary free
 variable ``T`` and constraints ``W_l . x_l - T == 0``, then maximise ``T``
 (the objective 9a equals ``n * T`` under the equality constraints).
+
+The standard form is assembled directly as sparse blocks (no per-row
+Python loops) and memoised in the shared form cache, so scenario replays
+that revisit the same instance skip assembly entirely.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ from repro.core.allocation import Allocation
 from repro.core.base import Allocator
 from repro.core.instance import ProblemInstance
 from repro.registry import register_scheduler
-from repro.solver import LinearProgram
+from repro.solver import FORM_CACHE, StandardForm, fingerprint_arrays, solve_form
 
 
 @register_scheduler(
@@ -47,55 +51,92 @@ class NonCooperativeOEF(Allocator):
     def allocate(self, instance: ProblemInstance) -> Allocation:
         return self.allocate_with_state(instance)[0]
 
-    def allocate_with_state(self, instance, warm_start=None):
+    def compile_form(self, instance: ProblemInstance):
+        """The Eq. 9 standard form, or ``None`` when no LP is needed.
+
+        Batch protocol hook: ``solve_forms`` composes the forms of many
+        requests into one solve; :meth:`allocation_from_values` converts
+        each block's optimum back into an allocation.
+        """
+        if instance.num_users == 1:
+            return None
+        return self._form(instance)
+
+    def allocation_from_values(
+        self, instance: ProblemInstance, values: np.ndarray
+    ) -> Allocation:
+        num_users, num_types = instance.speedups.values.shape
+        matrix = np.clip(
+            values[: num_users * num_types].reshape(num_users, num_types), 0.0, None
+        )
+        return Allocation(matrix, instance, allocator_name=self.name)
+
+    def _form(self, instance: ProblemInstance) -> StandardForm:
         speedups = instance.speedups.values
         num_users, num_types = speedups.shape
+        key = fingerprint_arrays(
+            speedups, instance.capacities, extra=("oef-noncoop",)
+        )
 
-        if num_users == 1:
+        def build() -> StandardForm:
+            num_shares = num_users * num_types
+            # (9b) capacity per GPU type, plus a zero column for T
+            capacity_rows = sparse.csr_matrix(
+                (
+                    np.ones(num_shares),
+                    (
+                        np.tile(np.arange(num_types), num_users),
+                        np.arange(num_shares),
+                    ),
+                ),
+                shape=(num_types, num_shares + 1),
+            )
+            # (9c) equal normalised throughput: W_l . x_l - T == 0
+            equal_rows = sparse.csr_matrix(
+                (
+                    np.concatenate([speedups.ravel(), -np.ones(num_users)]),
+                    (
+                        np.concatenate(
+                            [
+                                np.repeat(np.arange(num_users), num_types),
+                                np.arange(num_users),
+                            ]
+                        ),
+                        np.concatenate(
+                            [
+                                np.arange(num_shares),
+                                np.full(num_users, num_shares),
+                            ]
+                        ),
+                    ),
+                ),
+                shape=(num_users, num_shares + 1),
+            )
+            # (9a) maximise T; StandardForm keeps c in minimisation
+            # convention, negated back on report via ``maximise``
+            c = np.zeros(num_shares + 1)
+            c[num_shares] = -1.0
+            return StandardForm(
+                c=c,
+                a_ub=capacity_rows,
+                b_ub=np.asarray(instance.capacities, dtype=float),
+                a_eq=equal_rows,
+                b_eq=np.zeros(num_users),
+                bounds=[(0.0, None)] * (num_shares + 1),
+                maximise=True,
+            )
+
+        return FORM_CACHE.get_or_build(key, build)
+
+    def allocate_with_state(self, instance, warm_start=None):
+        if instance.num_users == 1:
             # a lone tenant simply receives the whole cluster
+            num_types = instance.speedups.values.shape[1]
             matrix = instance.capacities.reshape(1, num_types).copy()
             return Allocation(matrix, instance, allocator_name=self.name), None, False
 
-        lp = LinearProgram("oef-noncoop")
-        shares = lp.new_variable_array("x", (num_users, num_types), lower=0.0)
-        throughput = lp.new_variable("T", lower=0.0)
-        flat_shares = list(shares.ravel())
-        all_vars = flat_shares + [throughput]
-
-        # (9b) capacity per GPU type: sum_l x_l^j <= m_j
-        capacity_rows = sparse.coo_matrix(
-            (
-                np.ones(num_users * num_types),
-                (
-                    np.tile(np.arange(num_types), num_users),
-                    np.arange(num_users * num_types),
-                ),
-            ),
-            shape=(num_types, num_users * num_types),
+        solution = solve_form(
+            self._form(instance), backend=self.backend, warm_start=warm_start
         )
-        lp.add_matrix_constraints(capacity_rows, flat_shares, "<=", instance.capacities)
-
-        # (9c) equal normalised throughput: W_l . x_l - T == 0 for every l
-        rows = np.repeat(np.arange(num_users), num_types)
-        cols = np.arange(num_users * num_types)
-        data = speedups.ravel()
-        equal_rows = sparse.coo_matrix(
-            (
-                np.concatenate([data, -np.ones(num_users)]),
-                (
-                    np.concatenate([rows, np.arange(num_users)]),
-                    np.concatenate([cols, np.full(num_users, num_users * num_types)]),
-                ),
-            ),
-            shape=(num_users, num_users * num_types + 1),
-        )
-        lp.add_matrix_constraints(equal_rows, all_vars, "==", 0.0)
-
-        # (9a) under (9c) the total equals n*T, so maximising T suffices
-        lp.set_objective(throughput.to_expr(), sense="max")
-
-        solution = lp.solve(backend=self.backend, warm_start=warm_start)
-        matrix = solution.value(shares)
-        matrix = np.clip(matrix, 0.0, None)
-        allocation = Allocation(matrix, instance, allocator_name=self.name)
+        allocation = self.allocation_from_values(instance, solution.values)
         return allocation, solution.warm_state, solution.stats.warm_start_used

@@ -378,6 +378,7 @@ class Gateway:
         *,
         backend: Optional[BackendSpec] = None,
         max_workers: Optional[int] = None,
+        lp_batch: bool = False,
     ) -> List[Response]:
         """Solve many requests, optionally fanned out across workers.
 
@@ -387,6 +388,17 @@ class Gateway:
         pipeline in order.  Otherwise the cache-missing solves fan out
         through capability-matched lanes and merge back into the cache
         stage; see the module docstring for the contract.
+
+        ``lp_batch=True`` opts in to the *composed-LP* executor: the
+        cache-missing requests whose schedulers expose the batch
+        protocol (``compile_form``/``allocation_from_values``) are
+        stacked block-diagonally and solved in one vectorized pass via
+        :func:`repro.solver.solve_forms`, which certifies or re-solves
+        each block so answers match the serial path exactly.  The
+        composed solve is itself the batched execution, so it supersedes
+        worker fan-out for the lane-eligible requests; schedulers
+        without the protocol (or instances it declines, e.g. the
+        cutting-plane regime) solve solo as usual.
 
         Semantics the lane planner cannot replicate always dispatch
         through the full pipeline instead of a lane, so a batch answers
@@ -411,7 +423,8 @@ class Gateway:
             if backend is None
             else get_backend(backend, max_workers, task_count=len(normalised))
         )
-        if resolved is None or isinstance(resolved, SerialBackend):
+        use_lanes = resolved is not None and not isinstance(resolved, SerialBackend)
+        if not use_lanes and not lp_batch:
             return [self.solve(request) for request in normalised]
         if not self._lanes_replicate_pipeline():
             warnings.warn(
@@ -431,8 +444,11 @@ class Gateway:
         ]
         results: List[Optional[Response]] = [None] * len(normalised)
         if lane_items:
-            lane_responses = self._solve_batch_parallel(
-                [request for _, request in lane_items], resolved
+            lane_requests = [request for _, request in lane_items]
+            lane_responses = (
+                self._solve_batch_lp(lane_requests)
+                if lp_batch
+                else self._solve_batch_parallel(lane_requests, resolved)
             )
             for (index, _), response in zip(lane_items, lane_responses):
                 results[index] = response
@@ -487,11 +503,32 @@ class Gateway:
         cache hits, mirroring the serial path.
         """
         cache = self.find(CacheMiddleware)
-        coalesce = self.find(CoalesceMiddleware)
         metrics = self._metrics
+        plan = self._plan_batch(requests, cache)
+        pending = self._pending_work(plan, cache)
+        solved = self._execute_pending(pending, backend)
+        return self._assemble_batch(plan, solved, cache, metrics)
 
-        # resolve names/fingerprints up front (raises on unknown
-        # schedulers or uncacheable options exactly like the serial path)
+    def _solve_batch_lp(self, requests: List[Request]) -> List[Response]:
+        """The composed-LP batch executor (``solve_batch(lp_batch=True)``).
+
+        Identical planning/merge machinery to the worker-lane path; only
+        the execution differs — protocol-capable schedulers compile a
+        :class:`StandardForm` per request and the whole set solves in
+        one block-diagonal pass through
+        :func:`repro.solver.solve_forms`, which certifies every block's
+        answer against the solo solve (or actually runs it solo).
+        """
+        cache = self.find(CacheMiddleware)
+        metrics = self._metrics
+        plan = self._plan_batch(requests, cache)
+        pending = self._pending_work(plan, cache)
+        solved = self._execute_pending_lp(pending)
+        return self._assemble_batch(plan, solved, cache, metrics)
+
+    def _plan_batch(self, requests: List[Request], cache) -> List[tuple]:
+        """Resolve names/fingerprints up front (raises on unknown
+        schedulers or uncacheable options exactly like the serial path)."""
         plan = []
         for request in requests:
             name = self.registry.resolve(request.scheduler)
@@ -502,8 +539,13 @@ class Gateway:
             # dispatch()-level feature and would corrupt the merge entries
             key = (fingerprint, name, options_key(opts)) if use_cache else None
             plan.append((request.instance, name, opts, fingerprint, key, use_cache))
+        return plan
 
-        # pick the work that actually needs solving, deduplicated by key
+    def _pending_work(
+        self, plan: List[tuple], cache
+    ) -> "OrderedDict[object, Tuple[Any, str, Dict[str, object]]]":
+        """The work that actually needs solving, deduplicated by key."""
+        coalesce = self.find(CoalesceMiddleware)
         pending: "OrderedDict[object, Tuple[Any, str, Dict[str, object]]]"
         pending = OrderedDict()
         duplicates = 0
@@ -522,9 +564,60 @@ class Gateway:
                 pending[("#", index)] = (instance, name, opts)
         if coalesce is not None:
             coalesce.note_coalesced(duplicates)
+        return pending
 
-        solved = self._execute_pending(pending, backend)
+    def _execute_pending_lp(
+        self,
+        pending: "OrderedDict[object, Tuple[Any, str, Dict[str, object]]]",
+    ) -> Dict[object, Tuple[np.ndarray, Optional[str], float]]:
+        """Solve the pending work through one composed LP where possible.
 
+        A scheduler participates when it exposes the batch protocol and
+        ``compile_form`` returns a form for the instance (it returns
+        ``None`` to decline — trivial single-tenant cases, or regimes
+        like cutting planes where a monolithic form is the wrong tool).
+        Everything else runs the ordinary solo payload.
+        """
+        from repro.solver import solve_forms
+
+        solved: Dict[object, Tuple[np.ndarray, Optional[str], float]] = {}
+        batchable = []  # (lookup, allocator, instance, form)
+        for lookup, (instance, name, opts) in pending.items():
+            factory = self.registry.info(name).factory
+            allocator = factory(**opts)
+            form = None
+            if hasattr(allocator, "compile_form") and hasattr(
+                allocator, "allocation_from_values"
+            ):
+                form = allocator.compile_form(instance)
+            if form is None:
+                solved[lookup] = _solve_payload((instance, factory, opts))
+            else:
+                batchable.append((lookup, allocator, instance, form))
+        if batchable:
+            start = time.perf_counter()
+            solutions = solve_forms([form for *_, form in batchable])
+            elapsed = (time.perf_counter() - start) / len(batchable)
+            for (lookup, allocator, instance, _), solution in zip(
+                batchable, solutions
+            ):
+                allocation = allocator.allocation_from_values(
+                    instance, solution.values
+                )
+                solved[lookup] = (
+                    allocation.matrix,
+                    allocation.allocator_name,
+                    elapsed,
+                )
+        return solved
+
+    def _assemble_batch(
+        self,
+        plan: List[tuple],
+        solved: Dict[object, Tuple[np.ndarray, Optional[str], float]],
+        cache,
+        metrics,
+    ) -> List[Response]:
         # merge worker results into the parent cache and snapshot one
         # (matrix, allocator_name, elapsed, from_cache, hits, misses)
         # tuple per request, in order; duplicates of one solved key read

@@ -24,8 +24,11 @@ Typical usage::
     solution.value(x[0, 0])
 """
 
+from repro.solver.batch import solve_forms
 from repro.solver.expression import LinExpr, Variable, dot, lin_sum
-from repro.solver.problem import Constraint, LinearProgram, StandardForm
+from repro.solver.formcache import FORM_CACHE, FormCache, fingerprint_arrays
+from repro.solver.incremental import IncrementalLP, incremental_available
+from repro.solver.problem import Constraint, LinearProgram, StandardForm, solve_form
 from repro.solver.result import Solution, SolveStats
 from repro.solver.scipy_backend import ScipyBackend
 from repro.solver.simplex import SimplexBackend, standardise_form
@@ -33,6 +36,9 @@ from repro.solver.warm import WarmStartState, form_signature, try_warm_solve
 
 __all__ = [
     "Constraint",
+    "FORM_CACHE",
+    "FormCache",
+    "IncrementalLP",
     "LinExpr",
     "LinearProgram",
     "ScipyBackend",
@@ -43,8 +49,12 @@ __all__ = [
     "Variable",
     "WarmStartState",
     "dot",
+    "fingerprint_arrays",
     "form_signature",
+    "incremental_available",
     "lin_sum",
+    "solve_form",
+    "solve_forms",
     "standardise_form",
     "try_warm_solve",
 ]

@@ -1,0 +1,91 @@
+"""A process-wide cache of compiled :class:`StandardForm` objects.
+
+``LinearProgram.compile`` now memoises per program *object*, but the OEF
+allocators construct a fresh program per request — a scenario replay that
+solves the same instance shape round after round still paid full
+Python-level assembly every time.  This module closes that gap: allocators
+that build their standard forms directly (the vectorized builders in
+:mod:`repro.core`) key them here by a **content fingerprint** of the
+arrays that determine the form (speedup matrix, capacities, options), so
+repeat rounds skip assembly entirely.
+
+Cached forms are shared between callers and must be treated as immutable
+— every consumer in this repository already is (backends read, never
+write), which is what makes the sharing safe.
+
+The cache is a small thread-safe LRU; eviction keeps memory bounded when
+a fleet-scale sweep touches thousands of distinct instances.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.solver.problem import StandardForm
+
+
+def fingerprint_arrays(*arrays: np.ndarray, extra: Tuple = ()) -> str:
+    """Content hash of numeric arrays plus a hashable ``extra`` tag.
+
+    The tag disambiguates builders that share array inputs (e.g. the same
+    instance compiled by two allocators, or with different options).
+    """
+    digest = hashlib.sha256()
+    for array in arrays:
+        data = np.ascontiguousarray(np.asarray(array))
+        digest.update(str(data.dtype).encode())
+        digest.update(str(data.shape).encode())
+        digest.update(data.tobytes())
+    digest.update(repr(extra).encode())
+    return digest.hexdigest()
+
+
+class FormCache:
+    """Thread-safe LRU of compiled standard forms keyed by fingerprint."""
+
+    def __init__(self, maxsize: int = 128):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, StandardForm]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(
+        self, key: str, builder: Callable[[], StandardForm]
+    ) -> StandardForm:
+        """Cached form for ``key``, building (outside the lock) on a miss."""
+        with self._lock:
+            form = self._entries.get(key)
+            if form is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return form
+            self.misses += 1
+        form = builder()
+        with self._lock:
+            self._entries[key] = form
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return form
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: Shared instance used by the allocators' direct form builders.
+FORM_CACHE = FormCache()
+
+__all__ = ["FORM_CACHE", "FormCache", "fingerprint_arrays"]

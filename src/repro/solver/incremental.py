@@ -1,0 +1,168 @@
+"""An incremental LP session over scipy's vendored HiGHS bindings.
+
+The cutting-plane loop in :class:`~repro.core.cooperative.CooperativeOEF`
+re-solves an LP that grows by a few hundred rows per round.  Through
+``scipy.optimize.linprog`` every round pays model construction, presolve,
+and a from-scratch simplex run on the full row set.  HiGHS itself is
+incremental: rows can be appended to (or deleted from) a loaded model and
+the retained basis warm-starts the next dual-simplex run, which then only
+has to price the new rows in.  scipy ships the complete ``highspy``
+bindings as the private module ``scipy.optimize._highspy`` — this wrapper
+keeps every private-API touch in one place, behind a feature probe, so
+callers degrade gracefully to the per-round :func:`linprog` path when the
+vendored surface is absent or changes shape.
+
+Determinism: the session pins ``threads=1``/``parallel=off`` and disables
+solver output, so repeated runs of the same model produce identical
+vertices — the property the allocator's bit-identical replay contract
+relies on.
+
+Only the shapes this repository needs are exposed: minimisation over
+box-bounded columns with one-sided ``A x <= b`` rows (every OEF program
+standardises to that), row append/delete, and basic-status introspection
+for slack-based cut dropping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import InfeasibleError, SolverError, UnboundedError
+
+try:  # pragma: no cover - absence exercised via _core=None monkeypatch
+    from scipy.optimize._highspy import _core
+except Exception:  # ImportError or a reshaped private API
+    _core = None
+
+
+def incremental_available() -> bool:
+    """True when the vendored HiGHS bindings expose the session surface."""
+    if _core is None:
+        return False
+    return all(
+        hasattr(_core, name) for name in ("_Highs", "HighsLp", "MatrixFormat")
+    ) and all(
+        hasattr(_core._Highs, name)
+        for name in ("passModel", "run", "addRows", "deleteRows", "getBasis", "getSolution")
+    )
+
+
+_INF = float("inf")
+
+
+class IncrementalLP:
+    """One mutable ``min c@x  s.t.  A x <= b,  l <= x <= u`` HiGHS session.
+
+    Rows appended with :meth:`add_rows` (and removed with
+    :meth:`delete_rows`) keep the solver's basis, so the next
+    :meth:`solve` is a warm dual-simplex run rather than a cold start.
+    """
+
+    def __init__(
+        self,
+        c: np.ndarray,
+        col_lower: np.ndarray,
+        col_upper: np.ndarray,
+        a_ub: Optional[sparse.spmatrix] = None,
+        b_ub: Optional[np.ndarray] = None,
+    ):
+        if not incremental_available():
+            raise SolverError("vendored HiGHS session API unavailable")
+        c = np.asarray(c, dtype=float)
+        num_cols = c.shape[0]
+        rows = sparse.csr_matrix((0, num_cols)) if a_ub is None else a_ub.tocsr()
+        rhs = np.zeros(0) if b_ub is None else np.asarray(b_ub, dtype=float)
+        if rows.shape[0] != rhs.shape[0]:
+            raise SolverError("row/rhs shape mismatch")
+
+        lp = _core.HighsLp()
+        lp.num_col_ = num_cols
+        lp.num_row_ = rows.shape[0]
+        lp.col_cost_ = c
+        lp.col_lower_ = np.asarray(col_lower, dtype=float)
+        lp.col_upper_ = np.asarray(col_upper, dtype=float)
+        lp.row_lower_ = np.full(rows.shape[0], -_INF)
+        lp.row_upper_ = rhs
+        lp.a_matrix_.format_ = _core.MatrixFormat.kRowwise
+        lp.a_matrix_.num_col_ = num_cols
+        lp.a_matrix_.num_row_ = rows.shape[0]
+        lp.a_matrix_.start_ = rows.indptr.astype(np.int32)
+        lp.a_matrix_.index_ = rows.indices.astype(np.int32)
+        lp.a_matrix_.value_ = rows.data.astype(float)
+
+        self._highs = _core._Highs()
+        # deterministic, quiet, single-threaded: same model -> same vertex
+        self._highs.setOptionValue("output_flag", False)
+        self._highs.setOptionValue("threads", 1)
+        self._highs.setOptionValue("parallel", "off")
+        self._highs.passModel(lp)
+        self.num_cols = num_cols
+        self.num_rows = rows.shape[0]
+
+    # -- row edits ---------------------------------------------------------
+    def add_rows(self, matrix: sparse.spmatrix, rhs: np.ndarray) -> None:
+        """Append ``matrix @ x <= rhs`` rows, keeping the current basis."""
+        rows = matrix.tocsr()
+        rhs = np.asarray(rhs, dtype=float)
+        count = rows.shape[0]
+        if count == 0:
+            return
+        status = self._highs.addRows(
+            count,
+            np.full(count, -_INF),
+            rhs,
+            rows.nnz,
+            rows.indptr.astype(np.int32),
+            rows.indices.astype(np.int32),
+            rows.data.astype(float),
+        )
+        if status == _core.HighsStatus.kError:
+            raise SolverError("HiGHS addRows failed")
+        self.num_rows += count
+
+    def delete_rows(self, indices: Sequence[int]) -> None:
+        """Remove rows by current index, keeping the rest of the basis."""
+        index_array = np.asarray(sorted(indices), dtype=np.int32)
+        if index_array.shape[0] == 0:
+            return
+        status = self._highs.deleteRows(index_array.shape[0], index_array)
+        if status == _core.HighsStatus.kError:
+            raise SolverError("HiGHS deleteRows failed")
+        self.num_rows -= index_array.shape[0]
+
+    # -- solve -------------------------------------------------------------
+    def solve(self) -> np.ndarray:
+        """Re-optimise (warm from the retained basis) and return ``x``."""
+        run_status = self._highs.run()
+        model_status = self._highs.getModelStatus()
+        if model_status == _core.HighsModelStatus.kInfeasible:
+            raise InfeasibleError("incremental LP infeasible")
+        if model_status == _core.HighsModelStatus.kUnbounded:
+            raise UnboundedError("incremental LP unbounded")
+        if (
+            run_status == _core.HighsStatus.kError
+            or model_status != _core.HighsModelStatus.kOptimal
+        ):
+            raise SolverError(
+                f"incremental HiGHS run failed (status={model_status})"
+            )
+        return np.asarray(self._highs.getSolution().col_value, dtype=float)
+
+    # -- introspection -----------------------------------------------------
+    def basic_row_mask(self) -> np.ndarray:
+        """Boolean mask of rows whose slack is basic (row not binding)."""
+        statuses = self._highs.getBasis().row_status
+        basic = _core.HighsBasisStatus.kBasic
+        return np.fromiter(
+            (status == basic for status in statuses), dtype=bool, count=len(statuses)
+        )
+
+    def row_values(self) -> np.ndarray:
+        """Current ``A x`` row activity vector."""
+        return np.asarray(self._highs.getSolution().row_value, dtype=float)
+
+
+__all__ = ["IncrementalLP", "incremental_available"]

@@ -32,7 +32,12 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 from scipy import sparse
 
-from repro.exceptions import ModelError
+from repro.exceptions import (
+    InfeasibleError,
+    ModelError,
+    SolverError,
+    UnboundedError,
+)
 from repro.solver.expression import LinExpr, Variable
 from repro.solver.result import Solution, SolveStats
 
@@ -118,6 +123,12 @@ class LinearProgram:
         self._constraints: List[Constraint] = []
         self._matrix_blocks: List[_MatrixBlock] = []
         self._objective: Optional[_Objective] = None
+        # compiled StandardForms per sparse_always flag; cleared on any
+        # model mutation so solve() never re-assembles an unchanged program
+        self._compiled: dict = {}
+
+    def _invalidate(self) -> None:
+        self._compiled.clear()
 
     # -- variables --------------------------------------------------------
     @property
@@ -141,6 +152,7 @@ class LinearProgram:
             raise ModelError(f"variable {name!r}: lower bound {lower} > upper bound {upper}")
         variable = Variable(len(self._variables), name, lower, upper)
         self._variables.append(variable)
+        self._invalidate()
         return variable
 
     def new_variable_array(
@@ -169,6 +181,7 @@ class LinearProgram:
             constraint.name = name
         self._check_indices(constraint.expr)
         self._constraints.append(constraint)
+        self._invalidate()
         return constraint
 
     def add_constraints(self, constraints: Sequence[Constraint]) -> None:
@@ -197,10 +210,19 @@ class LinearProgram:
                 f"matrix has {matrix.shape[1]} columns but {column_indices.shape[0]} "
                 "variables were supplied"
             )
-        if column_indices.size and column_indices.max() >= self.num_variables:
+        if column_indices.size and (
+            column_indices.min() < 0 or column_indices.max() >= self.num_variables
+        ):
+            raise ModelError("constraint references a variable from another program")
+        # index bounds alone cannot catch a foreign variable whose index
+        # happens to be small; the handle identity can (mirrors
+        # _check_indices, which only sees bare indices)
+        own = self._variables
+        if any(own[variable.index] is not variable for variable in variables):
             raise ModelError("constraint references a variable from another program")
         rhs_array = np.broadcast_to(np.asarray(rhs, dtype=float), (matrix.shape[0],)).copy()
         self._matrix_blocks.append(_MatrixBlock(matrix, column_indices, sense, rhs_array))
+        self._invalidate()
 
     def _check_indices(self, expr: LinExpr) -> None:
         for index in expr.coeffs:
@@ -214,10 +236,26 @@ class LinearProgram:
         expression = LinExpr.coerce(expr)
         self._check_indices(expression)
         self._objective = _Objective(expression, maximise=(sense == "max"))
+        self._invalidate()
 
     # -- compile ------------------------------------------------------------
-    def compile(self) -> StandardForm:
-        """Assemble the minimisation standard form for the backends."""
+    def compile(self, *, sparse_always: bool = False) -> StandardForm:
+        """Assemble the minimisation standard form for the backends.
+
+        ``sparse_always=True`` keeps the constraint systems as scipy
+        sparse matrices regardless of the ``_DENSE_CELL_LIMIT``
+        densification heuristic — the right call for structurally sparse
+        programs (the OEF envy systems) that happen to fall under the
+        cell limit.
+
+        Compilation is memoised: repeated calls on an unchanged program
+        (e.g. ``solve()`` on every warm round) return the same
+        :class:`StandardForm` without re-assembly.  Any mutation —
+        new variable, constraint, or objective — invalidates the cache.
+        """
+        cached = self._compiled.get(sparse_always)
+        if cached is not None:
+            return cached
         if self._objective is None:
             raise ModelError("no objective set; call set_objective() first")
         num_vars = self.num_variables
@@ -278,7 +316,10 @@ class LinearProgram:
                 return None, None
             matrix = sparse.vstack([piece for piece, _rhs in pieces], format="csr")
             rhs = np.concatenate([rhs for _piece, rhs in pieces])
-            if matrix.shape[0] * matrix.shape[1] <= _DENSE_CELL_LIMIT:
+            if (
+                not sparse_always
+                and matrix.shape[0] * matrix.shape[1] <= _DENSE_CELL_LIMIT
+            ):
                 return matrix.toarray(), rhs
             return matrix, rhs
 
@@ -286,7 +327,7 @@ class LinearProgram:
         a_eq, b_eq = _assemble(eq_pieces)
 
         bounds = [(variable.lower, variable.upper) for variable in self._variables]
-        return StandardForm(
+        form = StandardForm(
             c=c,
             a_ub=a_ub,
             b_ub=b_ub,
@@ -296,13 +337,21 @@ class LinearProgram:
             maximise=self._objective.maximise,
             offset=offset,
         )
+        self._compiled[sparse_always] = form
+        return form
 
     # -- solve ---------------------------------------------------------------
-    def solve(self, backend: str = "auto", warm_start=None) -> Solution:
+    def solve(
+        self, backend: str = "auto", warm_start=None, *, sparse_always: bool = False
+    ) -> Solution:
         """Compile and solve; returns a :class:`Solution`.
 
-        ``backend`` is ``"scipy"``, ``"simplex"`` or ``"auto"`` (scipy by
-        default; the in-repo simplex is the self-contained fallback).
+        ``backend`` is ``"scipy"``, ``"simplex"`` or ``"auto"``.  ``auto``
+        runs scipy's HiGHS and, should HiGHS fail for a reason other than
+        a provably infeasible/unbounded program, retries with the in-repo
+        :class:`~repro.solver.simplex.SimplexBackend` — the self-contained
+        fallback.  ``solution.stats.backend`` records the backend that
+        actually produced the answer.
 
         ``warm_start`` accepts the ``warm_state`` of a prior
         :class:`~repro.solver.result.Solution` for a structurally
@@ -313,37 +362,76 @@ class LinearProgram:
         which path produced the result, and ``solution.warm_state``
         carries this solve's own evidence forward.
         """
-        from repro.solver.scipy_backend import ScipyBackend
-        from repro.solver.simplex import SimplexBackend
+        form = self.compile(sparse_always=sparse_always)
+        return solve_form(
+            form,
+            backend=backend,
+            warm_start=warm_start,
+            num_constraints=self.num_constraints,
+        )
 
-        form = self.compile()
-        start = time.perf_counter()
-        if backend in ("auto", "scipy"):
+
+def solve_form(
+    form: StandardForm,
+    backend: str = "auto",
+    warm_start=None,
+    num_constraints: Optional[int] = None,
+) -> Solution:
+    """Solve an already-compiled :class:`StandardForm`.
+
+    The backend-dispatch half of :meth:`LinearProgram.solve`, exposed so
+    callers that assemble standard forms directly (the OEF allocators'
+    vectorized builders, the batch solver) share one solve path —
+    including the ``auto`` fallback contract: try scipy HiGHS, and on a
+    :class:`~repro.exceptions.SolverError` that is *not* a definitive
+    infeasible/unbounded verdict, retry with the self-contained simplex,
+    recording whichever backend produced the answer in
+    ``solution.stats.backend``.
+    """
+    from repro.solver.scipy_backend import ScipyBackend
+    from repro.solver.simplex import SimplexBackend
+
+    start = time.perf_counter()
+    if backend == "auto":
+        backend_used = "scipy"
+        try:
+            values, warm_state, warm_used = ScipyBackend().solve_with_state(
+                form, warm_start
+            )
+        except (InfeasibleError, UnboundedError):
+            raise  # definitive verdicts, not backend failures
+        except SolverError:
+            backend_used = "simplex"
+            values, warm_state, warm_used = SimplexBackend().solve_with_state(
+                form, warm_start
+            )
+    else:
+        if backend == "scipy":
             solver = ScipyBackend()
-            backend_used = "scipy"
         elif backend == "scipy-ipm":
             solver = ScipyBackend(method="highs-ipm")
-            backend_used = "scipy-ipm"
         elif backend == "simplex":
             solver = SimplexBackend()
-            backend_used = "simplex"
         else:
             raise ModelError(f"unknown backend {backend!r}")
+        backend_used = backend
         values, warm_state, warm_used = solver.solve_with_state(form, warm_start)
-        elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start
 
-        raw_objective = float(form.c @ values)
-        objective = (-raw_objective if form.maximise else raw_objective) + form.offset
-        stats = SolveStats(
-            backend=backend_used,
-            solve_seconds=elapsed,
-            num_variables=self.num_variables,
-            num_constraints=self.num_constraints,
-            warm_start_used=warm_used,
-        )
-        return Solution(
-            values=values,
-            objective=objective,
-            stats=stats,
-            warm_state=warm_state,
-        )
+    raw_objective = float(form.c @ values)
+    objective = (-raw_objective if form.maximise else raw_objective) + form.offset
+    rows = 0 if form.a_ub is None else int(form.a_ub.shape[0])
+    rows += 0 if form.a_eq is None else int(form.a_eq.shape[0])
+    stats = SolveStats(
+        backend=backend_used,
+        solve_seconds=elapsed,
+        num_variables=form.num_variables,
+        num_constraints=rows if num_constraints is None else num_constraints,
+        warm_start_used=warm_used,
+    )
+    return Solution(
+        values=values,
+        objective=objective,
+        stats=stats,
+        warm_state=warm_state,
+    )

@@ -1,29 +1,42 @@
-"""A from-scratch dense two-phase simplex LP backend.
+"""A from-scratch sparse revised-simplex LP backend.
 
 This backend keeps the repository self-contained (the paper's artifact uses
-ECOS through cvxpy; we cross-check scipy's HiGGS/HiGHS against this
-implementation in the test suite).  It is a classic tableau simplex:
+ECOS through cvxpy; we cross-check scipy's HiGHS against this
+implementation in the test suite).  The solve is a classic two-phase
+simplex, but run *revised* over sparse matrices instead of on a dense
+tableau:
 
 1. Standardise: shift finite lower bounds to zero, split free variables
    into positive/negative parts, turn finite upper bounds into extra rows,
-   add slack variables for all inequalities.
-2. Phase 1: add one artificial variable per row and minimise their sum to
-   find a basic feasible solution (Bland's rule, so it terminates).
+   add slack variables for all inequalities — assembled as one vectorized
+   ``scipy.sparse`` block composition (no Python-level row loops).
+2. Phase 1: start from the all-artificial basis and minimise the sum of
+   artificials to find a basic feasible solution (Bland's rule, so it
+   terminates).
 3. Phase 2: minimise the real objective from that basis.
 
-Intended for small/medium programs (hundreds of variables); the OEF
-allocators default to the scipy backend and use this one for verification
-and as a fallback.
+The working state is a *factorised basis*: an LU factorisation
+(``scipy.sparse.linalg.splu``) of a recent basis matrix plus a short
+product-form chain of eta updates, refreshed incrementally on every pivot
+and refactorised periodically.  Each iteration costs one BTRAN (pricing),
+one sparse mat-vec (reduced costs), and one FTRAN (pivot column) — never
+an O(rows x cols) tableau sweep.  Pricing and the ratio test replicate
+the classic tableau rules exactly (Bland's smallest-index entering rule,
+the same leaving tie-break on basis indices), so the pivot sequence — and
+therefore the answer and the optimal basis — match the dense tableau this
+module used to run.  The dense tableau is retained as
+:meth:`SimplexBackend._two_phase_dense`, the automatic fallback should
+the factorised path hit numerical trouble on a small program.
 
 Warm starting: ``solve(form, warm_start=prior_state)`` accepts the
 :class:`~repro.solver.warm.WarmStartState` of a structurally identical
 prior program.  The prior optimal basis is re-verified against the new
 numbers (feasible + strictly optimal, hence unique — see
 :mod:`repro.solver.warm`); on success the solution drops out of one
-``(m, m)`` triangular solve instead of the full two-phase run, and on
-any doubt the backend silently falls back to the cold path, so warm
-starts can never change an answer.  ``solve_with_state`` additionally
-returns the state of *this* solve for the next round to reuse.
+``(m, m)`` solve instead of the full two-phase run, and on any doubt the
+backend silently falls back to the cold path, so warm starts can never
+change an answer.  ``solve_with_state`` additionally returns the state of
+*this* solve for the next round to reuse.
 """
 
 from __future__ import annotations
@@ -32,6 +45,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
 
 from repro.exceptions import InfeasibleError, SolverError, UnboundedError
 from repro.solver.problem import StandardForm
@@ -41,9 +56,26 @@ from repro.solver.warm import (
     refresh_state,
     try_warm_solve,
 )
-from repro.solver.warm import _dense as _densify
 
 _TOL = 1e-9
+
+#: Phase-1 feasibility verdict threshold.  Deliberately looser than the
+#: per-pivot ``_TOL``: the phase-1 objective is the *sum* of up to ``m``
+#: artificial variables, each carrying rounding accumulated over the whole
+#: pivot sequence at the scale of ``|b|``, so residuals of order
+#: ``m * eps * scale`` are routine for feasible programs.  Declaring
+#: infeasibility at ``_TOL`` would misclassify those; ``1e-7`` keeps two
+#: orders of margin over that noise while still catching genuinely
+#: infeasible programs (whose phase-1 optimum is bounded away from zero).
+_PHASE1_TOL = 1e-7
+
+#: Rebuild the basis LU factorisation after this many eta updates (bounds
+#: both the per-solve memory and the error accumulated through the chain).
+_REFACTOR_EVERY = 64
+
+#: Above this many cells, the dense-tableau numerical fallback is not
+#: attempted (mirrors the compile-time densification limit).
+_DENSE_FALLBACK_LIMIT = 4_000_000
 
 
 @dataclass
@@ -57,109 +89,107 @@ class _Column:
 
 def standardise_form(
     form: StandardForm,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[_Column]]:
-    """Rewrite the program as ``min c@y, A@y == b, y >= 0``.
+) -> Tuple[sparse.csc_matrix, np.ndarray, np.ndarray, List[_Column]]:
+    """Rewrite the program as ``min c@y, A@y == b, y >= 0`` (sparse).
 
-    Module-level because warm-start verification
-    (:mod:`repro.solver.warm`) re-standardises the successor form to
-    check a prior basis against it.
+    ``A`` comes back as a ``scipy.sparse.csc_matrix`` assembled by block
+    composition — the variable-split expansion is one sparse
+    matrix-matrix product, upper-bound rows are a row slice of the
+    expansion operator, and slacks are an identity block.  Module-level
+    because warm-start verification (:mod:`repro.solver.warm`)
+    re-standardises the successor form to check a prior basis against it.
     """
     num_original = form.num_variables
     columns: List[_Column] = []
-    # map original variable -> list of (internal column, sign)
-    col_of: List[List[int]] = [[] for _ in range(num_original)]
+    orig_of: List[int] = []
+    sign_of: List[float] = []
     for index, (lower, upper) in enumerate(form.bounds):
         if lower is None:
             # free (or upper-bounded only): split into two parts
             columns.append(_Column(index, +1.0, 0.0))
-            col_of[index].append(len(columns) - 1)
             columns.append(_Column(index, -1.0, 0.0))
-            col_of[index].append(len(columns) - 1)
+            orig_of.extend((index, index))
+            sign_of.extend((1.0, -1.0))
         else:
             columns.append(_Column(index, +1.0, lower))
-            col_of[index].append(len(columns) - 1)
-
+            orig_of.append(index)
+            sign_of.append(1.0)
     num_internal = len(columns)
+    orig_idx = np.asarray(orig_of, dtype=np.int64)
+    signs = np.asarray(sign_of, dtype=float)
 
-    def expand_matrix(matrix: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    # expansion operator E (original x internal): x = E @ y + shift
+    expand = sparse.csr_matrix(
+        (signs, (orig_idx, np.arange(num_internal))),
+        shape=(num_original, num_internal),
+    )
+    shift = np.array(
+        [0.0 if lower is None else lower for lower, _upper in form.bounds]
+    )
+
+    def _sparse(matrix) -> Optional[sparse.csr_matrix]:
         if matrix is None:
             return None
-        expanded = np.zeros((matrix.shape[0], num_internal))
-        for internal_index, column in enumerate(columns):
-            expanded[:, internal_index] += column.sign * matrix[:, column.original_index]
-        return expanded
+        if sparse.issparse(matrix):
+            return matrix.tocsr()
+        return sparse.csr_matrix(np.atleast_2d(np.asarray(matrix, dtype=float)))
 
-    def shift_rhs(matrix: Optional[np.ndarray], rhs: Optional[np.ndarray]):
-        """Fold lower-bound shifts x = y + lo into the right-hand side."""
-        if matrix is None or rhs is None:
-            return rhs
-        shift = np.zeros(num_original)
-        for index, (lower, _upper) in enumerate(form.bounds):
-            if lower is not None:
-                shift[index] = lower
-        return rhs - matrix @ shift
+    a_ub = _sparse(form.a_ub)
+    a_eq = _sparse(form.a_eq)
+    ub_matrix = None if a_ub is None else a_ub @ expand
+    ub_rhs = None if a_ub is None else form.b_ub - a_ub @ shift
+    eq_matrix = None if a_eq is None else a_eq @ expand
+    eq_rhs = None if a_eq is None else form.b_eq - a_eq @ shift
 
-    form_a_ub = _densify(form.a_ub)
-    form_a_eq = _densify(form.a_eq)
-    ub_matrix = expand_matrix(form_a_ub)
-    ub_rhs = shift_rhs(form_a_ub, form.b_ub)
-    eq_matrix = expand_matrix(form_a_eq)
-    eq_rhs = shift_rhs(form_a_eq, form.b_eq)
+    # upper bounds become extra inequality rows on the shifted variable:
+    # the bound row for variable v is exactly row v of the expansion E
+    upper_mask = np.array([upper is not None for _lower, upper in form.bounds])
+    bound_block = None
+    bound_rhs = None
+    if upper_mask.any():
+        bound_block = expand[upper_mask]
+        uppers = np.array(
+            [0.0 if upper is None else upper for _lower, upper in form.bounds]
+        )
+        bound_rhs = (uppers - shift)[upper_mask]
 
-    # upper bounds become extra inequality rows on the shifted variable
-    bound_rows: List[np.ndarray] = []
-    bound_rhs: List[float] = []
-    for index, (lower, upper) in enumerate(form.bounds):
-        if upper is None:
-            continue
-        row = np.zeros(num_internal)
-        for internal_index in col_of[index]:
-            row[internal_index] = columns[internal_index].sign
-        bound_rows.append(row)
-        bound_rhs.append(upper - (lower if lower is not None else 0.0))
-
-    ineq_pieces = []
-    ineq_rhs_pieces = []
-    if ub_matrix is not None:
-        ineq_pieces.append(ub_matrix)
-        ineq_rhs_pieces.append(np.asarray(ub_rhs, dtype=float))
-    if bound_rows:
-        ineq_pieces.append(np.vstack(bound_rows))
-        ineq_rhs_pieces.append(np.asarray(bound_rhs, dtype=float))
-
+    ineq_pieces = [piece for piece in (ub_matrix, bound_block) if piece is not None]
+    ineq_rhs_pieces = [rhs for rhs in (ub_rhs, bound_rhs) if rhs is not None]
     num_ineq = sum(piece.shape[0] for piece in ineq_pieces)
     num_eq = 0 if eq_matrix is None else eq_matrix.shape[0]
 
-    total_cols = num_internal + num_ineq  # slacks for inequalities
     total_rows = num_ineq + num_eq
-    a_full = np.zeros((total_rows, total_cols))
-    b_full = np.zeros(total_rows)
-
-    row_cursor = 0
-    slack_cursor = num_internal
-    for piece, rhs_piece in zip(ineq_pieces, ineq_rhs_pieces):
-        rows = piece.shape[0]
-        a_full[row_cursor : row_cursor + rows, :num_internal] = piece
-        for local in range(rows):
-            a_full[row_cursor + local, slack_cursor] = 1.0
-            slack_cursor += 1
-        b_full[row_cursor : row_cursor + rows] = rhs_piece
-        row_cursor += rows
-    if eq_matrix is not None:
-        rows = eq_matrix.shape[0]
-        a_full[row_cursor : row_cursor + rows, :num_internal] = eq_matrix
-        b_full[row_cursor : row_cursor + rows] = np.asarray(eq_rhs, dtype=float)
+    total_cols = num_internal + num_ineq  # slacks for inequalities
+    blocks = []
+    if num_ineq:
+        blocks.append(
+            [sparse.vstack(ineq_pieces, format="csr"), sparse.identity(num_ineq, format="csr")]
+        )
+    if num_eq:
+        blocks.append(
+            [eq_matrix, sparse.csr_matrix((num_eq, num_ineq))] if num_ineq else [eq_matrix]
+        )
+    if blocks:
+        a_full = sparse.bmat(blocks, format="csr")
+        b_full = np.concatenate(
+            [np.asarray(rhs, dtype=float) for rhs in ineq_rhs_pieces]
+            + ([np.asarray(eq_rhs, dtype=float)] if num_eq else [])
+        )
+    else:
+        a_full = sparse.csr_matrix((0, total_cols))
+        b_full = np.zeros(0)
 
     # make all right-hand sides non-negative
     negative = b_full < 0
-    a_full[negative] *= -1.0
-    b_full[negative] *= -1.0
+    if negative.any():
+        flip = np.where(negative, -1.0, 1.0)
+        a_full = sparse.diags(flip) @ a_full
+        b_full = flip * b_full
 
     c_full = np.zeros(total_cols)
-    for internal_index, column in enumerate(columns):
-        c_full[internal_index] += column.sign * form.c[column.original_index]
+    np.add.at(c_full, np.arange(num_internal), signs * form.c[orig_idx])
 
-    return a_full, b_full, c_full, columns
+    return a_full.tocsc(), b_full, c_full, columns
 
 
 def unfold_internal(
@@ -173,16 +203,203 @@ def unfold_internal(
     the standardisation it inverts.
     """
     values = np.zeros(form.num_variables)
-    for column_index, column in enumerate(columns):
-        values[column.original_index] += column.sign * internal[column_index]
+    num_internal = len(columns)
+    orig_idx = np.fromiter(
+        (column.original_index for column in columns), dtype=np.int64, count=num_internal
+    )
+    signs = np.fromiter(
+        (column.sign for column in columns), dtype=float, count=num_internal
+    )
+    np.add.at(values, orig_idx, signs * np.asarray(internal[:num_internal], dtype=float))
     for index, (lower, _upper) in enumerate(form.bounds):
         if lower is not None:
             values[index] += lower
     return values
 
 
+class _FactorisedBasis:
+    """An LU-factorised basis matrix with product-form eta updates.
+
+    ``B = B0 @ E_1 @ ... @ E_k`` where ``B0`` is the last refactorised
+    basis (``splu``) and each ``E_i`` is an eta matrix — identity except
+    for one column holding the FTRAN'd entering column of that pivot.
+    FTRAN applies the etas forward after the LU solve; BTRAN applies
+    their transposes in reverse before the transposed LU solve.
+    """
+
+    def __init__(self, a_csc: sparse.csc_matrix, basis: np.ndarray):
+        self.a = a_csc
+        self.refactor(basis)
+
+    def refactor(self, basis: np.ndarray) -> None:
+        matrix = self.a[:, basis].tocsc()
+        try:
+            self._lu = sparse_linalg.splu(matrix)
+        except RuntimeError as error:  # singular basis: numerical breakdown
+            raise SolverError(f"basis refactorisation failed: {error}") from error
+        self._etas: List[Tuple[int, np.ndarray]] = []
+
+    @property
+    def eta_count(self) -> int:
+        return len(self._etas)
+
+    def update(self, pivot_row: int, ftran_column: np.ndarray) -> None:
+        """Record the pivot ``basis[pivot_row] <- entering`` as an eta."""
+        self._etas.append((pivot_row, ftran_column))
+
+    def ftran(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``B x = rhs``."""
+        x = self._lu.solve(rhs)
+        for row, d in self._etas:
+            xr = x[row] / d[row]
+            x -= d * xr
+            x[row] = xr
+        return x
+
+    def btran(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``B^T y = rhs``."""
+        y = np.asarray(rhs, dtype=float).copy()
+        for row, d in reversed(self._etas):
+            y[row] = (y[row] - d @ y + d[row] * y[row]) / d[row]
+        return self._lu.solve(y, trans="T")
+
+
+class _RevisedSolver:
+    """One two-phase revised-simplex run over a standardised system."""
+
+    def __init__(self, a: sparse.csc_matrix, b: np.ndarray, c: np.ndarray, max_iterations: int):
+        self.num_rows, self.num_structural = a.shape
+        self.max_iterations = max_iterations
+        # working matrix [A | I]: artificial columns appended once, used
+        # as the phase-1 basis and (at zero cost) through phase 2
+        self.full = sparse.hstack(
+            [a, sparse.identity(self.num_rows, format="csc")], format="csc"
+        )
+        self.full_t = self.full.T.tocsr()
+        self.b = b
+        self.c = c
+        self.basis = np.arange(
+            self.num_structural, self.num_structural + self.num_rows, dtype=np.int64
+        )
+        self.in_basis = np.zeros(self.full.shape[1], dtype=bool)
+        self.in_basis[self.basis] = True
+        self.factor = _FactorisedBasis(self.full, self.basis)
+        self.x_basic = b.astype(float).copy()
+
+    # -- low-level helpers -------------------------------------------------
+    def _column(self, index: int) -> np.ndarray:
+        start, stop = self.full.indptr[index], self.full.indptr[index + 1]
+        column = np.zeros(self.num_rows)
+        column[self.full.indices[start:stop]] = self.full.data[start:stop]
+        return column
+
+    def _refactor(self) -> None:
+        self.factor.refactor(self.basis)
+        # recompute the basic point from scratch to shed eta-chain drift
+        self.x_basic = self.factor.ftran(self.b.astype(float))
+
+    def _pivot(self, entering: int, leaving_row: int, direction: np.ndarray) -> None:
+        step = self.x_basic[leaving_row] / direction[leaving_row]
+        self.x_basic -= step * direction
+        self.x_basic[leaving_row] = step
+        self.in_basis[self.basis[leaving_row]] = False
+        self.in_basis[entering] = True
+        self.basis[leaving_row] = entering
+        self.factor.update(leaving_row, direction)
+        if self.factor.eta_count >= _REFACTOR_EVERY:
+            self._refactor()
+
+    # -- simplex loops -----------------------------------------------------
+    def _pivot_loop(self, costs: np.ndarray, allowed: int) -> None:
+        """Bland's-rule pivoting until optimal (or raise on unbounded).
+
+        ``allowed`` bounds the entering-column index range, mirroring the
+        tableau's ``allowed_cols`` (phase 1 admits artificials back in,
+        phase 2 restricts to structural columns).
+        """
+        for _iteration in range(self.max_iterations):
+            duals = self.factor.btran(costs[self.basis])
+            reduced = costs[:allowed] - self.full_t[:allowed] @ duals
+            eligible = (reduced < -_TOL) & ~self.in_basis[:allowed]
+            entering_candidates = np.nonzero(eligible)[0]
+            if entering_candidates.shape[0] == 0:
+                return
+            entering = int(entering_candidates[0])  # Bland: smallest index
+            direction = self.factor.ftran(self._column(entering))
+            leaving = self._ratio_test(direction)
+            if leaving is None:
+                raise UnboundedError(
+                    "entering column has no positive pivot: unbounded LP"
+                )
+            self._pivot(entering, leaving, direction)
+        raise SolverError(f"simplex exceeded {self.max_iterations} iterations")
+
+    def _ratio_test(self, direction: np.ndarray) -> Optional[int]:
+        """Leaving row: minimum ratio, ties to the smallest basis index."""
+        leaving = None
+        best_ratio = np.inf
+        for row in np.nonzero(direction > _TOL)[0]:
+            ratio = self.x_basic[row] / direction[row]
+            if ratio < best_ratio - _TOL or (
+                abs(ratio - best_ratio) <= _TOL
+                and (leaving is None or self.basis[row] < self.basis[leaving])
+            ):
+                best_ratio = ratio
+                leaving = int(row)
+        return leaving
+
+    def _drive_out_artificials(self) -> None:
+        """Pivot basic artificials out on any structural non-zero.
+
+        A row whose artificial admits no structural pivot is redundant;
+        its artificial stays basic at value 0 (phase 2 never prices
+        artificial columns, so it can only stay there).
+        """
+        for row in range(self.num_rows):
+            if self.basis[row] < self.num_structural:
+                continue
+            unit = np.zeros(self.num_rows)
+            unit[row] = 1.0
+            tableau_row = self.full_t[: self.num_structural] @ self.factor.btran(unit)
+            candidates = np.nonzero(
+                (np.abs(tableau_row) > _TOL) & ~self.in_basis[: self.num_structural]
+            )[0]
+            if candidates.shape[0] == 0:
+                continue  # redundant row
+            entering = int(candidates[0])
+            direction = self.factor.ftran(self._column(entering))
+            self._pivot(entering, row, direction)
+
+    def solve(self) -> Tuple[np.ndarray, List[int]]:
+        if self.num_rows == 0:
+            if np.any(self.c < -_TOL):
+                raise UnboundedError("objective improves without constraints")
+            return np.zeros(self.num_structural), []
+
+        # phase 1: minimise the sum of artificials from the identity basis
+        phase1_costs = np.zeros(self.full.shape[1])
+        phase1_costs[self.num_structural :] = 1.0
+        self._pivot_loop(phase1_costs, allowed=self.full.shape[1])
+        phase1_objective = float(phase1_costs[self.basis] @ self.x_basic)
+        if phase1_objective > _PHASE1_TOL:
+            raise InfeasibleError(
+                f"phase-1 objective {phase1_objective:.3g} > 0: no feasible point"
+            )
+        self._drive_out_artificials()
+
+        # phase 2: the real objective, artificials priced out
+        phase2_costs = np.zeros(self.full.shape[1])
+        phase2_costs[: self.num_structural] = self.c
+        self._pivot_loop(phase2_costs, allowed=self.num_structural)
+
+        values = np.zeros(self.num_structural)
+        structural = self.basis < self.num_structural
+        values[self.basis[structural]] = self.x_basic[structural]
+        return values, [int(index) for index in self.basis]
+
+
 class SimplexBackend:
-    """Two-phase dense tableau simplex over a :class:`StandardForm`."""
+    """Two-phase revised simplex over a :class:`StandardForm`."""
 
     def __init__(self, max_iterations: int = 100_000):
         self.max_iterations = max_iterations
@@ -207,7 +424,7 @@ class SimplexBackend:
         standardised = standardise_form(form)
         if warm_start is not None:
             # hand the standardised tuple down so a warm miss does not
-            # pay the (dense, O(rows x cols)) standardisation twice
+            # pay the standardisation twice
             values = try_warm_solve(form, warm_start, standardised)
             if values is not None:
                 return values, refresh_state(warm_start, form, values), True
@@ -221,8 +438,29 @@ class SimplexBackend:
         )
         return values, state, False
 
-    # -- two-phase tableau simplex -------------------------------------------
+    # -- two-phase drivers -------------------------------------------------
     def _two_phase(
+        self, a: sparse.csc_matrix, b: np.ndarray, c: np.ndarray
+    ) -> Tuple[np.ndarray, List[int]]:
+        """Revised simplex, falling back to the dense tableau on breakdown.
+
+        The factorised path raises :class:`SolverError` on numerical
+        breakdown (singular refactorisation, iteration blow-up); small
+        systems then rerun on the dense tableau, whose element-wise
+        pivoting has no factorisation to lose.  Infeasible/unbounded
+        verdicts are answers, not breakdowns, and propagate directly.
+        """
+        try:
+            return _RevisedSolver(a, b, c, self.max_iterations).solve()
+        except (InfeasibleError, UnboundedError):
+            raise
+        except SolverError:
+            if a.shape[0] * a.shape[1] > _DENSE_FALLBACK_LIMIT:
+                raise
+            return self._two_phase_dense(a.toarray(), b, c)
+
+    # -- dense tableau fallback --------------------------------------------
+    def _two_phase_dense(
         self, a: np.ndarray, b: np.ndarray, c: np.ndarray
     ) -> Tuple[np.ndarray, List[int]]:
         num_rows, num_cols = a.shape
@@ -249,7 +487,7 @@ class SimplexBackend:
 
         self._pivot_loop(tableau, basis, allowed_cols=num_cols + num_rows)
         phase1_objective = -tableau[-1, -1]
-        if phase1_objective > 1e-7:
+        if phase1_objective > _PHASE1_TOL:
             raise InfeasibleError(
                 f"phase-1 objective {phase1_objective:.3g} > 0: no feasible point"
             )

@@ -177,7 +177,9 @@ def _basis_reuse(
         or np.unique(indices).shape[0] != num_rows
     ):
         return None
-    basic = a[:, indices]
+    # the standardised matrix is sparse; only the (m, m) basis slice is
+    # densified for the two solves — never the full system
+    basic = a[:, indices].toarray() if sparse.issparse(a) else a[:, indices]
     try:
         x_basic = np.linalg.solve(basic, b)
         duals = np.linalg.solve(basic.T, c[indices])
@@ -191,7 +193,7 @@ def _basis_reuse(
         return None
     if float(x_basic.min(initial=0.0)) < -_FEAS_TOL * scale:
         return None
-    reduced = c - duals @ a
+    reduced = c - np.asarray(a.T @ duals).ravel()
     nonbasic = np.ones(num_cols, dtype=bool)
     nonbasic[indices] = False
     if nonbasic.any() and float(reduced[nonbasic].min()) <= _STRICT_TOL:
@@ -213,8 +215,10 @@ def _kkt_reuse(form: StandardForm, state: WarmStartState) -> Optional[np.ndarray
     x = np.asarray(state.primal, dtype=float)
     if x.shape[0] != form.num_variables or not np.all(np.isfinite(x)):
         return None
-    a_ub = _dense(form.a_ub)
-    a_eq = _dense(form.a_eq)
+    # sparse systems are verified sparse: every check below is a mat-vec
+    # except the final rank test, which densifies only its active slice
+    a_ub = form.a_ub if sparse.issparse(form.a_ub) else _dense(form.a_ub)
+    a_eq = form.a_eq if sparse.issparse(form.a_eq) else _dense(form.a_eq)
     mu = None if state.dual_ub is None else np.asarray(state.dual_ub, dtype=float)
     nu = None if state.dual_eq is None else np.asarray(state.dual_eq, dtype=float)
     if (a_ub is None) != (mu is None) or (a_eq is None) != (nu is None):
@@ -252,9 +256,9 @@ def _kkt_reuse(form: StandardForm, state: WarmStartState) -> Optional[np.ndarray
     # multiplier pattern for x (r_i >= 0 at lower, <= 0 at upper, 0 inside)
     reduced = form.c.copy()
     if a_ub is not None:
-        reduced = reduced + mu @ a_ub
+        reduced = reduced + np.asarray(a_ub.T @ mu).ravel()
     if a_eq is not None:
-        reduced = reduced + nu @ a_eq
+        reduced = reduced + np.asarray(a_eq.T @ nu).ravel()
     at_lower = x <= lowers + _FEAS_TOL * scale
     at_upper = x >= uppers - _FEAS_TOL * scale
     interior = ~(at_lower | at_upper)
@@ -287,9 +291,11 @@ def _kkt_reuse(form: StandardForm, state: WarmStartState) -> Optional[np.ndarray
     if num_free:
         pieces = []
         if a_ub is not None and bool(active_rows.any()):
-            pieces.append(a_ub[active_rows][:, free])
+            block = a_ub.tocsr()[active_rows] if sparse.issparse(a_ub) else a_ub[active_rows]
+            pieces.append(_dense(block[:, free]))
         if a_eq is not None:
-            pieces.append(a_eq[:, free])
+            block = a_eq.tocsr() if sparse.issparse(a_eq) else a_eq
+            pieces.append(_dense(block[:, free]))
         if not pieces:
             return None
         active = np.vstack(pieces)

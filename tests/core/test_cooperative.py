@@ -168,3 +168,29 @@ class TestEfficiencyMax:
 
         allocation = EfficiencyMaxAllocator().allocate(paper_instance)
         assert not check_sharing_incentive(allocation).satisfied
+
+
+class TestCuttingPlanePaths:
+    def test_incremental_matches_linprog_fallback(self, monkeypatch):
+        # the persistent-session hot path and the per-round linprog
+        # fallback must land on the same optimum
+        import repro.core.cooperative as coop_mod
+
+        instance = random_instance(80, 6, seed=11, devices_per_type=40.0)
+        incremental = CooperativeOEF(method="cutting-plane").allocate(instance)
+        monkeypatch.setattr(coop_mod, "incremental_available", lambda: False)
+        legacy = CooperativeOEF(method="cutting-plane").allocate(instance)
+        assert incremental.total_efficiency() == pytest.approx(
+            legacy.total_efficiency(), rel=1e-7
+        )
+        assert check_envy_freeness(incremental, tol=1e-5).satisfied
+        assert check_envy_freeness(legacy, tol=1e-5).satisfied
+
+    def test_cutting_plane_matches_full_form(self):
+        # both regimes solve Eq. 10 exactly; objectives must agree
+        instance = random_instance(24, 4, seed=3, devices_per_type=12.0)
+        full = CooperativeOEF(method="full").allocate(instance)
+        cuts = CooperativeOEF(method="cutting-plane").allocate(instance)
+        assert cuts.total_efficiency() == pytest.approx(
+            full.total_efficiency(), rel=1e-7
+        )

@@ -1,0 +1,80 @@
+"""``solve_forms``: block-diagonal batching must never change an answer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InfeasibleError
+from repro.solver import LinearProgram, lin_sum, solve_form, solve_forms
+
+
+def _random_form(seed):
+    rng = np.random.default_rng(seed)
+    num_vars = int(rng.integers(2, 6))
+    num_rows = int(rng.integers(1, 4))
+    lp = LinearProgram()
+    x = lp.new_variable_array("x", num_vars)
+    matrix = rng.uniform(0.2, 2.0, size=(num_rows, num_vars))
+    rhs = rng.uniform(1.0, 4.0, size=num_rows)
+    lp.add_matrix_constraints(matrix, list(x), "<=", rhs)
+    weights = rng.uniform(0.1, 1.0, size=num_vars)
+    lp.set_objective(
+        sum(float(w) * xi for w, xi in zip(weights, x)), sense="max"
+    )
+    return lp.compile()
+
+
+def _infeasible_form():
+    lp = LinearProgram()
+    x = lp.new_variable("x", upper=1.0)
+    lp.add_constraint(x.to_expr() >= 2.0)
+    lp.set_objective(x.to_expr(), sense="max")
+    return lp.compile()
+
+
+class TestSolveForms:
+    def test_empty_batch(self):
+        assert solve_forms([]) == []
+
+    def test_single_form_matches_solo(self):
+        form = _random_form(0)
+        solo = solve_form(form)
+        [batched] = solve_forms([form])
+        assert batched.objective == pytest.approx(solo.objective)
+
+    @pytest.mark.parametrize("count", [2, 5, 9])
+    def test_batch_matches_solo(self, count):
+        forms = [_random_form(seed) for seed in range(count)]
+        solo = [solve_form(form) for form in forms]
+        batched = solve_forms(forms)
+        assert len(batched) == count
+        for a, b in zip(solo, batched):
+            assert b.objective == pytest.approx(a.objective, abs=1e-8)
+            np.testing.assert_allclose(b.values, a.values, atol=1e-8)
+
+    def test_mixed_senses_and_equalities(self):
+        lp = LinearProgram()
+        x = lp.new_variable_array("x", 3)
+        lp.add_constraint(lin_sum(x) == 2.0)
+        lp.add_constraint(x[0] - x[1] <= 0.5)
+        lp.set_objective(2.0 * x[0] + x[1] + 0.5 * x[2], sense="max")
+        eq_form = lp.compile()
+        forms = [_random_form(1), eq_form, _random_form(2)]
+        solo = [solve_form(form) for form in forms]
+        batched = solve_forms(forms)
+        for a, b in zip(solo, batched):
+            assert b.objective == pytest.approx(a.objective, abs=1e-8)
+
+    def test_infeasible_member_reproduces_serial_error(self):
+        # the composed LP is infeasible as a whole; the fallback must
+        # re-run solo so the exception surfaces for the right member —
+        # exactly what a serial loop would do
+        forms = [_random_form(3), _infeasible_form()]
+        with pytest.raises(InfeasibleError):
+            solve_forms(forms)
+
+    def test_simplex_backend_stays_solo(self):
+        forms = [_random_form(4), _random_form(5)]
+        solo = [solve_form(form, backend="simplex") for form in forms]
+        batched = solve_forms(forms, backend="simplex")
+        for a, b in zip(solo, batched):
+            assert b.objective == pytest.approx(a.objective, abs=1e-8)

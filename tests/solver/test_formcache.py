@@ -1,0 +1,84 @@
+"""The shared compiled-form cache: fingerprints, LRU, thread safety."""
+
+import threading
+
+import numpy as np
+
+from repro.solver import FormCache, fingerprint_arrays
+
+
+class TestFingerprint:
+    def test_content_sensitive(self):
+        a = np.arange(6, dtype=float)
+        b = a.copy()
+        assert fingerprint_arrays(a) == fingerprint_arrays(b)
+        b[0] = 99.0
+        assert fingerprint_arrays(a) != fingerprint_arrays(b)
+
+    def test_shape_sensitive(self):
+        flat = np.arange(6, dtype=float)
+        square = flat.reshape(2, 3)
+        assert fingerprint_arrays(flat) != fingerprint_arrays(square)
+
+    def test_dtype_sensitive(self):
+        ints = np.arange(4)
+        floats = ints.astype(float)
+        assert fingerprint_arrays(ints) != fingerprint_arrays(floats)
+
+    def test_extra_tag_disambiguates(self):
+        a = np.arange(4, dtype=float)
+        assert fingerprint_arrays(a, extra=("coop",)) != fingerprint_arrays(
+            a, extra=("noncoop",)
+        )
+
+    def test_noncontiguous_input(self):
+        base = np.arange(12, dtype=float).reshape(3, 4)
+        view = base[:, ::2]
+        assert fingerprint_arrays(view) == fingerprint_arrays(
+            np.ascontiguousarray(view)
+        )
+
+
+class TestFormCache:
+    def test_hit_returns_same_object(self):
+        cache = FormCache()
+        built = object()
+        first = cache.get_or_build("k", lambda: built)
+        second = cache.get_or_build("k", lambda: object())
+        assert first is built and second is built
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = FormCache(maxsize=2)
+        cache.get_or_build("a", object)
+        cache.get_or_build("b", object)
+        cache.get_or_build("a", object)  # refresh a
+        cache.get_or_build("c", object)  # evicts b
+        assert len(cache) == 2
+        rebuilt = object()
+        assert cache.get_or_build("b", lambda: rebuilt) is rebuilt
+
+    def test_clear(self):
+        cache = FormCache()
+        cache.get_or_build("a", object)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_concurrent_access(self):
+        cache = FormCache(maxsize=16)
+        errors = []
+
+        def worker(tag):
+            try:
+                for i in range(200):
+                    cache.get_or_build(f"k{i % 8}", object)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) == 8

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 from scipy import sparse
 
-from repro.exceptions import InfeasibleError, ModelError, UnboundedError
-from repro.solver import LinearProgram, dot, lin_sum
+from repro.exceptions import InfeasibleError, ModelError, SolverError, UnboundedError
+from repro.solver import LinearProgram, ScipyBackend, Variable, dot, lin_sum
 
 
 class TestModelBuilding:
@@ -210,3 +210,103 @@ class TestSolveBasics:
         lp.set_objective(dot([1.0, 2.0, 3.0], x), sense="max")
         solution = lp.solve()
         assert solution.objective == pytest.approx(6.0)
+
+
+class TestMatrixConstraintValidation:
+    """Regression: the block path used to skip variable-ownership checks."""
+
+    def test_negative_index_rejected(self):
+        lp = LinearProgram()
+        x = lp.new_variable_array("x", 2)
+        rogue = Variable(-1, "rogue", 0.0, None)
+        with pytest.raises(ModelError):
+            lp.add_matrix_constraints(np.eye(2), [x[0], rogue], "<=", 1.0)
+
+    def test_out_of_range_index_rejected(self):
+        lp1, lp2 = LinearProgram(), LinearProgram()
+        lp1.new_variable("a")
+        y = lp2.new_variable_array("y", 5)
+        with pytest.raises(ModelError):
+            lp1.add_matrix_constraints(np.ones((1, 1)), [y[4]], "<=", 1.0)
+
+    def test_foreign_small_index_rejected(self):
+        # index 0 is in range for *both* programs, so the bounds check
+        # alone cannot catch this; handle identity must
+        lp1, lp2 = LinearProgram(), LinearProgram()
+        lp1.new_variable("a")
+        b = lp2.new_variable("b")
+        with pytest.raises(ModelError):
+            lp1.add_matrix_constraints(np.ones((1, 1)), [b], "<=", 1.0)
+
+    def test_own_variables_still_accepted(self):
+        lp = LinearProgram()
+        x = lp.new_variable_array("x", 3)
+        lp.add_matrix_constraints(np.eye(3), list(x), "<=", 1.0)
+        assert lp.num_constraints == 3
+
+
+def _toy_program():
+    lp = LinearProgram()
+    x = lp.new_variable_array("x", 2)
+    lp.add_constraint(x[0] + 2.0 * x[1] <= 4.0)
+    lp.add_constraint(3.0 * x[0] + x[1] <= 6.0)
+    lp.set_objective(3.0 * x[0] + 2.0 * x[1], sense="max")
+    return lp
+
+
+class TestAutoBackendFallback:
+    """Regression: backend="auto" must actually retry on a scipy failure."""
+
+    def test_auto_falls_back_to_simplex(self, monkeypatch):
+        def boom(self, form, warm_start=None):
+            raise SolverError("injected backend failure")
+
+        monkeypatch.setattr(ScipyBackend, "solve_with_state", boom)
+        solution = _toy_program().solve(backend="auto")
+        assert solution.stats.backend == "simplex"
+        assert solution.objective == pytest.approx(7.2)
+
+    def test_auto_records_scipy_when_it_succeeds(self):
+        solution = _toy_program().solve(backend="auto")
+        assert solution.stats.backend == "scipy"
+
+    def test_auto_does_not_mask_infeasibility(self):
+        # InfeasibleError subclasses SolverError but is a definitive
+        # verdict, not a backend failure: no fallback, no masking
+        lp = LinearProgram()
+        x = lp.new_variable("x", upper=1.0)
+        lp.add_constraint(x.to_expr() >= 2.0)
+        lp.set_objective(x.to_expr(), sense="max")
+        with pytest.raises(InfeasibleError):
+            lp.solve(backend="auto")
+
+
+class TestCompileMemoisation:
+    def test_compile_is_memoised(self):
+        lp = _toy_program()
+        assert lp.compile() is lp.compile()
+
+    def test_mutation_invalidates(self):
+        lp = LinearProgram()
+        x = lp.new_variable_array("x", 2)
+        lp.add_constraint(x[0] + x[1] <= 4.0)
+        lp.set_objective(x[0] + x[1], sense="max")
+        first = lp.compile()
+        lp.add_constraint(x[0] <= 1.0)
+        assert lp.compile() is not first
+
+    def test_sparse_always_has_its_own_slot(self):
+        lp = _toy_program()
+        dense_form = lp.compile()
+        sparse_form = lp.compile(sparse_always=True)
+        assert sparse_form is not dense_form
+        assert sparse.issparse(sparse_form.a_ub)
+        assert not sparse.issparse(dense_form.a_ub)
+
+    def test_sparse_always_solves_identically(self):
+        dense_solution = _toy_program().solve()
+        sparse_solution = _toy_program().solve(sparse_always=True)
+        assert sparse_solution.objective == pytest.approx(dense_solution.objective)
+        np.testing.assert_allclose(
+            sparse_solution.values, dense_solution.values, atol=1e-9
+        )

@@ -782,3 +782,56 @@ class TestServiceAdmissionInfo:
             "in_flight": 0,
             "retry_after_hint_s": 0.0,
         }
+
+
+class TestLpBatch:
+    """``solve_batch(lp_batch=True)``: the composed-LP executor."""
+
+    def _requests(self, count=4):
+        instances = [random_instance(8, 3, seed=seed) for seed in range(count)]
+        return [
+            (instance, scheduler, {})
+            for instance in instances
+            for scheduler in ("oef-coop", "oef-noncoop", "efficiency-max")
+        ]
+
+    def test_matches_serial(self):
+        requests = self._requests()
+        serial = Gateway(default_pipeline()).solve_batch(requests)
+        batched = Gateway(default_pipeline()).solve_batch(requests, lp_batch=True)
+        for a, b in zip(serial, batched):
+            assert b.scheduler == a.scheduler
+            np.testing.assert_allclose(
+                b.allocation.matrix, a.allocation.matrix, atol=1e-9
+            )
+
+    def test_merges_into_cache(self):
+        gateway = Gateway(default_pipeline())
+        requests = self._requests(count=3)
+        first = gateway.solve_batch(requests, lp_batch=True)
+        assert all(response.disposition == "cold" for response in first)
+        second = gateway.solve_batch(requests, lp_batch=True)
+        assert all(response.disposition == "cache-hit" for response in second)
+
+    def test_duplicates_solve_once(self):
+        instance = random_instance(5, 2, seed=0)
+        requests = [(instance, "oef-noncoop", {})] * 3
+        responses = Gateway(default_pipeline()).solve_batch(
+            requests, lp_batch=True
+        )
+        dispositions = [response.disposition for response in responses]
+        assert dispositions.count("cold") == 1
+        assert dispositions.count("cache-hit") == 2
+
+    def test_custom_stage_warns_and_dispatches_serially(self):
+        class Tap(Middleware):
+            name = "tap"
+
+            def handle(self, request, next):
+                return next(request)
+
+        gateway = Gateway([Tap(), SolverMiddleware()])
+        requests = self._requests(count=2)
+        with pytest.warns(RuntimeWarning, match="cannot replicate"):
+            responses = gateway.solve_batch(requests, lp_batch=True)
+        assert len(responses) == len(requests)
