@@ -1,0 +1,125 @@
+"""Fleet benchmark: multi-region speedup and streaming-memory bounds.
+
+Two claims from the fleet acceptance bar:
+
+* **parallel-over-serial speedup** — one 4-region fleet recipe runs
+  serially and then on the process backend under the benchmark clock.
+  The replays must be bit-identical (same fleet fingerprint) and the
+  measured ``speedup_vs_serial`` rides into the ``fleet`` ledger family,
+  where the dimensionless-ratio gate tracks it across machines.  The
+  asserted floor scales with the runner: >=2x on >=4 usable cores (the
+  CI class named in the acceptance criteria), a softer floor on 2-3
+  cores, and correctness only on a single core.
+
+* **streaming memory** — with the per-round sink
+  (``record_rounds=False`` under the hood) rounds go straight to the
+  JSONL stream, so peak traced memory must not grow with the round
+  count.  An 8x longer run must stay within a small constant factor of
+  the short run's peak; O(rounds) accumulation would show up as ~8x.
+"""
+
+import time
+import tracemalloc
+
+from repro.fleet import FleetSimulator, make_fleet_scenario
+from repro.parallel import cpu_count
+
+CORES = cpu_count()
+REGIONS = 4
+
+# heavy enough per region that pool startup amortises on a CI runner
+SPEEDUP_FLEET = dict(
+    seed=11, regions=REGIONS, rounds=16, tenants_per_region=8, jobs_per_tenant=4
+)
+MEMORY_ROUNDS_SHORT, MEMORY_ROUNDS_LONG = 8, 64
+MEMORY_PEAK_FACTOR = 2.0
+
+
+def _speedup_floor() -> float:
+    if CORES >= 4:
+        return 2.0
+    if CORES >= 2:
+        return 1.2
+    return 0.0  # single core: assert correctness only
+
+
+def test_bench_fleet_parallel_speedup(benchmark, tmp_path):
+    fleet = make_fleet_scenario("spot-preemption", **SPEEDUP_FLEET)
+
+    start = time.perf_counter()
+    serial = FleetSimulator(
+        fleet, backend="serial", metrics_path=str(tmp_path / "serial.jsonl")
+    ).run()
+    serial_seconds = time.perf_counter() - start
+    assert serial.fairness_violations == 0
+
+    timing = {}
+
+    def run_parallel():
+        start = time.perf_counter()
+        result = FleetSimulator(
+            fleet,
+            backend="process",
+            max_workers=REGIONS,
+            metrics_path=str(tmp_path / "parallel.jsonl"),
+        ).run()
+        timing["seconds"] = time.perf_counter() - start
+        return result
+
+    parallel = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+    parallel_seconds = timing["seconds"]
+
+    # the parallel fan-out must be a pure execution detail
+    assert parallel.fingerprint() == serial.fingerprint()
+    assert parallel.completed_jobs == serial.completed_jobs > 0
+
+    speedup = serial_seconds / parallel_seconds
+    benchmark.extra_info["cores"] = CORES
+    benchmark.extra_info["regions"] = REGIONS
+    benchmark.extra_info["region_rounds"] = serial.total_rounds
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["speedup_vs_serial"] = round(speedup, 2)
+    floor = _speedup_floor()
+    if floor:
+        assert speedup >= floor, (
+            f"fleet speedup {speedup:.2f}x on {CORES} cores "
+            f"(expected >= {floor}x)"
+        )
+
+
+def test_bench_fleet_memory_independent_of_rounds(benchmark, tmp_path):
+    def peak_bytes(rounds: int) -> int:
+        # no events, jobs sized to keep every round busy: the two runs
+        # differ *only* in round count
+        fleet = make_fleet_scenario(
+            "hetero-generations", seed=5, regions=2, rounds=rounds,
+            jobs_per_tenant=24,
+        )
+        path = str(tmp_path / f"rounds{rounds}.jsonl")
+        tracemalloc.start()
+        try:
+            result = FleetSimulator(
+                fleet, backend="serial", metrics_path=path
+            ).run()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert result.total_rounds == rounds * 2  # both regions ran full
+        assert result.fairness_violations == 0
+        return peak
+
+    short_peak = peak_bytes(MEMORY_ROUNDS_SHORT)
+    long_peak = benchmark.pedantic(
+        peak_bytes, args=(MEMORY_ROUNDS_LONG,), rounds=1, iterations=1
+    )
+
+    ratio = long_peak / short_peak
+    benchmark.extra_info["rounds_factor"] = MEMORY_ROUNDS_LONG // MEMORY_ROUNDS_SHORT
+    benchmark.extra_info["short_peak_kb"] = round(short_peak / 1024, 1)
+    benchmark.extra_info["long_peak_kb"] = round(long_peak / 1024, 1)
+    benchmark.extra_info["peak_ratio"] = round(ratio, 2)
+    assert ratio < MEMORY_PEAK_FACTOR, (
+        f"peak memory grew {ratio:.2f}x for "
+        f"{MEMORY_ROUNDS_LONG // MEMORY_ROUNDS_SHORT}x the rounds — "
+        f"round records are accumulating instead of streaming"
+    )

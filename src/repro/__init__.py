@@ -126,7 +126,7 @@ from repro.service import (
 )
 from repro.solver.warm import WarmStartState
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AdmissionMiddleware",

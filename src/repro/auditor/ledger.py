@@ -2,8 +2,8 @@
 
 Every audited response becomes one ``repro/audit-v1`` line under
 ``<root>/<scenario>.jsonl`` — the durable record ``repro audit-report``
-summarizes.  The write discipline is the benchmark ledger's
-(:mod:`repro.benchledger.ledger`): each record is serialized to a
+summarizes.  The write discipline is the benchmark ledger's (the shared
+:mod:`repro.jsonlio` primitives): each record is serialized to a
 single line and written with one ``O_APPEND`` ``write(2)`` + fsync, so
 concurrent audit workers interleave whole lines, never halves, and a
 crash leaves either the full new line or nothing.  Lines are
@@ -21,11 +21,11 @@ directory explicitly (``repro serve --audit-ledger DIR``).
 
 from __future__ import annotations
 
-import json
 import os
 from typing import Dict, List, Mapping, Optional
 
-from repro.auditor.schema import AuditSchemaError, validate_audit_record
+from repro import jsonlio
+from repro.auditor.schema import validate_audit_record
 
 #: Environment variable naming the default audit-ledger directory.
 #: Set to the empty string to disable default-ledger discovery.
@@ -37,10 +37,7 @@ class AuditLedgerError(RuntimeError):
 
 
 def _stream_filename(scenario: str) -> str:
-    safe = "".join(
-        ch if ch.isalnum() or ch in "-_." else "_" for ch in scenario
-    )
-    return f"{safe}.jsonl"
+    return jsonlio.safe_filename(scenario)
 
 
 class AuditLedger:
@@ -68,40 +65,17 @@ class AuditLedger:
 
     def scenarios(self) -> List[str]:
         """Audit streams present, from the ``*.jsonl`` files on disk."""
-        if not os.path.isdir(self.root):
-            return []
-        return sorted(
-            name[: -len(".jsonl")]
-            for name in os.listdir(self.root)
-            if name.endswith(".jsonl")
-        )
+        return jsonlio.list_streams(self.root)
 
     # -- reading ---------------------------------------------------------
 
     def records(self, scenario: str) -> List[Dict[str, object]]:
         """All validated records of one stream, in append order."""
-        path = self.path_for(scenario)
-        if not os.path.exists(path):
-            return []
-        records: List[Dict[str, object]] = []
-        with open(path, "r", encoding="utf-8") as handle:
-            for lineno, line in enumerate(handle, start=1):
-                if not line.strip():
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise AuditLedgerError(
-                        f"{path}:{lineno}: not valid JSON ({exc})"
-                    ) from None
-                try:
-                    validate_audit_record(record)
-                except AuditSchemaError as exc:
-                    raise AuditLedgerError(
-                        f"{path}:{lineno}: {exc}"
-                    ) from None
-                records.append(record)
-        return records
+        return jsonlio.read_jsonl(
+            self.path_for(scenario),
+            validate=validate_audit_record,
+            error_cls=AuditLedgerError,
+        )
 
     def all_records(self) -> List[Dict[str, object]]:
         records: List[Dict[str, object]] = []
@@ -115,19 +89,7 @@ class AuditLedger:
         """Validate and atomically append one record; returns it."""
         validate_audit_record(record)
         entry = dict(record)
-        os.makedirs(self.root, exist_ok=True)
-        line = json.dumps(entry, sort_keys=True, default=float) + "\n"
-        data = line.encode("utf-8")
-        fd = os.open(
-            self.path_for(str(entry["scenario"])),
-            os.O_WRONLY | os.O_CREAT | os.O_APPEND,
-            0o644,
-        )
-        try:
-            os.write(fd, data)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+        jsonlio.append_jsonl(self.path_for(str(entry["scenario"])), entry)
         return entry
 
 

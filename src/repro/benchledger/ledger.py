@@ -12,9 +12,10 @@ schema-validated on *both* write and read
 caught with its file and line number, not downstream in a compare.
 
 Appends are atomic in the practical sense: each entry is serialized to
-a single line and written with one ``O_APPEND`` ``write(2)`` + fsync,
-so concurrent appenders interleave whole lines, never halves, and a
-crash leaves either the full new line or nothing.
+a single line and written with one ``O_APPEND`` ``write(2)`` + fsync
+(the shared primitives in :mod:`repro.jsonlio`), so concurrent
+appenders interleave whole lines, never halves, and a crash leaves
+either the full new line or nothing.
 
 Layout::
 
@@ -32,10 +33,10 @@ test suite uses to keep tier-1 runs from touching the committed ledger.
 
 from __future__ import annotations
 
-import json
 import os
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
+from repro import jsonlio
 from repro.benchledger.manifest import Manifest
 from repro.benchledger.run_id import (
     format_run_id,
@@ -44,7 +45,6 @@ from repro.benchledger.run_id import (
 )
 from repro.benchledger.schema import (
     LEDGER_SCHEMA,
-    BenchSchemaError,
     validate_entry,
     validate_record,
 )
@@ -66,10 +66,7 @@ class BaselineNotFound(LookupError):
 
 
 def _family_filename(family: str) -> str:
-    safe = "".join(
-        ch if ch.isalnum() or ch in "-_." else "_" for ch in family
-    )
-    return f"{safe}.jsonl"
+    return jsonlio.safe_filename(family)
 
 
 class BenchLedger:
@@ -103,38 +100,17 @@ class BenchLedger:
 
     def families(self) -> List[str]:
         """Bench families present, from the ``*.jsonl`` files on disk."""
-        if not os.path.isdir(self.root):
-            return []
-        return sorted(
-            name[: -len(".jsonl")]
-            for name in os.listdir(self.root)
-            if name.endswith(".jsonl")
-        )
+        return jsonlio.list_streams(self.root)
 
     # -- reading ---------------------------------------------------------
 
     def entries(self, family: str) -> List[Dict[str, object]]:
         """All validated entries of one family, in append order."""
-        path = self.path_for(family)
-        if not os.path.exists(path):
-            return []
-        entries: List[Dict[str, object]] = []
-        with open(path, "r", encoding="utf-8") as handle:
-            for lineno, line in enumerate(handle, start=1):
-                if not line.strip():
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise LedgerError(
-                        f"{path}:{lineno}: not valid JSON ({exc})"
-                    ) from None
-                try:
-                    validate_entry(entry)
-                except BenchSchemaError as exc:
-                    raise LedgerError(f"{path}:{lineno}: {exc}") from None
-                entries.append(entry)
-        return entries
+        return jsonlio.read_jsonl(
+            self.path_for(family),
+            validate=validate_entry,
+            error_cls=LedgerError,
+        )
 
     def all_entries(self) -> Iterator[Dict[str, object]]:
         for family in self.families():
@@ -214,19 +190,7 @@ class BenchLedger:
         }
         validate_entry(entry)
 
-        os.makedirs(self.root, exist_ok=True)
-        line = json.dumps(entry, sort_keys=True, default=float) + "\n"
-        data = line.encode("utf-8")
-        fd = os.open(
-            self.path_for(family),
-            os.O_WRONLY | os.O_CREAT | os.O_APPEND,
-            0o644,
-        )
-        try:
-            os.write(fd, data)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+        jsonlio.append_jsonl(self.path_for(family), entry)
         return entry
 
     # -- resolving -------------------------------------------------------

@@ -17,8 +17,20 @@ Commands
 ``list-middleware``  render the default gateway pipeline (stage order,
                      capability flags), mirroring ``list-schedulers``
 ``simulate``         replay a named dynamic scenario through the simulator
-                     (warm-started rounds by default; ``--cold`` disables)
-``list-scenarios``   render the scenario library (name, defaults, description)
+                     (warm-started rounds by default; ``--cold`` disables);
+                     ``trace:<name>`` scenarios replay ingested traces
+``list-scenarios``   render the scenario library (name, family, defaults,
+                     description) — cluster scenarios, fleet scenarios,
+                     and ingested ``trace:<name>`` replays in one table
+``fleet-sim``        run a multi-region fleet simulation: regions fan out
+                     across execution backends, per-round metrics stream
+                     to a ``repro/fleetmetrics-v1`` JSONL sink, and the
+                     global quota layer rebalances tenant weights every
+                     ``--window-rounds`` (exit 1 on any checked fairness
+                     violation; see ``docs/fleet.md``)
+``ingest-trace``     normalize an external trace file (CSV/JSONL) into
+                     the trace store, making it available as a
+                     ``trace:<name>`` scenario
 ``experiments``      run the paper experiments (all or a subset, ``--jobs N``)
 ``bench``            time a batch of solves serial vs parallel backends;
                      ``--json`` writes a ``BENCH_parallel.json`` record
@@ -193,14 +205,18 @@ def cmd_list_middleware(args: argparse.Namespace) -> int:
 
 
 def cmd_list_scenarios(args: argparse.Namespace) -> int:
+    """One table across all three scenario families: cluster, fleet, trace."""
+    from repro.fleet.library import fleet_scenario_rows
     from repro.scenarios import scenario_rows
+    from repro.traces import trace_rows
 
-    _print_table(scenario_rows())
+    _print_table(scenario_rows() + fleet_scenario_rows() + trace_rows())
     return 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Replay one named scenario under one or more schedulers."""
+    from repro.exceptions import UnknownTraceError
     from repro.scenarios import (
         ScenarioRunner,
         make_scenario,
@@ -208,9 +224,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         sweep_summary,
     )
 
-    scenario = make_scenario(
-        args.scenario, seed=args.seed, rounds=args.rounds
-    )
+    try:
+        scenario = make_scenario(
+            args.scenario, seed=args.seed, rounds=args.rounds
+        )
+    except UnknownTraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     warm = not args.cold
     rows = []
     warm_notes = []
@@ -243,6 +263,98 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print("warm-start disabled (--cold): every round solved from scratch")
     elif warm_notes:
         print("; ".join(warm_notes))
+    return 0
+
+
+def cmd_fleet_sim(args: argparse.Namespace) -> int:
+    """Run one fleet scenario: fan out regions, stream metrics, audit quotas."""
+    import os
+    import tempfile
+
+    from repro.exceptions import UnknownTraceError, ValidationError
+    from repro.fleet import FleetSimulator, resolve_fleet_scenario
+
+    try:
+        fleet = resolve_fleet_scenario(
+            args.scenario,
+            seed=args.seed,
+            regions=args.regions,
+            rounds=args.rounds,
+        )
+    except UnknownTraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    metrics_path = args.metrics
+    if metrics_path is None:
+        handle, metrics_path = tempfile.mkstemp(
+            prefix=f"fleet-{fleet.seed}-", suffix=".jsonl"
+        )
+        os.close(handle)
+    # one run = one stream: drop any previous content at this path so
+    # window aggregates never mix runs (the sink itself only appends)
+    if os.path.exists(metrics_path):
+        os.remove(metrics_path)
+
+    result = FleetSimulator(
+        fleet,
+        scheduler=args.scheduler,
+        backend=args.backend or "auto",
+        max_workers=args.jobs,
+        rebalance=not args.no_rebalance,
+        window_rounds=args.window_rounds,
+        check_properties=not args.no_check,
+        metrics_path=metrics_path,
+    ).run()
+
+    print(
+        f"fleet {result.fleet!r}: {result.num_regions} regions x "
+        f"{fleet.num_rounds} rounds, scheduler {result.scheduler}, "
+        f"backend {result.backend}, {result.wall_seconds:.2f}s"
+    )
+    _print_table([region.as_row() for region in result.regions])
+    windows = result.window_summary(args.window_rounds)
+    if windows:
+        print(f"streamed metrics: {metrics_path}")
+        _print_table(windows)
+    print(
+        f"rebalance windows: {len(result.quota.windows)} "
+        f"({result.quota.checked_windows} PE/SI-checked), "
+        f"fairness violations: {result.fairness_violations}"
+    )
+    print(f"fleet fingerprint: {result.fingerprint()}")
+    return 1 if result.fairness_violations else 0
+
+
+def cmd_ingest_trace(args: argparse.Namespace) -> int:
+    """Normalize one external trace file into the trace store."""
+    import os
+
+    from repro.exceptions import TraceFormatError
+    from repro.traces import TraceStore, ingest_file
+
+    try:
+        records = ingest_file(args.file, fmt=args.format)
+        store = (
+            TraceStore(args.store) if args.store else TraceStore.default()
+        )
+        if store is None:
+            print(
+                "error: no trace store configured; pass --store or set "
+                "$REPRO_TRACE_DIR",
+                file=sys.stderr,
+            )
+            return 2
+        name = args.name or os.path.splitext(os.path.basename(args.file))[0]
+        path = store.save(name, records)
+    except TraceFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"ingested {len(records)} jobs from {args.file} -> {path}")
+    print(f"replay with: repro simulate --scenario trace:{name}")
     return 0
 
 
@@ -900,16 +1012,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     list_middleware.set_defaults(func=cmd_list_middleware)
 
-    from repro.scenarios import scenario_names
-
     simulate = sub.add_parser(
         "simulate", help="replay a named dynamic-workload scenario"
     )
     simulate.add_argument(
         "--scenario",
         required=True,
-        choices=scenario_names(),
-        help="named scenario from the library (see `repro list-scenarios`)",
+        help="named scenario from the library, or trace:<name> for an "
+        "ingested trace (see `repro list-scenarios`); unknown names "
+        "fail with a did-you-mean error",
     )
     simulate.add_argument(
         "--rounds", type=int, default=None,
@@ -945,6 +1056,69 @@ def build_parser() -> argparse.ArgumentParser:
         "list-scenarios", help="show the scenario library"
     )
     list_scenarios.set_defaults(func=cmd_list_scenarios)
+
+    fleet_sim = sub.add_parser(
+        "fleet-sim", help="run a multi-region fleet simulation"
+    )
+    fleet_sim.add_argument(
+        "--scenario",
+        required=True,
+        help="fleet scenario name (spot-preemption, hetero-generations, "
+        "multiregion-failover, tenant-swarm), any cluster scenario, or "
+        "trace:<name> — non-fleet scenarios are sharded across regions",
+    )
+    fleet_sim.add_argument(
+        "--regions", type=int, default=None,
+        help="number of regions (default: the scenario's own, usually 4)",
+    )
+    fleet_sim.add_argument(
+        "--rounds", type=int, default=None,
+        help="scheduling rounds per region (default: the scenario's own)",
+    )
+    fleet_sim.add_argument("--seed", type=int, default=0)
+    fleet_sim.add_argument(
+        "--scheduler", default="oef-coop",
+        help="regional scheduler (registry name or alias)",
+    )
+    fleet_sim.add_argument(
+        "--window-rounds", type=int, default=6,
+        help="rounds per global rebalance window",
+    )
+    fleet_sim.add_argument(
+        "--no-rebalance", action="store_true",
+        help="disable the global quota layer (regions stay independent)",
+    )
+    fleet_sim.add_argument(
+        "--no-check", action="store_true",
+        help="skip the per-window PE/sharing-incentive property checks",
+    )
+    fleet_sim.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="stream per-round fleet metrics to this JSONL file "
+        "(default: a fresh temp file; the path is printed either way)",
+    )
+    add_parallel_flags(fleet_sim)
+    fleet_sim.set_defaults(func=cmd_fleet_sim)
+
+    ingest_trace = sub.add_parser(
+        "ingest-trace", help="normalize an external trace into the store"
+    )
+    ingest_trace.add_argument(
+        "file", help="trace file: CSV or JSONL with per-job rows"
+    )
+    ingest_trace.add_argument(
+        "--name", default=None,
+        help="trace name for trace:<name> replay (default: the file stem)",
+    )
+    ingest_trace.add_argument(
+        "--format", choices=["csv", "jsonl"], default=None,
+        help="input format (default: sniffed from the file extension)",
+    )
+    ingest_trace.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="trace store directory (default: $REPRO_TRACE_DIR, else traces/)",
+    )
+    ingest_trace.set_defaults(func=cmd_ingest_trace)
 
     experiments = sub.add_parser("experiments", help="run paper experiments")
     experiments.add_argument("ids", nargs="*", help="experiment ids (default: all)")

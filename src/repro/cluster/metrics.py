@@ -11,7 +11,7 @@ straggler counts, and solver overhead.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -55,15 +55,39 @@ class CompletionRecord:
 
 
 class MetricsCollector:
-    """Accumulates per-round metrics and completion records."""
+    """Accumulates per-round metrics and completion records.
 
-    def __init__(self) -> None:
+    ``on_round`` is an optional observer called with each
+    :class:`RoundMetrics` *before* it is stored — the streaming hook the
+    scenario runner and the fleet metrics sink use to distil rounds as
+    they happen.  ``keep_rounds=False`` drops each round after the
+    observer has seen it, so a long replay's memory stays bounded by
+    the observer's own state instead of O(rounds × tenants); the
+    round-based aggregate views (``mean_total_actual``,
+    ``tenant_series``, ...) then see an empty history and return their
+    empty-input defaults.  Completions are always kept — they are
+    O(jobs), not O(rounds), and JCT/makespan summaries need them.
+    """
+
+    def __init__(
+        self,
+        on_round: Optional[Callable[[RoundMetrics], None]] = None,
+        keep_rounds: bool = True,
+    ) -> None:
+        self.on_round = on_round
+        self.keep_rounds = bool(keep_rounds)
         self.rounds: List[RoundMetrics] = []
         self.completions: List[CompletionRecord] = []
+        #: Rounds recorded, whether or not they were kept.
+        self.rounds_recorded = 0
 
     # -- recording ---------------------------------------------------------
     def record_round(self, metrics: RoundMetrics) -> None:
-        self.rounds.append(metrics)
+        self.rounds_recorded += 1
+        if self.on_round is not None:
+            self.on_round(metrics)
+        if self.keep_rounds:
+            self.rounds.append(metrics)
 
     def record_completion(self, record: CompletionRecord) -> None:
         self.completions.append(record)

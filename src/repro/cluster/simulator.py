@@ -226,6 +226,7 @@ class ClusterSimulator:
         placer: Optional[Placer] = None,
         config: Optional[SimulationConfig] = None,
         events: Optional[Sequence[Any]] = None,
+        metrics: Optional[MetricsCollector] = None,
     ):
         if isinstance(scheduler, str):
             scheduler = make_fair_share_scheduler(scheduler)
@@ -237,7 +238,9 @@ class ClusterSimulator:
         self.scheduler = scheduler
         self.placer = placer or Placer(topology)
         self.config = config or SimulationConfig()
-        self.metrics = MetricsCollector()
+        # callers may supply a pre-wired collector (streaming observer,
+        # keep_rounds=False) — see MetricsCollector's docstring
+        self.metrics = metrics if metrics is not None else MetricsCollector()
         self._rounder = (
             DeviationRounder() if self.config.use_deviation_rounding else NaiveRounder()
         )
@@ -327,6 +330,25 @@ class ClusterSimulator:
         """
         if self._decision_cache.invalidate():
             self.warm_stats.invalidations += 1
+
+    def set_tenant_weight(self, name: str, weight: float) -> None:
+        """Re-weight a tenant mid-simulation (fleet quota rebalance).
+
+        The scheduler's decision key covers tenant weights, so a weight
+        change already forces a cold solve; the explicit memo flush just
+        drops the now-unreachable entries eagerly, like the other
+        mutation hooks.  Weights must stay positive (the
+        :class:`~repro.cluster.tenant.Tenant` invariant).
+        """
+        if weight <= 0:
+            raise ValidationError("tenant weight must be positive")
+        try:
+            tenant = self.tenants[name]
+        except KeyError:
+            raise ValidationError(f"unknown tenant {name!r}") from None
+        if tenant.weight != float(weight):
+            tenant.weight = float(weight)
+            self.invalidate_warm_cache()
 
     def add_job(self, tenant_name: str, job: Job) -> None:
         """Submit one more job to an existing tenant (demand spike)."""

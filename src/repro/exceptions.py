@@ -67,6 +67,14 @@ class UnknownSchedulerError(ValidationError, KeyError):
         return self.args[0] if self.args else ""
 
 
+class TraceFormatError(ValidationError):
+    """An external trace file could not be parsed or normalized."""
+
+
+class UnknownTraceError(ValidationError):
+    """A ``trace:<name>`` scenario names no ingested trace."""
+
+
 class SimulationError(ReproError):
     """The cluster simulation was configured or driven incorrectly."""
 

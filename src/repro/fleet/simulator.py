@@ -1,0 +1,346 @@
+"""The fleet simulator: N regional replays under one global fair share.
+
+:class:`FleetSimulator` shards a :class:`~repro.fleet.scenario.FleetScenario`
+into per-region :class:`~repro.scenarios.runner.ScenarioRunner` tasks and
+fans them out on the existing execution backends
+(:mod:`repro.parallel`) — the regional unit is the unchanged
+single-cluster simulator, and regions are embarrassingly parallel
+because the quota rebalancer (:mod:`repro.fleet.rebalance`) is a pure
+pre-pass: the parent computes the whole weight timeline once and ships
+it to workers as plain event data.
+
+Memory contract: regions run in sink mode (``record_rounds=False``)
+streaming every distilled round into the shared
+``repro/fleetmetrics-v1`` JSONL file, so the parent holds one
+:class:`RegionSummary` per region — peak RSS is O(regions), never
+O(rounds × tenants).
+
+Determinism contract: the fleet fingerprint folds each region's
+streaming result fingerprint in *sorted region order*, so serial,
+thread and process runs of the same recipe are bit-identical — the
+fleet analogue of the sweep-level guarantee the scenario tests pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.fleet.library import resolve_fleet_scenario
+from repro.fleet.metrics import FleetMetricsWriter, aggregate_stream
+from repro.fleet.rebalance import (
+    DEFAULT_PROPERTY_CHECK_MAX_TENANTS,
+    QuotaSchedule,
+    compute_quota_schedule,
+)
+from repro.fleet.scenario import FleetScenario, region_scenario
+from repro.parallel import (
+    BackendSpec,
+    ProcessBackend,
+    ThreadBackend,
+    get_backend,
+    probe_picklable,
+)
+from repro.scenarios.runner import ScenarioRunner
+
+
+@dataclass(frozen=True)
+class _RegionTask:
+    """One picklable unit of fleet work: a region recipe plus sink config."""
+
+    region: str
+    scenario: object  # the region's Scenario adapter
+    scheduler: str
+    warm: bool
+    config_overrides: Tuple[Tuple[str, object], ...]
+    metrics_path: Optional[str]
+    fleet: str
+    seed: int
+    flush_every: int
+
+
+@dataclass(frozen=True)
+class RegionSummary:
+    """What survives of a region replay after its rounds were streamed out."""
+
+    region: str
+    fingerprint: str
+    rounds: int
+    events: int
+    completed_jobs: int
+    mean_utilization: float
+    mean_jain: float
+    mean_envy: float
+    mean_throughput: float
+    starved_jobs: int
+    wall_seconds: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "region": self.region,
+            "rounds": self.rounds,
+            "events": self.events,
+            "jobs done": self.completed_jobs,
+            "utilization": round(self.mean_utilization, 4),
+            "jain": round(self.mean_jain, 4),
+            "starved": self.starved_jobs,
+            "wall (s)": round(self.wall_seconds, 3),
+        }
+
+
+def _decode_overrides(
+    overrides: Tuple[Tuple[str, object], ...]
+) -> Dict[str, object]:
+    """Region config overrides travel as nested tuples (frozen recipes);
+    ``misreports`` must arrive at the simulator as name -> factor array."""
+    decoded: Dict[str, object] = dict(overrides)
+    misreports = decoded.get("misreports")
+    if isinstance(misreports, (tuple, list)):
+        decoded["misreports"] = {
+            str(name): np.asarray(factors, dtype=float)
+            for name, factors in misreports
+        }
+    return decoded
+
+
+def _run_region(task: _RegionTask) -> RegionSummary:
+    """Module-level worker entry: replay one region, stream its rounds."""
+    sink = None
+    if task.metrics_path:
+        sink = FleetMetricsWriter(
+            task.metrics_path,
+            fleet=task.fleet,
+            region=task.region,
+            seed=task.seed,
+            scheduler=task.scheduler,
+            flush_every=task.flush_every,
+        )
+    runner = ScenarioRunner(
+        task.scenario,  # type: ignore[arg-type]
+        scheduler=task.scheduler,
+        config_overrides=_decode_overrides(task.config_overrides),
+        warm=task.warm,
+        record_rounds=False,
+        round_sink=sink,
+    )
+    started = time.perf_counter()
+    result = runner.run()
+    wall = time.perf_counter() - started
+    aggregates = result.aggregates
+    return RegionSummary(
+        region=task.region,
+        fingerprint=result.fingerprint(),
+        rounds=result.num_rounds,
+        events=result.num_events,
+        completed_jobs=result.completed_jobs,
+        mean_utilization=result.mean_utilization,
+        mean_jain=result.mean_jain,
+        mean_envy=result.mean_envy,
+        mean_throughput=aggregates.mean_throughput if aggregates else 0.0,
+        starved_jobs=aggregates.starved_jobs if aggregates else 0,
+        wall_seconds=wall,
+    )
+
+
+@dataclass
+class FleetResult:
+    """One fleet replay: region summaries plus the global quota audit."""
+
+    fleet: str
+    scheduler: str
+    seed: int
+    num_regions: int
+    regions: List[RegionSummary]
+    quota: QuotaSchedule
+    metrics_path: Optional[str]
+    backend: str
+    wall_seconds: float
+
+    @property
+    def fairness_violations(self) -> int:
+        """Rebalance windows whose *checked* global allocation failed PE/SI."""
+        return self.quota.violations
+
+    @property
+    def completed_jobs(self) -> int:
+        return sum(region.completed_jobs for region in self.regions)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(region.rounds for region in self.regions)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over region fingerprints in sorted region order.
+
+        Same contract as scenario fingerprints: identical across
+        serial/thread/process backends and across record modes; compare
+        two runs, never pin the literal value.
+        """
+        digest = hashlib.sha256()
+        digest.update(
+            repr(
+                (self.fleet, self.scheduler, self.seed, self.num_regions)
+            ).encode()
+        )
+        for region in sorted(self.regions, key=lambda r: r.region):
+            digest.update(repr((region.region, region.fingerprint)).encode())
+        return digest.hexdigest()
+
+    def window_summary(self, window_rounds: int = 6) -> List[Dict[str, object]]:
+        """Per-window aggregates from the streamed metrics (empty if unsunk)."""
+        if not self.metrics_path:
+            return []
+        return aggregate_stream(self.metrics_path, window_rounds)
+
+
+class FleetSimulator:
+    """Run one fleet recipe end to end: rebalance, fan out, summarise."""
+
+    def __init__(
+        self,
+        fleet: FleetScenario,
+        scheduler: str = "oef-coop",
+        *,
+        backend: BackendSpec = "auto",
+        max_workers: Optional[int] = None,
+        warm: bool = True,
+        rebalance: bool = True,
+        rebalance_scheduler: Optional[str] = None,
+        window_rounds: int = 6,
+        check_properties: bool = True,
+        property_check_max_tenants: int = DEFAULT_PROPERTY_CHECK_MAX_TENANTS,
+        metrics_path: Optional[str] = None,
+        flush_every: int = 64,
+    ):
+        if not isinstance(fleet, FleetScenario):
+            raise ValidationError(
+                "FleetSimulator needs a FleetScenario; wrap single-cluster "
+                "scenarios with repro.fleet.library.sharded_fleet"
+            )
+        self.fleet = fleet
+        self.scheduler = scheduler
+        self.backend = backend
+        self.max_workers = max_workers
+        self.warm = bool(warm)
+        self.rebalance = bool(rebalance)
+        self.rebalance_scheduler = rebalance_scheduler or scheduler
+        self.window_rounds = int(window_rounds)
+        self.check_properties = bool(check_properties)
+        self.property_check_max_tenants = int(property_check_max_tenants)
+        self.metrics_path = metrics_path
+        self.flush_every = int(flush_every)
+
+    def _quota(self) -> QuotaSchedule:
+        if not self.rebalance:
+            return QuotaSchedule(
+                scheduler=self.rebalance_scheduler,
+                window_rounds=self.window_rounds,
+            )
+        return compute_quota_schedule(
+            self.fleet,
+            scheduler=self.rebalance_scheduler,
+            window_rounds=self.window_rounds,
+            check_properties=self.check_properties,
+            property_check_max_tenants=self.property_check_max_tenants,
+        )
+
+    def _tasks(self, quota: QuotaSchedule) -> List[_RegionTask]:
+        script = self.fleet.materialize()
+        tasks: List[_RegionTask] = []
+        for index, region in enumerate(script.regions):
+            tasks.append(
+                _RegionTask(
+                    region=region.name,
+                    scenario=region_scenario(
+                        self.fleet, index, region.name, quota.for_region(region.name)
+                    ),
+                    scheduler=self.scheduler,
+                    warm=self.warm,
+                    config_overrides=region.config_overrides,
+                    metrics_path=self.metrics_path,
+                    fleet=self.fleet.name,
+                    seed=self.fleet.seed,
+                    flush_every=self.flush_every,
+                )
+            )
+        return tasks
+
+    def run(self) -> FleetResult:
+        started = time.perf_counter()
+        quota = self._quota()
+        tasks = self._tasks(quota)
+        resolved = get_backend(
+            self.backend, self.max_workers, task_count=len(tasks)
+        )
+        if isinstance(resolved, ProcessBackend) and not probe_picklable(tasks):
+            warnings.warn(
+                "fleet region tasks are not picklable; falling back to the "
+                "thread backend (use module-level builders for processes)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            resolved = ThreadBackend(resolved.max_workers)
+        summaries = resolved.map(_run_region, tasks)
+        return FleetResult(
+            fleet=self.fleet.name,
+            scheduler=self.scheduler,
+            seed=self.fleet.seed,
+            num_regions=self.fleet.num_regions,
+            regions=list(summaries),
+            quota=quota,
+            metrics_path=self.metrics_path,
+            backend=resolved.name,
+            wall_seconds=time.perf_counter() - started,
+        )
+
+
+def run_fleet(
+    name: str,
+    *,
+    scheduler: str = "oef-coop",
+    seed: int = 0,
+    regions: Optional[int] = None,
+    rounds: Optional[int] = None,
+    round_duration: float = 300.0,
+    backend: BackendSpec = "auto",
+    max_workers: Optional[int] = None,
+    metrics_path: Optional[str] = None,
+    window_rounds: int = 6,
+    rebalance: bool = True,
+    check_properties: bool = True,
+    **params: object,
+) -> FleetResult:
+    """One-shot convenience: resolve the recipe (fleet, cluster, or
+    ``trace:<name>``), run it, return the :class:`FleetResult`."""
+    fleet = resolve_fleet_scenario(
+        name,
+        seed=seed,
+        regions=regions,
+        rounds=rounds,
+        round_duration=round_duration,
+        **params,
+    )
+    return FleetSimulator(
+        fleet,
+        scheduler=scheduler,
+        backend=backend,
+        max_workers=max_workers,
+        metrics_path=metrics_path,
+        window_rounds=window_rounds,
+        rebalance=rebalance,
+        check_properties=check_properties,
+    ).run()
+
+
+__all__ = [
+    "FleetResult",
+    "FleetSimulator",
+    "RegionSummary",
+    "run_fleet",
+]

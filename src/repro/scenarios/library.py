@@ -54,11 +54,16 @@ class ScenarioInfo:
     description: str
     default_rounds: int
     default_params: Tuple[Tuple[str, object], ...]
+    #: Scenario family shown by ``repro list-scenarios``: single-cluster
+    #: scenarios are ``"cluster"``; the fleet registry contributes
+    #: ``"fleet"`` rows and the trace store ``"trace"`` rows.
+    family: str = "cluster"
 
     def as_row(self) -> Dict[str, object]:
         """One printable table row for ``repro list-scenarios``."""
         return {
             "name": self.name,
+            "family": self.family,
             "rounds": self.default_rounds,
             "params": ", ".join(f"{k}={v}" for k, v in self.default_params) or "-",
             "description": self.description,
@@ -115,7 +120,22 @@ def make_scenario(
     ``params`` override the scenario's registered shape knobs; unknown
     knobs are rejected so typos fail loudly rather than silently running
     the default shape.
+
+    ``trace:<name>`` names resolve through the trace store
+    (:mod:`repro.traces`) instead of the registry: they replay an
+    ingested trace, and unknown trace names raise
+    :class:`~repro.exceptions.UnknownTraceError`.
     """
+    if name.startswith("trace:"):
+        from repro.traces.replay import TRACE_PREFIX, trace_scenario
+
+        return trace_scenario(
+            name[len(TRACE_PREFIX):],
+            seed=int(seed),
+            rounds=rounds,
+            round_duration=round_duration,
+            **params,  # type: ignore[arg-type]
+        )
     try:
         info = _SCENARIOS[name]
     except KeyError:

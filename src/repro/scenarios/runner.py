@@ -39,11 +39,11 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.cluster.metrics import MetricsCollector
+from repro.cluster.metrics import MetricsCollector, RoundMetrics
 from repro.cluster.placement import Placer, PlacementPolicy
 from repro.cluster.schedulers import make_fair_share_scheduler
 from repro.cluster.simulator import ClusterSimulator
@@ -76,6 +76,116 @@ class ScenarioRoundRecord:
 
 
 @dataclass
+class ScenarioAggregates:
+    """Running aggregate stats, maintained one round at a time.
+
+    This is the O(1)-memory companion of the per-round record list: the
+    runner feeds it every distilled record as it happens, so summary
+    rows stay available even when ``record_rounds=False`` drops the
+    records themselves.  Means are over *active* rounds (rounds with at
+    least one scheduled tenant), matching the historical record-based
+    aggregation.
+    """
+
+    rounds: int = 0
+    active_rounds: int = 0
+    utilization_sum: float = 0.0
+    jain_sum: float = 0.0
+    envy_sum: float = 0.0
+    throughput_sum: float = 0.0
+    starved_jobs: int = 0
+
+    def observe(self, record: "ScenarioRoundRecord") -> None:
+        self.rounds += 1
+        self.starved_jobs += record.starved_jobs
+        if record.active_tenants:
+            self.active_rounds += 1
+            self.utilization_sum += record.utilization
+            self.jain_sum += record.jain
+            self.envy_sum += record.envy
+            self.throughput_sum += record.total_throughput
+
+    @property
+    def mean_utilization(self) -> float:
+        return (
+            self.utilization_sum / self.active_rounds
+            if self.active_rounds
+            else 0.0
+        )
+
+    @property
+    def mean_jain(self) -> float:
+        return (
+            self.jain_sum / self.active_rounds if self.active_rounds else 1.0
+        )
+
+    @property
+    def mean_envy(self) -> float:
+        return (
+            self.envy_sum / self.active_rounds if self.active_rounds else 0.0
+        )
+
+    @property
+    def mean_throughput(self) -> float:
+        return (
+            self.throughput_sum / self.active_rounds
+            if self.active_rounds
+            else 0.0
+        )
+
+
+class _FingerprintStream:
+    """Incremental SHA-256 over one replay's scheduling outcomes.
+
+    Byte order is per-round interleaved — (distilled record, scheduler
+    estimates, delivered actuals) as each round lands — then every
+    completion, then the run header.  The header goes *last* because
+    its round/event counts are only known once the run ends; the order
+    is fixed and deterministic, which is all the fingerprint contract
+    needs (fingerprints are compared between runs, never parsed).
+    """
+
+    def __init__(self) -> None:
+        self._digest = hashlib.sha256()
+
+    def observe_round(
+        self, record: "ScenarioRoundRecord", round_metrics: RoundMetrics
+    ) -> None:
+        self._digest.update(
+            repr(
+                (
+                    record.round_index,
+                    record.time,
+                    record.active_tenants,
+                    record.total_throughput,
+                    record.utilization,
+                    record.jain,
+                    record.envy,
+                    record.starved_jobs,
+                )
+            ).encode()
+        )
+        self._digest.update(repr(sorted(round_metrics.estimated.items())).encode())
+        self._digest.update(repr(sorted(round_metrics.actual.items())).encode())
+
+    def finalize(self, completions, header: tuple) -> str:
+        for completion in completions:
+            self._digest.update(
+                repr(
+                    (
+                        completion.job_id,
+                        completion.tenant,
+                        completion.model_name,
+                        completion.submit_time,
+                        completion.finish_time,
+                    )
+                ).encode()
+            )
+        self._digest.update(repr(header).encode())
+        return self._digest.hexdigest()
+
+
+@dataclass
 class ScenarioResult:
     """Everything one scenario run produced, aggregates included."""
 
@@ -91,6 +201,14 @@ class ScenarioResult:
     #: :meth:`fingerprint` so warm and cold replays stay comparable.
     warm_hits: int = 0
     cold_solves: int = 0
+    #: Running aggregates maintained during the replay; the summary
+    #: properties read these, so they survive ``record_rounds=False``.
+    aggregates: Optional[ScenarioAggregates] = None
+    #: Fingerprint precomputed incrementally during the run (sink mode
+    #: has nothing to recompute it from).  ``None`` on hand-built
+    #: results; :meth:`fingerprint` then derives it from the stored
+    #: records and metrics.
+    digest: Optional[str] = None
 
     # -- aggregates -----------------------------------------------------------
     @property
@@ -107,77 +225,64 @@ class ScenarioResult:
 
     @property
     def mean_utilization(self) -> float:
+        if self.aggregates is not None:
+            return self.aggregates.mean_utilization
         values = [r.utilization for r in self.records if r.active_tenants]
         return float(np.mean(values)) if values else 0.0
 
     @property
     def mean_jain(self) -> float:
+        if self.aggregates is not None:
+            return self.aggregates.mean_jain
         values = [r.jain for r in self.records if r.active_tenants]
         return float(np.mean(values)) if values else 1.0
 
     @property
     def mean_envy(self) -> float:
+        if self.aggregates is not None:
+            return self.aggregates.mean_envy
         values = [r.envy for r in self.records if r.active_tenants]
         return float(np.mean(values)) if values else 0.0
 
     @property
     def total_starvation(self) -> int:
+        if self.aggregates is not None:
+            return self.aggregates.starved_jobs
         return sum(r.starved_jobs for r in self.records)
 
     def fingerprint(self) -> str:
         """SHA-256 over every scheduling outcome: the differential probe.
 
         Covers each round's distilled record, the scheduler's own
-        per-round throughput estimates, and every completion — at full
-        float precision (``repr``), so two runs share a fingerprint only
-        when their decisions were *bit-identical*.  Wall-clock artefacts
-        (``solver_seconds``) and warm-start telemetry are excluded; warm
-        vs cold replays and serial/thread/process sweeps of the same
-        (scenario, seed, scheduler) must all agree.
+        per-round throughput estimates, the delivered actuals, and every
+        completion — at full float precision (``repr``), so two runs
+        share a fingerprint only when their decisions were
+        *bit-identical*.  Wall-clock artefacts (``solver_seconds``) and
+        warm-start telemetry are excluded.
+
+        The contract: for a fixed (scenario, seed, scheduler), the
+        fingerprint is identical across warm/cold replays,
+        serial/thread/process sweeps, **and** record-keeping modes — a
+        ``record_rounds=False`` streaming run hashes each round as it
+        happens and must agree with a record-keeping replay of the same
+        recipe.  Fingerprints are only ever *compared* between runs,
+        never parsed or pinned as constants.
         """
-        digest = hashlib.sha256()
-        digest.update(
-            repr(
-                (
-                    self.scenario_name,
-                    self.scheduler,
-                    self.seed,
-                    self.num_rounds,
-                    self.num_events,
-                )
-            ).encode()
+        if self.digest is not None:
+            return self.digest
+        stream = _FingerprintStream()
+        for record, round_metrics in zip(self.records, self.metrics.rounds):
+            stream.observe_round(record, round_metrics)
+        return stream.finalize(
+            self.metrics.completions,
+            (
+                self.scenario_name,
+                self.scheduler,
+                self.seed,
+                self.num_rounds,
+                self.num_events,
+            ),
         )
-        for record in self.records:
-            digest.update(
-                repr(
-                    (
-                        record.round_index,
-                        record.time,
-                        record.active_tenants,
-                        record.total_throughput,
-                        record.utilization,
-                        record.jain,
-                        record.envy,
-                        record.starved_jobs,
-                    )
-                ).encode()
-            )
-        for round_metrics in self.metrics.rounds:
-            digest.update(repr(sorted(round_metrics.estimated.items())).encode())
-            digest.update(repr(sorted(round_metrics.actual.items())).encode())
-        for completion in self.metrics.completions:
-            digest.update(
-                repr(
-                    (
-                        completion.job_id,
-                        completion.tenant,
-                        completion.model_name,
-                        completion.submit_time,
-                        completion.finish_time,
-                    )
-                ).encode()
-            )
-        return digest.hexdigest()
 
     def summary_row(self) -> Dict[str, object]:
         """One comparison-table row; also the determinism probe for sweeps."""
@@ -200,7 +305,9 @@ class ScenarioResult:
 
         Lazily imported so ``repro.scenarios`` never drags the whole
         experiments package (which itself imports scenarios for the
-        comparison experiment) into its import graph.
+        comparison experiment) into its import graph.  Sink-mode runs
+        (``record_rounds=False``) keep the summary row but their series
+        are empty — the per-round data went to the sink.
         """
         from repro.experiments.common import ExperimentResult
 
@@ -226,6 +333,32 @@ def _weighted_envy(throughputs: Sequence[float], weights: Sequence[float]) -> fl
     return (top - min(weighted)) / top
 
 
+def distill_round(
+    round_metrics: RoundMetrics,
+    weights: Dict[str, float],
+    total_devices: int,
+) -> ScenarioRoundRecord:
+    """One raw :class:`RoundMetrics` → one distilled scenario record."""
+    active = sorted(round_metrics.estimated)
+    throughputs = [
+        float(round_metrics.actual.get(name, 0.0)) for name in active
+    ]
+    return ScenarioRoundRecord(
+        round_index=round_metrics.round_index,
+        time=round_metrics.time,
+        active_tenants=len(active),
+        total_throughput=float(sum(throughputs)),
+        utilization=(
+            round_metrics.devices_used / total_devices if total_devices else 0.0
+        ),
+        jain=jain_index(throughputs) if active else 1.0,
+        envy=_weighted_envy(
+            throughputs, [weights.get(name, 1.0) for name in active]
+        ),
+        starved_jobs=round_metrics.starved_jobs,
+    )
+
+
 class ScenarioRunner:
     """Replays one scenario recipe under one scheduler.
 
@@ -246,6 +379,8 @@ class ScenarioRunner:
         scheduler_options: Optional[Dict[str, object]] = None,
         config_overrides: Optional[Dict[str, object]] = None,
         warm: bool = True,
+        record_rounds: bool = True,
+        round_sink: Optional[Callable[[ScenarioRoundRecord], None]] = None,
     ):
         if isinstance(scenario, str):
             scenario = make_scenario(scenario)
@@ -254,6 +389,17 @@ class ScenarioRunner:
         self.scheduler_options = dict(scheduler_options or {})
         self.config_overrides = dict(config_overrides or {})
         self.warm = bool(warm)
+        #: ``False`` = sink mode: per-round records are distilled,
+        #: streamed to ``round_sink`` (if any) and then dropped, so a
+        #: long replay's memory is O(1) in rounds while summary rows and
+        #: the fingerprint stay available (see
+        #: :meth:`ScenarioResult.fingerprint` for the contract).
+        self.record_rounds = bool(record_rounds)
+        #: Optional callable fed every distilled
+        #: :class:`ScenarioRoundRecord` as it happens (any record mode);
+        #: if it has a ``close()`` method the runner calls it after the
+        #: replay, so buffering sinks can flush.
+        self.round_sink = round_sink
 
     # -- construction ---------------------------------------------------------
     def _is_oef(self) -> bool:
@@ -263,7 +409,11 @@ class ScenarioRunner:
             name = REGISTRY.resolve(name)
         return name.startswith("oef") or name in ("cooperative", "noncooperative")
 
-    def build_simulator(self, script: Optional[ScenarioScript] = None) -> ClusterSimulator:
+    def build_simulator(
+        self,
+        script: Optional[ScenarioScript] = None,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> ClusterSimulator:
         """A fresh, event-loaded simulator for one replay of the recipe."""
         script = script if script is not None else self.scenario.materialize()
         oef = self._is_oef()
@@ -286,54 +436,62 @@ class ScenarioRunner:
             placer=placer,
             config=self.scenario.simulation_config(overrides),
             events=script.events,
+            metrics=metrics,
         )
 
     # -- execution ------------------------------------------------------------
-    def run(self) -> ScenarioResult:
-        script = self.scenario.materialize()
+    def run(self, script: Optional[ScenarioScript] = None) -> ScenarioResult:
+        script = script if script is not None else self.scenario.materialize()
         weights = {t.name: t.weight for t in script.initial_tenants}
         for event in script.events:
             tenant = getattr(event, "tenant", None)
             if tenant is not None:
                 weights[tenant.name] = tenant.weight
         total_devices = script.topology.num_devices
-        simulator = self.build_simulator(script)
-        metrics = simulator.run()
 
         records: List[ScenarioRoundRecord] = []
-        for round_metrics in metrics.rounds:
-            active = sorted(round_metrics.estimated)
-            throughputs = [
-                float(round_metrics.actual.get(name, 0.0)) for name in active
-            ]
-            records.append(
-                ScenarioRoundRecord(
-                    round_index=round_metrics.round_index,
-                    time=round_metrics.time,
-                    active_tenants=len(active),
-                    total_throughput=float(sum(throughputs)),
-                    utilization=(
-                        round_metrics.devices_used / total_devices
-                        if total_devices
-                        else 0.0
-                    ),
-                    jain=jain_index(throughputs) if active else 1.0,
-                    envy=_weighted_envy(
-                        throughputs, [weights.get(name, 1.0) for name in active]
-                    ),
-                    starved_jobs=round_metrics.starved_jobs,
-                )
-            )
+        aggregates = ScenarioAggregates()
+        stream = _FingerprintStream()
+
+        def observe(round_metrics: RoundMetrics) -> None:
+            record = distill_round(round_metrics, weights, total_devices)
+            stream.observe_round(record, round_metrics)
+            aggregates.observe(record)
+            if self.record_rounds:
+                records.append(record)
+            if self.round_sink is not None:
+                self.round_sink(record)
+
+        metrics = MetricsCollector(
+            on_round=observe, keep_rounds=self.record_rounds
+        )
+        simulator = self.build_simulator(script, metrics=metrics)
+        simulator.run()
+        # the run is over: drop the (unpicklable) local observer so the
+        # collector travels back from process-backend workers cleanly
+        metrics.on_round = None
+        close = getattr(self.round_sink, "close", None)
+        if close is not None:
+            close()
+        header = (
+            self.scenario.name,
+            self.scheduler,
+            self.scenario.seed,
+            metrics.rounds_recorded,
+            simulator.events_applied,
+        )
         return ScenarioResult(
             scenario_name=self.scenario.name,
             scheduler=self.scheduler,
             seed=self.scenario.seed,
-            num_rounds=len(metrics.rounds),
+            num_rounds=metrics.rounds_recorded,
             num_events=simulator.events_applied,
             metrics=metrics,
             records=records,
             warm_hits=simulator.warm_stats.warm_hits,
             cold_solves=simulator.warm_stats.cold_solves,
+            aggregates=aggregates,
+            digest=stream.finalize(metrics.completions, header),
         )
 
 
@@ -409,9 +567,11 @@ def sweep_summary(results: Sequence[ScenarioResult]) -> Dict[str, object]:
 
 
 __all__ = [
+    "ScenarioAggregates",
     "ScenarioResult",
     "ScenarioRoundRecord",
     "ScenarioRunner",
+    "distill_round",
     "run_scenario",
     "scenario_sweep",
     "sweep_summary",

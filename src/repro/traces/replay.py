@@ -1,0 +1,180 @@
+"""Replay an ingested trace as a seeded ``trace:<name>`` scenario.
+
+This generalizes the ``philly-replay`` special case: instead of a
+synthetic Philly-*shaped* generator, any trace ingested through
+``repro ingest-trace`` becomes a scenario.  The builder fits the trace
+window onto the scenario horizon (submit times and durations scale
+together), groups jobs by tenant, and routes dynamics through the same
+event vocabulary every other scenario uses — tenants arriving after
+t=0 enter via :class:`~repro.scenarios.events.TenantArrival`, jobs
+submitted after their tenant's arrival via
+:class:`~repro.scenarios.events.JobArrival`.
+
+Determinism contract: the stored trace plus (seed, rounds,
+round_duration) fully determine the event stream.  Trace records with
+a ``model`` naming a zoo family use it; others get a seeded pick, so
+external traces without model metadata still replay reproducibly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.tenant import Tenant
+from repro.cluster.topology import paper_cluster
+from repro.exceptions import UnknownTraceError, unknown_name_message
+from repro.scenarios.events import JobArrival, ScenarioEvent, TenantArrival
+from repro.scenarios.scenario import Scenario, ScenarioScript
+from repro.traces.store import TraceStore
+from repro.workloads.generator import TenantGenerator
+from repro.workloads.models import MODEL_CATALOG, all_models
+
+#: ``make_scenario`` names with this prefix resolve through the store.
+TRACE_PREFIX = "trace:"
+
+
+def build_trace_replay(scenario: Scenario) -> ScenarioScript:
+    """Materialise one ingested trace into a scenario script."""
+    topology = paper_cluster()
+    store = TraceStore(str(scenario.param("store_root")))
+    records = store.load(str(scenario.param("trace")))
+    generator = TenantGenerator(
+        gpu_types=topology.gpu_type_names, seed=scenario.seed
+    )
+    rng = np.random.default_rng(scenario.seed)
+
+    # fit the trace window onto the horizon: submit times and durations
+    # scale together, so relative load shape is preserved
+    span = max(
+        float(r["submit_s"]) + float(r["duration_s"]) for r in records
+    )
+    scale = scenario.horizon / span if span > 0 else 1.0
+
+    by_tenant: Dict[str, List[dict]] = {}
+    for record in records:
+        by_tenant.setdefault(str(record["tenant"]), []).append(record)
+
+    arrivals = {
+        tenant: min(float(r["submit_s"]) for r in jobs) * scale
+        for tenant, jobs in by_tenant.items()
+    }
+    initial: List[Tenant] = []
+    events: List[ScenarioEvent] = []
+    for name in sorted(by_tenant, key=lambda t: (arrivals[t], t)):
+        jobs = sorted(
+            by_tenant[name],
+            key=lambda r: (float(r["submit_s"]), str(r["job_id"])),
+        )
+        model = jobs[0].get("model")
+        if not isinstance(model, str) or model not in MODEL_CATALOG:
+            model = str(rng.choice(all_models()))
+        arrival = arrivals[name]
+        tenant = Tenant(name=name, arrival_time=arrival)
+        late_jobs = []
+        for record in jobs:
+            submit = float(record["submit_s"]) * scale
+            job = generator.make_job(
+                name,
+                model,
+                num_workers=int(record["num_workers"]),
+                duration_on_slowest=float(record["duration_s"]) * scale,
+                submit_time=submit,
+            )
+            if submit > arrival:
+                late_jobs.append((submit, job))
+            else:
+                tenant.add_job(job)
+        if arrival <= 0.0:
+            initial.append(tenant)
+        else:
+            # clamp admission to the last round start (jobs honour their
+            # own submit times) so no arrival is lost at tiny --rounds
+            events.append(
+                TenantArrival(
+                    time=min(arrival, scenario.last_round_start),
+                    tenant=tenant,
+                )
+            )
+        for submit, job in late_jobs:
+            events.append(
+                JobArrival(
+                    time=min(submit, scenario.last_round_start),
+                    tenant_name=name,
+                    job=job,
+                )
+            )
+    # stable by time: a tenant's arrival was appended before its late
+    # jobs, so same-instant events still admit the tenant first
+    events.sort(key=lambda event: event.time)
+    return ScenarioScript(topology, tuple(initial), tuple(events))
+
+
+def trace_scenario(
+    name: str,
+    *,
+    seed: int = 0,
+    rounds: Optional[int] = None,
+    round_duration: float = 300.0,
+    store_root: Optional[str] = None,
+) -> Scenario:
+    """A seeded ``trace:<name>`` recipe over one ingested trace.
+
+    ``store_root`` overrides the conventional store
+    (``$REPRO_TRACE_DIR`` / ``traces/``).  Unknown names — and a
+    disabled store — raise :class:`~repro.exceptions.UnknownTraceError`
+    at recipe-construction time, so CLIs fail before any simulation
+    starts.
+    """
+    if store_root is not None:
+        store: Optional[TraceStore] = TraceStore(str(store_root))
+    else:
+        store = TraceStore.default()
+    if store is None:
+        raise UnknownTraceError(
+            f"no trace store configured for 'trace:{name}'; set "
+            f"$REPRO_TRACE_DIR or pass store_root"
+        )
+    known = store.names()
+    if name not in known:
+        raise UnknownTraceError(
+            unknown_name_message("trace", name, known)
+            + f" (store: {store.root}; ingest with 'repro ingest-trace')"
+        )
+    return Scenario(
+        name=f"{TRACE_PREFIX}{name}",
+        builder=build_trace_replay,
+        seed=int(seed),
+        num_rounds=int(rounds) if rounds is not None else 24,
+        round_duration=float(round_duration),
+        params=(("store_root", store.root), ("trace", name)),
+        description=f"replay of ingested trace {name!r}",
+    )
+
+
+def trace_rows(store: Optional[TraceStore] = None) -> List[Dict[str, object]]:
+    """``repro list-scenarios`` rows for every ingested trace."""
+    store = store if store is not None else TraceStore.default()
+    if store is None:
+        return []
+    rows = []
+    for name in store.names():
+        rows.append(
+            {
+                "name": f"{TRACE_PREFIX}{name}",
+                "family": "trace",
+                "rounds": 24,
+                "params": f"store_root={store.root}",
+                "description": f"replay of ingested trace {name!r}",
+            }
+        )
+    return rows
+
+
+__all__ = [
+    "TRACE_PREFIX",
+    "build_trace_replay",
+    "trace_rows",
+    "trace_scenario",
+]

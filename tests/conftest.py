@@ -18,10 +18,13 @@ def _isolate_bench_ledger(monkeypatch):
     from a test run.  Ledger tests opt back in with ``--ledger DIR`` or
     by setting the variable themselves.  Same deal for the audit ledger
     (:mod:`repro.auditor.ledger`): an empty ``$REPRO_AUDIT_DIR`` keeps
-    audited pipelines built by tests purely in memory.
+    audited pipelines built by tests purely in memory, and an empty
+    ``$REPRO_TRACE_DIR`` (:mod:`repro.traces.store`) keeps trace
+    discovery away from any ``traces/`` directory in the checkout.
     """
     monkeypatch.setenv("REPRO_LEDGER_DIR", "")
     monkeypatch.setenv("REPRO_AUDIT_DIR", "")
+    monkeypatch.setenv("REPRO_TRACE_DIR", "")
 
 
 @pytest.fixture

@@ -1,0 +1,104 @@
+"""Sink mode: ``record_rounds=False`` streams rounds instead of keeping them.
+
+The documented fingerprint contract is the heart of this file: for a
+fixed (scenario, seed, scheduler) the fingerprint is identical across
+record modes, warm/cold replays, and execution backends — it is
+computed incrementally from the same per-round stream either way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import ScenarioRunner, make_scenario
+from repro.scenarios.runner import ScenarioAggregates, ScenarioRoundRecord
+
+
+class RecordingSink:
+    """A round sink that also remembers whether the runner closed it."""
+
+    def __init__(self):
+        self.records = []
+        self.closed = False
+
+    def __call__(self, record: ScenarioRoundRecord) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+@pytest.fixture
+def scenario():
+    return make_scenario("tenant-churn", seed=3, rounds=8)
+
+
+class TestSinkMode:
+    def test_records_are_dropped_but_counted(self, scenario):
+        result = ScenarioRunner(scenario, record_rounds=False).run()
+        assert result.records == []
+        assert result.num_rounds > 0
+        assert result.metrics.rounds == []  # collector dropped them too
+        assert result.metrics.rounds_recorded == result.num_rounds
+
+    def test_round_sink_sees_every_round_and_is_closed(self, scenario):
+        sink = RecordingSink()
+        result = ScenarioRunner(
+            scenario, record_rounds=False, round_sink=sink
+        ).run()
+        assert sink.closed
+        assert len(sink.records) == result.num_rounds
+        assert [r.round_index for r in sink.records] == list(
+            range(result.num_rounds)
+        )
+
+    def test_sink_also_works_in_record_mode(self, scenario):
+        sink = RecordingSink()
+        result = ScenarioRunner(scenario, round_sink=sink).run()
+        assert sink.closed
+        assert len(sink.records) == len(result.records)
+
+    def test_fingerprint_identical_across_record_modes(self, scenario):
+        recorded = ScenarioRunner(scenario).run()
+        streamed = ScenarioRunner(scenario, record_rounds=False).run()
+        assert recorded.fingerprint() == streamed.fingerprint()
+
+    def test_fingerprint_identical_across_warm_and_cold(self, scenario):
+        warm = ScenarioRunner(scenario, record_rounds=False).run()
+        cold = ScenarioRunner(scenario, record_rounds=False, warm=False).run()
+        assert warm.fingerprint() == cold.fingerprint()
+
+    def test_summary_values_identical_across_record_modes(self, scenario):
+        recorded = ScenarioRunner(scenario).run()
+        streamed = ScenarioRunner(scenario, record_rounds=False).run()
+        assert streamed.mean_utilization == pytest.approx(
+            recorded.mean_utilization
+        )
+        assert streamed.mean_jain == pytest.approx(recorded.mean_jain)
+        assert streamed.mean_envy == pytest.approx(recorded.mean_envy)
+        assert streamed.total_starvation == recorded.total_starvation
+        assert streamed.completed_jobs == recorded.completed_jobs
+
+    def test_sink_mode_result_survives_the_process_backend(self, scenario):
+        from repro.scenarios import scenario_sweep
+
+        results = scenario_sweep(scenario, [0, 1], backend="process")
+        assert len(results) == 2  # the local observer must not travel
+
+
+class TestAggregates:
+    def test_running_means_match_recorded_means(self, scenario):
+        result = ScenarioRunner(scenario).run()
+        aggregates = ScenarioAggregates()
+        for record in result.records:
+            aggregates.observe(record)
+        assert aggregates.mean_utilization == pytest.approx(
+            result.mean_utilization
+        )
+        assert aggregates.mean_jain == pytest.approx(result.mean_jain)
+
+    def test_empty_aggregates_have_neutral_defaults(self):
+        aggregates = ScenarioAggregates()
+        assert aggregates.mean_utilization == 0.0
+        assert aggregates.mean_jain == 1.0
+        assert aggregates.mean_envy == 0.0

@@ -136,9 +136,43 @@ diff "$TMP/warm_row.txt" "$TMP/cold_row.txt"
 
 echo "== repro list-scenarios =="
 "$PY" -m repro list-scenarios | tee "$TMP/scenarios.txt"
-for name in steady bursty diurnal tenant-churn philly-replay; do
+for name in steady bursty diurnal tenant-churn philly-replay \
+        spot-preemption hetero-generations multiregion-failover tenant-swarm; do
     grep -q "$name" "$TMP/scenarios.txt"
 done
+grep -q "family" "$TMP/scenarios.txt"
+
+echo "== repro fleet-sim (fleet-smoke: 4 regions, streamed metrics) =="
+"$PY" -m repro fleet-sim --scenario multiregion-failover --regions 4 \
+    --metrics "$TMP/fleet.jsonl" | tee "$TMP/fleet.txt"
+test -s "$TMP/fleet.jsonl"
+grep -q '"schema": "repro/fleetmetrics-v1"' "$TMP/fleet.jsonl"
+grep -q "fairness violations: 0" "$TMP/fleet.txt"
+grep -q "fleet fingerprint:" "$TMP/fleet.txt"
+# the thread backend must replay the identical fleet
+"$PY" -m repro fleet-sim --scenario multiregion-failover --regions 4 \
+    --backend thread --jobs 4 --metrics "$TMP/fleet2.jsonl" \
+    | tee "$TMP/fleet_thread.txt"
+grep "fleet fingerprint:" "$TMP/fleet.txt" > "$TMP/fp_serial.txt"
+grep "fleet fingerprint:" "$TMP/fleet_thread.txt" > "$TMP/fp_thread.txt"
+diff "$TMP/fp_serial.txt" "$TMP/fp_thread.txt"
+
+echo "== repro ingest-trace -> trace:<name> replay =="
+printf 'jobid,user,submit_time,run_time,gpus\nj1,vc-a,0,3600,1\nj2,vc-b,600,1800,2\nj3,vc-a,1200,3600,1\n' \
+    > "$TMP/jobs.csv"
+REPRO_TRACE_DIR="$TMP/traces" "$PY" -m repro ingest-trace "$TMP/jobs.csv" \
+    --name ops | tee "$TMP/ingest.txt"
+grep -q "ingested 3 jobs" "$TMP/ingest.txt"
+REPRO_TRACE_DIR="$TMP/traces" "$PY" -m repro simulate --scenario trace:ops \
+    --rounds 6 | tee "$TMP/trace_sim.txt"
+grep -q "trace:ops" "$TMP/trace_sim.txt"
+# unknown traces fail with a typed error and a non-zero exit
+if REPRO_TRACE_DIR="$TMP/traces" "$PY" -m repro simulate \
+    --scenario trace:ghost > "$TMP/trace_err.txt" 2>&1; then
+    echo "unknown trace did not fail" >&2
+    exit 1
+fi
+grep -q "trace" "$TMP/trace_err.txt"
 
 echo "== repro serve (serve-smoke: healthz/solve/metrics, 429, drain) =="
 # tiny admission limit so a concurrent cold burst provably sheds
